@@ -1,0 +1,118 @@
+// Ablation benchmarks for this reproduction's own design choices (A1-A5)
+// and the independent-method cross-check (E12). Run with:
+//
+//	go test -bench=Ablation -benchtime=1x
+//	go test -bench=BenchmarkE12 -benchtime=1x
+package deepthermo_test
+
+import (
+	"testing"
+
+	"deepthermo/internal/experiments"
+	"deepthermo/internal/hpcsim"
+)
+
+// BenchmarkAblationKLWeight regenerates A1: the KL weight of the proposal
+// VAE controls the calibration/energy-information trade-off that decides
+// acceptance.
+func BenchmarkAblationKLWeight(b *testing.B) {
+	tb := sharedTB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationKLWeight(tb, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			b.ReportMetric(res.Rows[0].Acc300, "acc300@beta1.0")
+		}
+	}
+}
+
+// BenchmarkAblationDLWeight regenerates A3: the DL fraction of the
+// production proposal mixture vs WL convergence speedup and coverage.
+func BenchmarkAblationDLWeight(b *testing.B) {
+	tb := sharedTB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationDLWeight(tb, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			best := 0.0
+			for _, row := range res.Rows {
+				if row.Speedup > best {
+					best = row.Speedup
+				}
+			}
+			b.ReportMetric(best, "best-speedup")
+		}
+	}
+}
+
+// BenchmarkAblationScheduledMixture regenerates A6: fixed DL weights vs
+// the ln f-driven schedule (DL-heavy exploration, local-heavy refinement).
+func BenchmarkAblationScheduledMixture(b *testing.B) {
+	tb := sharedTB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationScheduledMixture(tb, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			b.ReportMetric(res.Speedup, "scheduled-vs-fixed")
+		}
+	}
+}
+
+// BenchmarkAblationWLSchedule regenerates A4: halving vs 1/t schedules
+// against exact enumeration.
+func BenchmarkAblationWLSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationWLSchedule(0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			for _, row := range res.Rows {
+				b.ReportMetric(row.RMS, "rms:"+row.Schedule)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationAllreduce regenerates A5: flat-ring vs hierarchical
+// allreduce on both modeled machines.
+func BenchmarkAblationAllreduce(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range []hpcsim.Machine{hpcsim.Summit, hpcsim.Crusher} {
+			res := experiments.AblationAllreduce(m, 0, nil)
+			printOnce(i, res.Format())
+			if i == 0 {
+				last := res.Rows[len(res.Rows)-1]
+				b.ReportMetric(last.FlatRing/last.Hierarchical, "ratio@3072:"+m.Name[:6])
+			}
+		}
+	}
+}
+
+// BenchmarkE12CrossCheck regenerates the independent-method validation:
+// parallel tempering vs DOS reweighting on the same alloy.
+func BenchmarkE12CrossCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TemperingCrossCheck(experiments.E12Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			b.ReportMetric(res.MaxDU, "max|dU|(eV/site)")
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Benchmark harness regenerating every table and figure of the DeepThermo
+// evaluation (experiments E1-E11; see DESIGN.md for the mapping and
+// EXPERIMENTS.md for recorded paper-vs-measured outcomes).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+//
+// Each benchmark prints the experiment's table to stdout and reports its
+// headline scalar through b.ReportMetric, so both the human-readable
+// report and machine-readable metrics come from one run.
+package deepthermo_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"deepthermo/internal/experiments"
+)
+
+// benchTB lazily builds the shared 54-atom trained testbed used by the
+// sampling experiments (E1, E2, E5, E6).
+var (
+	benchTBOnce sync.Once
+	benchTB     *experiments.Testbed
+	benchTBErr  error
+)
+
+func sharedTB(b *testing.B) *experiments.Testbed {
+	b.Helper()
+	benchTBOnce.Do(func() {
+		benchTB, benchTBErr = experiments.SharedTestbed(3)
+	})
+	if benchTBErr != nil {
+		b.Fatal(benchTBErr)
+	}
+	return benchTB
+}
+
+func printOnce(i int, s string) {
+	if i == 0 {
+		fmt.Fprint(os.Stdout, s, "\n")
+	}
+}
+
+// BenchmarkE1AcceptanceVsTemperature regenerates the proposal-acceptance
+// figure: DL global updates vs local swap vs unguided K-swap across the
+// temperature range.
+func BenchmarkE1AcceptanceVsTemperature(b *testing.B) {
+	tb := sharedTB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AcceptanceVsTemperature(tb, experiments.E1Options{IncludeJump: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			cold := res.Rows[0]
+			b.ReportMetric(cold.DLWalk, "dl-acc@coldT")
+			b.ReportMetric(cold.KSwap, "kswap-acc@coldT")
+			b.ReportMetric(cold.DLWalkSites, "dl-sites/step@coldT")
+		}
+	}
+}
+
+// BenchmarkE2WLConvergence regenerates the Wang-Landau convergence figure:
+// sweeps to histogram flatness per ln f stage, local swap vs DL mixture.
+func BenchmarkE2WLConvergence(b *testing.B) {
+	tb := sharedTB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WLConvergence(tb, experiments.E2Options{Stages: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			b.ReportMetric(res.Speedup, "sweep-speedup")
+		}
+	}
+}
+
+// BenchmarkE3DOSRange regenerates the density-of-states figure: ln g span
+// vs system size via REWL, with the paper-scale e^10,000 extrapolation.
+func BenchmarkE3DOSRange(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DOSRange(experiments.E3Options{CellSizes: []int{2, 3, 4}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(last.MeasuredSpan, "lng-span@128")
+			b.ReportMetric(res.PaperLogStates, "lng-span@8192(ideal)")
+		}
+	}
+}
+
+// BenchmarkE4Thermodynamics regenerates the thermodynamic curves and the
+// order-disorder transition from the converged DOS.
+func BenchmarkE4Thermodynamics(b *testing.B) {
+	dosRes, err := experiments.DOSRange(experiments.E3Options{CellSizes: []int{3}, Bins: 64, LnFFinal: 3e-5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := dosRes.Rows[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Thermodynamics(dosRes.LargestDOS, row.Sites, dosRes.LargestQuota, experiments.E4Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			b.ReportMetric(res.Tc, "Tc(K)")
+		}
+	}
+}
+
+// BenchmarkE5ShortRangeOrder regenerates the Warren-Cowley SRO figure.
+func BenchmarkE5ShortRangeOrder(b *testing.B) {
+	tb := sharedTB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ShortRangeOrder(tb, experiments.E5Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			b.ReportMetric(res.OnsetT, "sro-onset(K)")
+			b.ReportMetric(-res.Rows[0].AlphaMoTa, "|alphaMoTa|@coldT")
+		}
+	}
+}
+
+// BenchmarkE6VAETraining regenerates the training table: loss trajectory
+// and functional DDP throughput.
+func BenchmarkE6VAETraining(b *testing.B) {
+	tb := sharedTB(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.VAETraining(tb, experiments.E6Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			last := res.Trajectory[len(res.Trajectory)-1]
+			b.ReportMetric(last.Accuracy, "site-accuracy")
+			b.ReportMetric(res.Rows[len(res.Rows)-1].SamplesPerSec, "ddp-samples/s")
+		}
+	}
+}
+
+// BenchmarkE7StrongScaling regenerates the strong-scaling figure on both
+// modeled machines (8 → 3072 devices).
+func BenchmarkE7StrongScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.StrongScaling(experiments.ScalingOptions{})
+		printOnce(i, res.Format())
+		if i == 0 {
+			for _, s := range res.Series {
+				last := s.Points[len(s.Points)-1]
+				b.ReportMetric(last.Efficiency, "eff@3072:"+s.Machine[:6])
+			}
+		}
+	}
+}
+
+// BenchmarkE8WeakScaling regenerates the weak-scaling figure.
+func BenchmarkE8WeakScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.WeakScaling(experiments.ScalingOptions{})
+		printOnce(i, res.Format())
+		if i == 0 {
+			for _, s := range res.Series {
+				last := s.Points[len(s.Points)-1]
+				b.ReportMetric(last.Efficiency, "eff@3072:"+s.Machine[:6])
+			}
+		}
+	}
+}
+
+// BenchmarkE9TrainingScaling regenerates the distributed-training
+// throughput figure (V100 vs MI250X).
+func BenchmarkE9TrainingScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.TrainingScaling(experiments.ScalingOptions{})
+		printOnce(i, res.Format())
+		if i == 0 {
+			for _, s := range res.Series {
+				last := s.Points[len(s.Points)-1]
+				b.ReportMetric(last.Throughput, "samples/s@3072:"+s.Machine[:6])
+			}
+		}
+	}
+}
+
+// BenchmarkE10TimeToSolution regenerates the end-to-end comparison table,
+// composing the measured E2 speedup with the machine model.
+func BenchmarkE10TimeToSolution(b *testing.B) {
+	tb := sharedTB(b)
+	conv, err := experiments.WLConvergence(tb, experiments.E2Options{Stages: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	speedup := conv.Speedup
+	if speedup < 1 {
+		speedup = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TimeToSolution(experiments.E10Options{Speedup: speedup})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			b.ReportMetric(speedup, "measured-speedup")
+		}
+	}
+}
+
+// BenchmarkE11Validation regenerates the exactness table: WL and REWL vs
+// exact enumeration.
+func BenchmarkE11Validation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Validation(experiments.E11Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 {
+			worst := 0.0
+			for _, row := range res.Rows {
+				if row.RMSSerial > worst {
+					worst = row.RMSSerial
+				}
+			}
+			b.ReportMetric(worst, "worst-rms-lng")
+		}
+	}
+}

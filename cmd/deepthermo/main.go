@@ -1,0 +1,159 @@
+// Command deepthermo runs the DeepThermo evaluation experiments from the
+// command line. Each -stage regenerates one of the paper's reconstructed
+// tables/figures (see DESIGN.md for the experiment index):
+//
+//	deepthermo -stage pipeline     # end-to-end: data → train → REWL → thermodynamics
+//	deepthermo -stage acceptance   # E1: proposal acceptance vs temperature
+//	deepthermo -stage convergence  # E2: WL sweeps-to-flatness, swap vs DL mixture
+//	deepthermo -stage sro          # E5: Warren-Cowley short-range order vs T
+//	deepthermo -stage training     # E6: VAE training and DDP throughput
+//
+// The density-of-states and scaling studies have dedicated binaries
+// (dtdos, dtscale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"deepthermo"
+	"deepthermo/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("deepthermo: ")
+
+	stage := flag.String("stage", "pipeline", "pipeline | acceptance | convergence | sro | training")
+	cells := flag.Int("cells", 3, "BCC supercell edge in conventional cells (sites = 2·cells³)")
+	seed := flag.Uint64("seed", 1, "master RNG seed")
+	epochs := flag.Int("epochs", 40, "VAE training epochs")
+	samples := flag.Int("samples", 250, "training configurations per ladder temperature")
+	alloyName := flag.String("alloy", "NbMoTaW", "Hamiltonian preset: NbMoTaW | MoNbTaVW (pipeline stage)")
+	modelIn := flag.String("model-in", "", "load a trained proposal model instead of training (pipeline stage)")
+	modelOut := flag.String("model-out", "", "save the trained proposal model to this path (pipeline stage)")
+	dosOut := flag.String("dos-out", "", "save the converged density of states to this path (pipeline stage)")
+	flag.Parse()
+
+	switch *stage {
+	case "pipeline":
+		runPipeline(*cells, *seed, *alloyName, *modelIn, *modelOut, *dosOut)
+	case "acceptance", "convergence", "sro", "training":
+		tb, err := experiments.NewTestbed(experiments.TestbedOptions{
+			Cells:          *cells,
+			Seed:           *seed,
+			Epochs:         *epochs,
+			SamplesPerTemp: *samples,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var out string
+		switch *stage {
+		case "acceptance":
+			res, err := experiments.AcceptanceVsTemperature(tb, experiments.E1Options{IncludeJump: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = res.Format()
+		case "convergence":
+			res, err := experiments.WLConvergence(tb, experiments.E2Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = res.Format()
+		case "sro":
+			res, err := experiments.ShortRangeOrder(tb, experiments.E5Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = res.Format()
+		case "training":
+			res, err := experiments.VAETraining(tb, experiments.E6Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			out = res.Format()
+		}
+		fmt.Print(out)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown stage %q\n", *stage)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runPipeline exercises the public facade end to end, printing progress
+// and the final thermodynamics table.
+func runPipeline(cells int, seed uint64, alloyName, modelIn, modelOut, dosOut string) {
+	sys, err := deepthermo.NewSystem(deepthermo.SystemConfig{Cells: cells, Seed: seed, Alloy: alloyName})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system: %d-site BCC %s-like HEA, composition %v\n", sys.Lat.NumSites(), alloyName, sys.Quota)
+
+	if modelIn != "" {
+		if err := sys.LoadModelFile(modelIn); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("loaded proposal model from %s (%d parameters)\n", modelIn, sys.Model.NumParams())
+	} else {
+		fmt.Println("generating training data (temperature-ladder MC)...")
+		ds, err := sys.GenerateData(nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d labelled configurations\n", ds.Len())
+
+		fmt.Println("training the conditional-VAE proposal model...")
+		if err := sys.TrainProposal(nil); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d parameters\n", sys.Model.NumParams())
+	}
+	if modelOut != "" {
+		if err := sys.SaveModelFile(modelOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved proposal model to %s\n", modelOut)
+	}
+
+	fmt.Println("sampling the density of states (REWL with DL mixture)...")
+	res, err := sys.SampleDOS(deepthermo.DOSConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  converged=%v sweeps=%d rounds=%d span(ln g)=%.1f\n",
+		res.Converged, res.Sweeps, res.Rounds, res.DOS.Span())
+	if dosOut != "" {
+		f, err := os.Create(dosOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := deepthermo.SaveDOS(res.DOS, f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved density of states to %s\n", dosOut)
+	}
+
+	pts, err := sys.Thermodynamics(res.DOS, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tc, cvPeak, err := deepthermo.TransitionTemperature(pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := float64(sys.Lat.NumSites())
+	fmt.Printf("\n%8s %14s %16s %14s %16s\n", "T(K)", "U/N (eV)", "Cv/N (kB)", "F/N (eV)", "S/N (kB)")
+	for _, p := range pts {
+		fmt.Printf("%8.0f %14.5f %16.4f %14.5f %16.4f\n",
+			p.T, p.U/n, p.Cv/n/deepthermo.KB, p.F/n, p.S/n/deepthermo.KB)
+	}
+	fmt.Printf("\norder-disorder transition: Tc ≈ %.0f K (Cv peak %.3f kB/site)\n", tc, cvPeak/n/deepthermo.KB)
+}

@@ -1,0 +1,98 @@
+// Command dtdos runs the density-of-states studies: the exactness
+// validation against enumeration (experiment E11), the DOS-range ladder
+// with the paper-scale extrapolation (E3), and the thermodynamic curves
+// from the largest converged DOS (E4).
+//
+//	dtdos -study validate           # E11: WL/REWL vs exact enumeration
+//	dtdos -study range -cells 2,3,4 # E3: ln g span vs system size
+//	dtdos -study thermo -cells 3    # E4: U, Cv, F, S curves and Tc
+//	dtdos -study all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"deepthermo/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtdos: ")
+
+	study := flag.String("study", "all", "validate | range | thermo | all")
+	cells := flag.String("cells", "2,3,4", "comma-separated BCC cell sizes for the range study")
+	seed := flag.Uint64("seed", 31, "RNG seed")
+	lnf := flag.Float64("lnf", 0, "Wang-Landau ln f convergence target (0 = default)")
+	flag.Parse()
+
+	sizes, err := parseCells(*cells)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string) {
+		switch name {
+		case "validate":
+			res, err := experiments.Validation(experiments.E11Options{Seed: *seed})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Format())
+		case "range":
+			res, err := experiments.DOSRange(experiments.E3Options{CellSizes: sizes, Seed: *seed, LnFFinal: *lnf})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Format())
+		case "thermo":
+			res, err := experiments.DOSRange(experiments.E3Options{
+				CellSizes: sizes[len(sizes)-1:],
+				Bins:      64,
+				Seed:      *seed,
+				LnFFinal:  *lnf,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row := res.Rows[len(res.Rows)-1]
+			e4, err := experiments.Thermodynamics(res.LargestDOS, row.Sites, res.LargestQuota, experiments.E4Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(e4.Format())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown study %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+
+	if *study == "all" {
+		for _, name := range []string{"validate", "range", "thermo"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*study)
+}
+
+func parseCells(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("invalid cell count %q (need ≥2)", part)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("no cell sizes given")
+	}
+	return sizes, nil
+}

@@ -1,0 +1,189 @@
+// Command dtreport runs the complete DeepThermo evaluation suite —
+// experiments E1-E12 and ablations A1-A5 — and writes a single markdown
+// report with every regenerated table. It is the tool behind
+// EXPERIMENTS.md:
+//
+//	dtreport -out report.md            # full suite (several minutes)
+//	dtreport -only E1,E2,A4            # a subset
+//	dtreport -cells 2 -only E1         # smaller testbed for a fast look
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"deepthermo/internal/experiments"
+	"deepthermo/internal/hpcsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtreport: ")
+
+	outPath := flag.String("out", "", "output file (default stdout)")
+	only := flag.String("only", "all", "comma-separated experiment ids (E1..E12, A1..A5) or 'all'")
+	cells := flag.Int("cells", 3, "testbed BCC cells for the sampling experiments")
+	seed := flag.Uint64("seed", 1, "master seed")
+	flag.Parse()
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	want := map[string]bool{}
+	all := *only == "all"
+	for _, id := range strings.Split(*only, ",") {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
+	}
+	sel := func(id string) bool { return all || want[id] }
+
+	fmt.Fprintf(out, "# DeepThermo evaluation report\n\ngenerated %s\n\n", time.Now().Format(time.RFC3339))
+
+	// The sampling experiments share one trained testbed.
+	var tb *experiments.Testbed
+	needTB := sel("E1") || sel("E2") || sel("E5") || sel("E6") || sel("A1") || sel("A3")
+	if needTB {
+		log.Printf("training the shared testbed (cells=%d)...", *cells)
+		var err error
+		tb, err = experiments.NewTestbed(experiments.TestbedOptions{Cells: *cells, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	section := func(id string, run func() (string, error)) {
+		if !sel(id) {
+			return
+		}
+		log.Printf("running %s...", id)
+		start := time.Now()
+		body, err := run()
+		if err != nil {
+			log.Fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Fprintf(out, "## %s\n\n```\n%s```\n\n_(%.1fs)_\n\n", id, body, time.Since(start).Seconds())
+	}
+
+	section("E1", func() (string, error) {
+		r, err := experiments.AcceptanceVsTemperature(tb, experiments.E1Options{IncludeJump: true})
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	var e2Speedup float64 = 3
+	section("E2", func() (string, error) {
+		r, err := experiments.WLConvergence(tb, experiments.E2Options{Stages: 8})
+		if err != nil {
+			return "", err
+		}
+		e2Speedup = r.Speedup
+		return r.Format(), nil
+	})
+	var e3 *experiments.E3Result
+	section("E3", func() (string, error) {
+		r, err := experiments.DOSRange(experiments.E3Options{})
+		if err != nil {
+			return "", err
+		}
+		e3 = r
+		return r.Format(), nil
+	})
+	section("E4", func() (string, error) {
+		if e3 == nil {
+			var err error
+			e3, err = experiments.DOSRange(experiments.E3Options{CellSizes: []int{3}, Bins: 64})
+			if err != nil {
+				return "", err
+			}
+		}
+		row := e3.Rows[len(e3.Rows)-1]
+		r, err := experiments.Thermodynamics(e3.LargestDOS, row.Sites, e3.LargestQuota, experiments.E4Options{})
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("E5", func() (string, error) {
+		r, err := experiments.ShortRangeOrder(tb, experiments.E5Options{})
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("E6", func() (string, error) {
+		r, err := experiments.VAETraining(tb, experiments.E6Options{})
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("E7", func() (string, error) { return experiments.StrongScaling(experiments.ScalingOptions{}).Format(), nil })
+	section("E8", func() (string, error) { return experiments.WeakScaling(experiments.ScalingOptions{}).Format(), nil })
+	section("E9", func() (string, error) { return experiments.TrainingScaling(experiments.ScalingOptions{}).Format(), nil })
+	section("E10", func() (string, error) {
+		if e2Speedup < 1 {
+			e2Speedup = 1
+		}
+		r, err := experiments.TimeToSolution(experiments.E10Options{Speedup: e2Speedup})
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("E11", func() (string, error) {
+		r, err := experiments.Validation(experiments.E11Options{})
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("E12", func() (string, error) {
+		r, err := experiments.TemperingCrossCheck(experiments.E12Options{})
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("A1", func() (string, error) {
+		r, err := experiments.AblationKLWeight(tb, nil, 0)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("A3", func() (string, error) {
+		r, err := experiments.AblationDLWeight(tb, nil)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("A4", func() (string, error) {
+		r, err := experiments.AblationWLSchedule(0, 0)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	section("A5", func() (string, error) {
+		var b strings.Builder
+		for _, m := range []hpcsim.Machine{hpcsim.Summit, hpcsim.Crusher} {
+			b.WriteString(experiments.AblationAllreduce(m, 0, nil).Format())
+		}
+		return b.String(), nil
+	})
+
+	log.Print("done")
+}

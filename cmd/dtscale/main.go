@@ -1,0 +1,89 @@
+// Command dtscale regenerates the DeepThermo scalability studies on the
+// modeled Summit (V100) and Crusher (MI250X) machines (experiments E7-E10;
+// see DESIGN.md for the substitution rationale — scaling *shape* from the
+// algorithm's communication structure plus calibrated machine parameters).
+//
+//	dtscale -study strong          # E7: fixed problem, 8→3072 devices
+//	dtscale -study weak            # E8: walkers grow with devices
+//	dtscale -study train           # E9: DDP training throughput
+//	dtscale -study tts -speedup 3  # E10: end-to-end time to solution
+//	dtscale -study all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"deepthermo/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dtscale: ")
+
+	study := flag.String("study", "all", "strong | weak | train | tts | all")
+	sites := flag.Int("sites", 8192, "lattice sites per walker")
+	devices := flag.String("devices", "", "comma-separated device counts (default 8,24,96,384,1536,3072)")
+	speedup := flag.Float64("speedup", 3.0, "measured E2 sweep speedup for the tts study")
+	seed := flag.Uint64("seed", 71, "simulation seed")
+	flag.Parse()
+
+	opts := experiments.ScalingOptions{Sites: *sites, Seed: *seed}
+	if *devices != "" {
+		counts, err := parseCounts(*devices)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.DeviceCounts = counts
+	}
+
+	run := func(name string) {
+		switch name {
+		case "strong":
+			fmt.Print(experiments.StrongScaling(opts).Format())
+		case "weak":
+			fmt.Print(experiments.WeakScaling(opts).Format())
+		case "train":
+			fmt.Print(experiments.TrainingScaling(opts).Format())
+		case "tts":
+			res, err := experiments.TimeToSolution(experiments.E10Options{
+				Sites:   *sites,
+				Speedup: *speedup,
+				Seed:    *seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(res.Format())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown study %q\n", name)
+			flag.Usage()
+			os.Exit(2)
+		}
+	}
+
+	if *study == "all" {
+		for _, name := range []string{"strong", "weak", "train", "tts"} {
+			run(name)
+			fmt.Println()
+		}
+		return
+	}
+	run(*study)
+}
+
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid device count %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}

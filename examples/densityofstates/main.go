@@ -1,0 +1,63 @@
+// Density-of-states study: the paper's headline capability — directly
+// evaluating a density of states whose values span thousands of nats
+// (~e^10,000 at the paper's 8192-atom scale). This example converges the
+// DOS on a ladder of supercell sizes, prints the ln g profile of the
+// largest, and shows the ln g span growing linearly with system size
+// toward the paper-scale figure.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deepthermo"
+	"deepthermo/internal/dos"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("density-of-states study (replica-exchange Wang-Landau)")
+	fmt.Printf("%8s %16s %18s\n", "sites", "span(ln g)", "ln(total states)")
+
+	var last *deepthermo.LogDOS
+	var lastSites int
+	for _, cells := range []int{2, 3} {
+		sys, err := deepthermo.NewSystem(deepthermo.SystemConfig{Cells: cells, Seed: 31})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.SampleDOS(deepthermo.DOSConfig{
+			Windows: 8, Bins: 48, LnFFinal: 3e-4, NoDL: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := sys.Lat.NumSites()
+		logStates, err := dos.LogMultinomial(n, sys.Quota)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %16.1f %18.1f\n", n, res.DOS.Span(), logStates)
+		last, lastSites = res.DOS, n
+	}
+
+	// Profile of the largest run: ln g(E), the quantity the paper plots.
+	fmt.Printf("\nln g(E) profile, %d sites:\n%8s %14s\n", lastSites, "E (eV)", "ln g")
+	for i := 0; i < last.Bins(); i++ {
+		if !last.Visited(i) {
+			continue
+		}
+		fmt.Printf("%8.3f %14.2f\n", last.BinEnergy(i), last.LogG[i])
+	}
+
+	// The paper-scale extrapolation: ln g spans the configurational
+	// entropy, which is extensive.
+	paperQuota := []int{2048, 2048, 2048, 2048}
+	paperLog, err := dos.LogMultinomial(8192, paperQuota)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nln g spans ≈ the configurational entropy and grows ∝ N:\n")
+	fmt.Printf("at the paper's 8192-atom supercell the density of states spans ~e^%.0f (≳ e^10,000)\n", paperLog)
+}

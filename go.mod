@@ -1,0 +1,3 @@
+module deepthermo
+
+go 1.22

@@ -1,0 +1,97 @@
+package alloy
+
+import "deepthermo/internal/lattice"
+
+// Species indices of the refractory high-entropy alloy preset.
+const (
+	Nb = iota
+	Mo
+	Ta
+	W
+)
+
+// NbMoTaW returns the 4-component refractory high-entropy-alloy EPI model
+// on the given BCC lattice. The parameter set has the same form and
+// magnitude scale (tens of meV, two shells) as first-principles EPIs
+// published for NbMoTaW; it is a qualitative stand-in, not the proprietary
+// fit (see DESIGN.md, substitutions). The dominant couplings are the
+// strongly ordering Mo–Ta and Nb–W nearest-neighbor pairs, which drive the
+// B2-type order-disorder transition the paper evaluates.
+func NbMoTaW(lat *lattice.Lattice) *Model {
+	// Shell-1 (8 neighbors) pair energies in eV. Negative off-diagonal
+	// values favor unlike neighbors (chemical ordering).
+	v1 := [][]float64{
+		//          Nb        Mo        Ta        W
+		{+0.0000, -0.0080, -0.0020, -0.0160}, // Nb
+		{-0.0080, +0.0000, -0.0210, +0.0040}, // Mo
+		{-0.0020, -0.0210, +0.0000, -0.0120}, // Ta
+		{-0.0160, +0.0040, -0.0120, +0.0000}, // W
+	}
+	// Shell-2 (6 neighbors): weaker, partly frustrating shell-1 order,
+	// as in the published EPI sets.
+	v2 := [][]float64{
+		{+0.0000, +0.0030, +0.0010, +0.0050},
+		{+0.0030, +0.0000, +0.0070, -0.0020},
+		{+0.0010, +0.0070, +0.0000, +0.0040},
+		{+0.0050, -0.0020, +0.0040, +0.0000},
+	}
+	m, err := NewEPI(lat, 4, [][][]float64{v1, v2}, []string{"Nb", "Mo", "Ta", "W"})
+	if err != nil {
+		panic(err) // unreachable: the embedded matrices are well formed
+	}
+	return m
+}
+
+// Species indices of the quinary refractory preset (MoNbTaVW order).
+const (
+	QMo = iota
+	QNb
+	QTa
+	QV
+	QW
+)
+
+// MoNbTaVW returns the 5-component quinary refractory HEA model on the
+// given BCC lattice, the larger composition family the DeepThermo paper's
+// HEA studies extend to. Magnitudes follow the same tens-of-meV scale as
+// the 4-component preset, with vanadium coupling strongly to the group-VI
+// elements as in published quinary EPI sets.
+func MoNbTaVW(lat *lattice.Lattice) *Model {
+	// Shell-1 pair energies (eV), order Mo, Nb, Ta, V, W.
+	v1 := [][]float64{
+		{+0.0000, -0.0080, -0.0210, -0.0140, +0.0040}, // Mo
+		{-0.0080, +0.0000, -0.0020, -0.0060, -0.0160}, // Nb
+		{-0.0210, -0.0020, +0.0000, -0.0100, -0.0120}, // Ta
+		{-0.0140, -0.0060, -0.0100, +0.0000, -0.0180}, // V
+		{+0.0040, -0.0160, -0.0120, -0.0180, +0.0000}, // W
+	}
+	v2 := [][]float64{
+		{+0.0000, +0.0030, +0.0070, +0.0040, -0.0020},
+		{+0.0030, +0.0000, +0.0010, +0.0020, +0.0050},
+		{+0.0070, +0.0010, +0.0000, +0.0030, +0.0040},
+		{+0.0040, +0.0020, +0.0030, +0.0000, +0.0060},
+		{-0.0020, +0.0050, +0.0040, +0.0060, +0.0000},
+	}
+	m, err := NewEPI(lat, 5, [][][]float64{v1, v2}, []string{"Mo", "Nb", "Ta", "V", "W"})
+	if err != nil {
+		panic(err) // unreachable: the embedded matrices are well formed
+	}
+	return m
+}
+
+// BinaryOrdering returns a 2-component model with a single shell and
+// unlike-pair attraction j (eV, j > 0 gives ordering). On a bipartite
+// lattice at 50/50 composition it is equivalent to the antiferromagnetic
+// Ising model with coupling J = j/4, which makes it the standard validation
+// target: small instances can be enumerated exactly (experiment E11).
+func BinaryOrdering(lat *lattice.Lattice, j float64) *Model {
+	v1 := [][]float64{
+		{0, -j},
+		{-j, 0},
+	}
+	m, err := NewEPI(lat, 2, [][][]float64{v1}, []string{"A", "B"})
+	if err != nil {
+		panic(err) // unreachable
+	}
+	return m
+}

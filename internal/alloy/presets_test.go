@@ -1,0 +1,80 @@
+package alloy
+
+import (
+	"math"
+	"testing"
+
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/rng"
+)
+
+func TestMoNbTaVWWellFormed(t *testing.T) {
+	lat := lattice.MustNew(lattice.BCC, 3, 3, 3)
+	m := MoNbTaVW(lat)
+	if m.NumSpecies() != 5 {
+		t.Fatalf("species = %d", m.NumSpecies())
+	}
+	if m.SpeciesName(QV) != "V" || m.SpeciesName(QW) != "W" {
+		t.Error("species names wrong")
+	}
+	// Symmetry of interactions across both shells.
+	for s := 0; s < m.NumShells(); s++ {
+		for a := 0; a < 5; a++ {
+			for b := 0; b < 5; b++ {
+				if m.Interaction(s, a, b) != m.Interaction(s, b, a) {
+					t.Fatalf("asymmetric interaction at shell %d (%d,%d)", s, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestMoNbTaVWSwapDeltaE(t *testing.T) {
+	lat := lattice.MustNew(lattice.BCC, 3, 3, 3)
+	m := MoNbTaVW(lat)
+	src := rng.New(1)
+	cfg, err := lattice.RandomConfig(lat, []float64{1, 1, 1, 1, 1}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := lat.NumSites()
+	for trial := 0; trial < 100; trial++ {
+		i, j := src.Intn(n), src.Intn(n)
+		before := m.Energy(cfg)
+		dE := m.SwapDeltaE(cfg, i, j)
+		cfg[i], cfg[j] = cfg[j], cfg[i]
+		if math.Abs(m.Energy(cfg)-(before+dE)) > 1e-9 {
+			t.Fatalf("quinary ΔE inconsistent at trial %d", trial)
+		}
+		cfg[i], cfg[j] = cfg[j], cfg[i]
+	}
+}
+
+// TestMoNbTaVWOrders: the quinary alloy must develop chemical short-range
+// order on cooling — the same phenomenology as the 4-component preset.
+func TestMoNbTaVWOrders(t *testing.T) {
+	lat := lattice.MustNew(lattice.BCC, 3, 3, 3)
+	m := MoNbTaVW(lat)
+	src := rng.New(2)
+	cfg, err := lattice.RandomConfig(lat, []float64{1, 1, 1, 1, 1}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eHot := m.Energy(cfg)
+	// Quench by greedy swaps: energy must drop well below the random
+	// solution (ordering energy scale ~10 meV/site).
+	n := lat.NumSites()
+	e := eHot
+	for sweep := 0; sweep < 300; sweep++ {
+		for step := 0; step < n; step++ {
+			i, j := src.Intn(n), src.Intn(n)
+			if dE := m.SwapDeltaE(cfg, i, j); dE < 0 {
+				cfg[i], cfg[j] = cfg[j], cfg[i]
+				e += dE
+			}
+		}
+	}
+	if e > eHot-0.005*float64(n) {
+		t.Errorf("quench lowered energy only %g → %g eV", eHot, e)
+	}
+}

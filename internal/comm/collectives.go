@@ -1,0 +1,115 @@
+package comm
+
+import "fmt"
+
+// This file rounds out the MPI-style collective surface: rooted reduce,
+// scatter/gather, and communicator splitting (the per-window
+// sub-communicators of the REWL decomposition).
+
+// Reduce combines buf elementwise across ranks with op, leaving the result
+// in root's buf only (other ranks' buffers are left holding partial data
+// and should be treated as scratch). A binomial tree gives O(log n) depth.
+func (c *Comm) Reduce(root int, buf []float64, op Op) {
+	n, me := c.Size(), c.rank
+	vr := (me - root + n) % n
+	mask := 1
+	for mask < n {
+		if vr&mask != 0 {
+			c.Send((vr-mask+root)%n, buf)
+			return // this rank's contribution has been passed up
+		}
+		partner := vr | mask
+		if partner < n {
+			op.apply(buf, c.Recv((partner+root)%n))
+		}
+		mask <<= 1
+	}
+}
+
+// Scatter distributes root's data in rank order: rank i receives
+// data[i*chunk : (i+1)*chunk] into buf (len(buf) = chunk on every rank).
+// On non-root ranks, data is ignored and may be nil.
+func (c *Comm) Scatter(root int, data []float64, buf []float64) {
+	n, me := c.Size(), c.rank
+	chunk := len(buf)
+	if me == root {
+		if len(data) != chunk*n {
+			panic(fmt.Sprintf("comm: Scatter data %d != %d ranks × %d chunk", len(data), n, chunk))
+		}
+		for r := 0; r < n; r++ {
+			if r == root {
+				copy(buf, data[r*chunk:(r+1)*chunk])
+				continue
+			}
+			c.Send(r, data[r*chunk:(r+1)*chunk])
+		}
+		return
+	}
+	copy(buf, c.Recv(root))
+}
+
+// Gather collects each rank's contrib into root's dst in rank order
+// (len(dst) = len(contrib)·Size on root; ignored elsewhere and may be nil).
+func (c *Comm) Gather(root int, contrib []float64, dst []float64) {
+	n, me := c.Size(), c.rank
+	if me != root {
+		c.Send(root, contrib)
+		return
+	}
+	if len(dst) != len(contrib)*n {
+		panic(fmt.Sprintf("comm: Gather dst %d != contrib %d × %d ranks", len(dst), len(contrib), n))
+	}
+	copy(dst[root*len(contrib):], contrib)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		copy(dst[r*len(contrib):(r+1)*len(contrib)], c.Recv(r))
+	}
+}
+
+// SplitPlan describes a communicator split: ranks with equal color form a
+// sub-world; each gets a new rank by ascending old rank. Build the plan
+// once (identically on all participating goroutines or centrally) and hand
+// each rank its sub-communicator with Comm.
+type SplitPlan struct {
+	worlds  map[int]*World // color → sub-world
+	color   []int          // old rank → color
+	newRank []int          // old rank → rank within the sub-world
+}
+
+// NewSplitPlan creates the sub-worlds for the given per-rank colors
+// (len(colors) = parent world size).
+func NewSplitPlan(parent *World, colors []int) (*SplitPlan, error) {
+	if len(colors) != parent.Size() {
+		return nil, fmt.Errorf("comm: %d colors for world of %d", len(colors), parent.Size())
+	}
+	sizes := map[int]int{}
+	for _, col := range colors {
+		sizes[col]++
+	}
+	p := &SplitPlan{
+		worlds:  make(map[int]*World, len(sizes)),
+		color:   append([]int(nil), colors...),
+		newRank: make([]int, len(colors)),
+	}
+	for col, size := range sizes {
+		p.worlds[col] = NewWorld(size)
+	}
+	next := map[int]int{}
+	for r, col := range colors {
+		p.newRank[r] = next[col]
+		next[col]++
+	}
+	return p, nil
+}
+
+// Comm returns the sub-communicator endpoint for the parent rank.
+func (p *SplitPlan) Comm(parentRank int) *Comm {
+	return p.worlds[p.color[parentRank]].Rank(p.newRank[parentRank])
+}
+
+// SubSize returns the size of the sub-world containing parentRank.
+func (p *SplitPlan) SubSize(parentRank int) int {
+	return p.worlds[p.color[parentRank]].Size()
+}

@@ -1,0 +1,115 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestReduceSum(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		for root := 0; root < n; root++ {
+			results := make([][]float64, n)
+			spawn(n, func(c *Comm) {
+				buf := []float64{float64(c.Rank() + 1), 10 * float64(c.Rank()+1)}
+				c.Reduce(root, buf, Sum)
+				results[c.Rank()] = buf
+			})
+			want := float64(n*(n+1)) / 2
+			got := results[root]
+			if got[0] != want || got[1] != 10*want {
+				t.Fatalf("n=%d root=%d: reduce = %v, want [%g %g]", n, root, got, want, 10*want)
+			}
+		}
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	const n = 4
+	results := make([][]float64, n)
+	spawn(n, func(c *Comm) {
+		buf := []float64{float64(c.Rank())}
+		c.Reduce(2, buf, Max)
+		results[c.Rank()] = buf
+	})
+	if results[2][0] != n-1 {
+		t.Fatalf("reduce max = %v", results[2])
+	}
+}
+
+func TestScatterGatherRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6} {
+		root := n / 2
+		gathered := make([]float64, 2*n)
+		spawn(n, func(c *Comm) {
+			var data []float64
+			if c.Rank() == root {
+				data = make([]float64, 2*n)
+				for i := range data {
+					data[i] = float64(i) + 0.5
+				}
+			}
+			buf := make([]float64, 2)
+			c.Scatter(root, data, buf)
+			// Each rank transforms its chunk, then it is gathered back.
+			buf[0] *= 2
+			buf[1] *= 2
+			c.Gather(root, buf, gathered)
+		})
+		for i, v := range gathered {
+			if v != 2*(float64(i)+0.5) {
+				t.Fatalf("n=%d: gathered[%d] = %g", n, i, v)
+			}
+		}
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	w := NewWorld(2)
+	done := make(chan bool, 1)
+	go func() {
+		defer func() { done <- recover() != nil }()
+		w.Rank(0).Scatter(0, []float64{1}, make([]float64, 3))
+	}()
+	if !<-done {
+		t.Fatal("bad scatter sizes did not panic")
+	}
+}
+
+func TestSplitPlan(t *testing.T) {
+	parent := NewWorld(6)
+	// Colors: {0,0,1,1,1,2} → sub-worlds of sizes 2, 3, 1.
+	plan, err := NewSplitPlan(parent, []int{0, 0, 1, 1, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.SubSize(0) != 2 || plan.SubSize(3) != 3 || plan.SubSize(5) != 1 {
+		t.Fatalf("sub sizes wrong")
+	}
+
+	// Each sub-world allreduces independently.
+	results := make([]float64, 6)
+	var wg sync.WaitGroup
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			sub := plan.Comm(r)
+			buf := []float64{1}
+			sub.Allreduce(buf, Sum)
+			results[r] = buf[0]
+		}(r)
+	}
+	wg.Wait()
+	want := []float64{2, 2, 3, 3, 3, 1}
+	for r, v := range results {
+		if v != want[r] {
+			t.Fatalf("rank %d: allreduce in sub-world = %g, want %g", r, v, want[r])
+		}
+	}
+}
+
+func TestSplitPlanValidation(t *testing.T) {
+	if _, err := NewSplitPlan(NewWorld(2), []int{0}); err == nil {
+		t.Error("wrong color count accepted")
+	}
+}

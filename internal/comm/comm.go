@@ -1,0 +1,228 @@
+// Package comm is an in-process message-passing layer with MPI semantics:
+// point-to-point sends, barriers, broadcasts, and ring allreduce over a
+// fixed-size group of goroutine "ranks".
+//
+// In the original DeepThermo each rank is one GPU driven by an MPI process;
+// here each rank is a goroutine, but the communication structure —
+// who talks to whom, how many messages, how many bytes — is identical,
+// which is what the scaling model in package hpcsim reasons about. The
+// distributed data-parallel trainer (package train) runs its gradient
+// allreduce through this package exactly as the original runs NCCL/RCCL
+// ring allreduce.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// World is a communication universe of Size ranks. Create one World per
+// parallel job, then hand each goroutine its Comm via Rank.
+type World struct {
+	size      int
+	ch        [][]chan []float64 // ch[dst][src]
+	barrier   *reusableBarrier
+	bytesSent atomic.Int64
+}
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic("comm: world size must be positive")
+	}
+	w := &World{size: n, barrier: newReusableBarrier(n)}
+	w.ch = make([][]chan []float64, n)
+	for d := range w.ch {
+		w.ch[d] = make([]chan []float64, n)
+		for s := range w.ch[d] {
+			w.ch[d][s] = make(chan []float64, 4)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// BytesSent returns the cumulative payload bytes sent through the world,
+// for communication-volume assertions in tests and benchmarks.
+func (w *World) BytesSent() int64 { return w.bytesSent.Load() }
+
+// Rank returns the communicator endpoint for rank r.
+func (w *World) Rank(r int) *Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("comm: rank %d outside world of size %d", r, w.size))
+	}
+	return &Comm{world: w, rank: r}
+}
+
+// Comm is one rank's endpoint. It is not safe for concurrent use by
+// multiple goroutines (like an MPI rank, it belongs to one thread of
+// execution).
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers a copy of data to dst. It blocks only if dst has 4 sends
+// from this rank already queued (channel buffering), which deterministic
+// BSP protocols never trigger.
+func (c *Comm) Send(dst int, data []float64) {
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	c.world.bytesSent.Add(int64(8 * len(data)))
+	c.world.ch[dst][c.rank] <- cp
+}
+
+// Recv blocks until a message from src arrives and returns its payload.
+func (c *Comm) Recv(src int) []float64 {
+	return <-c.world.ch[c.rank][src]
+}
+
+// Barrier blocks until every rank in the world has entered it.
+func (c *Comm) Barrier() { c.world.barrier.wait() }
+
+// Broadcast copies root's data into every rank's buf (len must match on
+// all ranks). A binomial tree gives the O(log n) depth of real MPI_Bcast.
+func (c *Comm) Broadcast(root int, buf []float64) {
+	n, me := c.Size(), c.rank
+	// Re-index so the root is virtual rank 0.
+	vr := (me - root + n) % n
+	mask := 1
+	for mask < n {
+		if vr < mask {
+			partner := vr | mask
+			if partner < n {
+				c.Send((partner+root)%n, buf)
+			}
+		} else if vr < mask<<1 {
+			copy(buf, c.Recv((vr-mask+root)%n))
+		}
+		mask <<= 1
+	}
+}
+
+// Op is a reduction operator.
+type Op int
+
+// Reduction operators.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+func (op Op) apply(dst, src []float64) {
+	switch op {
+	case Sum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case Max:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case Min:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+// Allreduce reduces buf elementwise across all ranks with op and leaves the
+// result in every rank's buf. The implementation is the bandwidth-optimal
+// ring algorithm (reduce-scatter then allgather), the same schedule NCCL
+// and RCCL use for large tensors, so per-rank traffic is 2·(n−1)/n of the
+// buffer size regardless of rank count.
+func (c *Comm) Allreduce(buf []float64, op Op) {
+	n, me := c.Size(), c.rank
+	if n == 1 {
+		return
+	}
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+
+	// Chunk boundaries: chunk k covers [off[k], off[k+1]).
+	off := make([]int, n+1)
+	for k := 0; k <= n; k++ {
+		off[k] = k * len(buf) / n
+	}
+	chunk := func(k int) []float64 {
+		k = ((k % n) + n) % n
+		return buf[off[k]:off[k+1]]
+	}
+
+	// Reduce-scatter: after step s, chunk (me−s−1) holds partial sums of
+	// s+2 ranks; after n−1 steps chunk (me+1) is fully reduced.
+	for s := 0; s < n-1; s++ {
+		c.Send(right, chunk(me-s))
+		in := c.Recv(left)
+		op.apply(chunk(me-s-1), in)
+	}
+	// Allgather: circulate the fully reduced chunks.
+	for s := 0; s < n-1; s++ {
+		c.Send(right, chunk(me+1-s))
+		copy(chunk(me-s), c.Recv(left))
+	}
+}
+
+// Allgather concatenates each rank's contribution into dst, ordered by
+// rank. len(dst) must equal len(contrib)·Size on every rank, and contrib
+// must be the same length on every rank.
+func (c *Comm) Allgather(contrib, dst []float64) {
+	n, me := c.Size(), c.rank
+	if len(dst) != len(contrib)*n {
+		panic(fmt.Sprintf("comm: Allgather dst %d != contrib %d × %d ranks", len(dst), len(contrib), n))
+	}
+	copy(dst[me*len(contrib):], contrib)
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	cur := me
+	for s := 0; s < n-1; s++ {
+		c.Send(right, dst[cur*len(contrib):(cur+1)*len(contrib)])
+		cur = (cur - 1 + n) % n
+		copy(dst[cur*len(contrib):(cur+1)*len(contrib)], c.Recv(left))
+	}
+}
+
+// reusableBarrier is a sense-reversing barrier usable repeatedly.
+type reusableBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newReusableBarrier(n int) *reusableBarrier {
+	b := &reusableBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *reusableBarrier) wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for b.phase == phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,266 @@
+package comm
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// spawn runs fn as every rank of a fresh world and waits for completion.
+func spawn(n int, fn func(c *Comm)) *World {
+	w := NewWorld(n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			fn(w.Rank(r))
+		}(r)
+	}
+	wg.Wait()
+	return w
+}
+
+func TestSendRecv(t *testing.T) {
+	spawn(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, []float64{1, 2, 3})
+		} else {
+			got := c.Recv(0)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("Recv = %v", got)
+			}
+		}
+	})
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	spawn(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			c.Send(1, buf)
+			buf[0] = 0 // mutation after send must not reach the receiver
+		} else {
+			if got := c.Recv(0); got[0] != 42 {
+				t.Errorf("send did not copy: %v", got)
+			}
+		}
+	})
+}
+
+func TestBarrier(t *testing.T) {
+	const n = 8
+	var mu sync.Mutex
+	phase := make([]int, 0, 2*n)
+	spawn(n, func(c *Comm) {
+		mu.Lock()
+		phase = append(phase, 1)
+		mu.Unlock()
+		c.Barrier()
+		mu.Lock()
+		phase = append(phase, 2)
+		mu.Unlock()
+		c.Barrier()
+	})
+	// All phase-1 entries must precede all phase-2 entries.
+	for i, p := range phase[:n] {
+		if p != 1 {
+			t.Fatalf("entry %d = %d before barrier", i, p)
+		}
+	}
+	for i, p := range phase[n:] {
+		if p != 2 {
+			t.Fatalf("entry %d = %d after barrier", n+i, p)
+		}
+	}
+}
+
+func TestBroadcastAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13} {
+		for root := 0; root < n; root += 2 {
+			results := make([][]float64, n)
+			spawn(n, func(c *Comm) {
+				buf := make([]float64, 4)
+				if c.Rank() == root {
+					for i := range buf {
+						buf[i] = float64(100*root + i)
+					}
+				}
+				c.Broadcast(root, buf)
+				results[c.Rank()] = buf
+			})
+			for r, buf := range results {
+				for i, v := range buf {
+					want := float64(100*root + i)
+					if v != want {
+						t.Fatalf("n=%d root=%d rank %d buf[%d] = %g, want %g", n, root, r, i, v, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16} {
+		for _, payload := range []int{1, 3, 64, 1000} {
+			results := make([][]float64, n)
+			spawn(n, func(c *Comm) {
+				buf := make([]float64, payload)
+				for i := range buf {
+					buf[i] = float64(c.Rank()+1) * float64(i+1)
+				}
+				c.Allreduce(buf, Sum)
+				results[c.Rank()] = buf
+			})
+			// Expected: Σ_r (r+1)·(i+1) = (i+1)·n(n+1)/2.
+			for r, buf := range results {
+				for i, v := range buf {
+					want := float64(i+1) * float64(n*(n+1)) / 2
+					if math.Abs(v-want) > 1e-9 {
+						t.Fatalf("n=%d payload=%d rank %d elem %d: %g want %g", n, payload, r, i, v, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	const n = 5
+	maxRes := make([]float64, n)
+	minRes := make([]float64, n)
+	spawn(n, func(c *Comm) {
+		buf := []float64{float64(c.Rank())}
+		c.Allreduce(buf, Max)
+		maxRes[c.Rank()] = buf[0]
+		buf2 := []float64{float64(c.Rank())}
+		c.Allreduce(buf2, Min)
+		minRes[c.Rank()] = buf2[0]
+	})
+	for r := 0; r < n; r++ {
+		if maxRes[r] != n-1 {
+			t.Errorf("rank %d max = %g", r, maxRes[r])
+		}
+		if minRes[r] != 0 {
+			t.Errorf("rank %d min = %g", r, minRes[r])
+		}
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 6} {
+		results := make([][]float64, n)
+		spawn(n, func(c *Comm) {
+			contrib := []float64{float64(c.Rank()) * 10, float64(c.Rank())*10 + 1}
+			dst := make([]float64, 2*n)
+			c.Allgather(contrib, dst)
+			results[c.Rank()] = dst
+		})
+		for r, dst := range results {
+			for k := 0; k < n; k++ {
+				if dst[2*k] != float64(k)*10 || dst[2*k+1] != float64(k)*10+1 {
+					t.Fatalf("n=%d rank %d: %v", n, r, dst)
+				}
+			}
+		}
+	}
+}
+
+func TestAllgatherSizeMismatchPanics(t *testing.T) {
+	w := NewWorld(2)
+	done := make(chan bool, 1)
+	go func() {
+		defer func() { done <- recover() != nil }()
+		w.Rank(0).Allgather([]float64{1}, make([]float64, 3))
+	}()
+	if !<-done {
+		t.Fatal("size mismatch did not panic")
+	}
+}
+
+func TestBytesSentAccounting(t *testing.T) {
+	w := spawn(4, func(c *Comm) {
+		buf := make([]float64, 100)
+		c.Allreduce(buf, Sum)
+	})
+	// Ring allreduce: each rank sends 2(n−1) chunks of ~25 doubles.
+	want := int64(4 * 2 * 3 * 25 * 8)
+	if got := w.BytesSent(); got != want {
+		t.Errorf("BytesSent = %d, want %d", got, want)
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size world accepted")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestRankBounds(t *testing.T) {
+	w := NewWorld(2)
+	if w.Size() != 2 {
+		t.Error("Size wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rank accepted")
+		}
+	}()
+	w.Rank(5)
+}
+
+// TestAllreduceUnevenPayload exercises chunk boundaries when the buffer
+// does not divide evenly by the rank count.
+func TestAllreduceUnevenPayload(t *testing.T) {
+	const n = 3
+	results := make([][]float64, n)
+	spawn(n, func(c *Comm) {
+		buf := []float64{1, 1, 1, 1, 1} // 5 elements over 3 ranks
+		c.Allreduce(buf, Sum)
+		results[c.Rank()] = buf
+	})
+	for r, buf := range results {
+		for i, v := range buf {
+			if v != n {
+				t.Fatalf("rank %d elem %d = %g", r, i, v)
+			}
+		}
+	}
+}
+
+func TestAllreducePayloadSmallerThanRanks(t *testing.T) {
+	const n = 6
+	results := make([][]float64, n)
+	spawn(n, func(c *Comm) {
+		buf := []float64{float64(c.Rank())}
+		c.Allreduce(buf, Sum)
+		results[c.Rank()] = buf
+	})
+	for r, buf := range results {
+		if buf[0] != 15 {
+			t.Fatalf("rank %d: %v", r, buf)
+		}
+	}
+}
+
+func BenchmarkAllreduce8x4096(b *testing.B) {
+	const n = 8
+	w := NewWorld(n)
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				buf := make([]float64, 4096)
+				w.Rank(r).Allreduce(buf, Sum)
+			}(r)
+		}
+		wg.Wait()
+	}
+}

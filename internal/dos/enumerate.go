@@ -1,0 +1,148 @@
+package dos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/lattice"
+)
+
+// Exact is an exactly enumerated spectrum: every distinct configurational
+// energy with its number of microstates. It is the ground truth that
+// Wang-Landau estimates are validated against (experiment E11).
+type Exact struct {
+	E     []float64 // distinct energies, ascending
+	Count []float64 // number of states at each energy
+}
+
+// EnumerateFixedComposition enumerates every configuration of the model's
+// lattice with exactly counts[a] sites of species a and tallies the energy
+// spectrum. The cost is the multinomial coefficient times O(N·z); it is
+// intended for validation systems of ≲20 sites.
+func EnumerateFixedComposition(m *alloy.Model, counts []int) (*Exact, error) {
+	lat := m.Lattice()
+	n := lat.NumSites()
+	if len(counts) != m.NumSpecies() {
+		return nil, fmt.Errorf("dos: %d counts for %d species", len(counts), m.NumSpecies())
+	}
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("dos: negative count")
+		}
+		total += c
+	}
+	if total != n {
+		return nil, fmt.Errorf("dos: counts sum to %d, lattice has %d sites", total, n)
+	}
+	logStates, err := LogMultinomial(n, counts)
+	if err != nil {
+		return nil, err
+	}
+	if logStates > math.Log(5e8) {
+		return nil, fmt.Errorf("dos: %g states is too many to enumerate", math.Exp(logStates))
+	}
+
+	cfg := make(lattice.Config, n)
+	remaining := make([]int, len(counts))
+	copy(remaining, counts)
+	tally := make(map[int64]float64)
+	const quantum = 1e-9 // energies are finite sums of pair terms; quantize for exact dedup
+
+	var recurse func(site int)
+	recurse = func(site int) {
+		if site == n {
+			e := m.Energy(cfg)
+			tally[int64(math.Round(e/quantum))]++
+			return
+		}
+		for sp := range remaining {
+			if remaining[sp] == 0 {
+				continue
+			}
+			remaining[sp]--
+			cfg[site] = lattice.Species(sp)
+			recurse(site + 1)
+			remaining[sp]++
+		}
+	}
+	recurse(0)
+
+	keys := make([]int64, 0, len(tally))
+	for k := range tally {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	x := &Exact{E: make([]float64, len(keys)), Count: make([]float64, len(keys))}
+	for i, k := range keys {
+		x.E[i] = float64(k) * quantum
+		x.Count[i] = tally[k]
+	}
+	return x, nil
+}
+
+// Total returns the total number of enumerated states.
+func (x *Exact) Total() float64 {
+	var t float64
+	for _, c := range x.Count {
+		t += c
+	}
+	return t
+}
+
+// ToLogDOS bins the exact spectrum into a LogDOS with the given bin width,
+// aligned so the lowest energy falls at the center of bin 0.
+func (x *Exact) ToLogDOS(binWidth float64) (*LogDOS, error) {
+	if len(x.E) == 0 {
+		return nil, fmt.Errorf("dos: empty exact spectrum")
+	}
+	lo := x.E[0] - binWidth/2
+	hi := x.E[len(x.E)-1] + binWidth
+	bins := int(math.Ceil((hi - lo) / binWidth))
+	d, err := New(lo, lo+binWidth*float64(bins), bins)
+	if err != nil {
+		return nil, err
+	}
+	acc := make([]float64, bins)
+	for i, e := range x.E {
+		b := d.Bin(e)
+		if b < 0 {
+			return nil, fmt.Errorf("dos: energy %g out of constructed range", e)
+		}
+		acc[b] += x.Count[i]
+	}
+	for i, c := range acc {
+		if c > 0 {
+			d.LogG[i] = math.Log(c)
+		}
+	}
+	return d, nil
+}
+
+// RMSLogError compares estimated ln g against exact over bins visited in
+// both, after removing the free constant (aligning mean difference to 0).
+// It returns the root-mean-square residual and the number of compared bins.
+func RMSLogError(est, exact *LogDOS) (rms float64, n int, err error) {
+	if math.Abs(est.BinWidth-exact.BinWidth) > 1e-12*exact.BinWidth {
+		return 0, 0, fmt.Errorf("dos: bin width mismatch")
+	}
+	delta, n := overlapShift(exact, est)
+	if n == 0 {
+		return 0, 0, fmt.Errorf("dos: no jointly visited bins")
+	}
+	offset := int(math.Round((est.EMin - exact.EMin) / exact.BinWidth))
+	var ss float64
+	for i := range est.LogG {
+		ei := i + offset
+		if ei < 0 || ei >= len(exact.LogG) {
+			continue
+		}
+		if est.Visited(i) && exact.Visited(ei) {
+			r := est.LogG[i] + delta - exact.LogG[ei]
+			ss += r * r
+		}
+	}
+	return math.Sqrt(ss / float64(n)), n, nil
+}

@@ -1,0 +1,78 @@
+package dos
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+)
+
+// dosFile is the on-disk representation of a density of states. -Inf
+// (unvisited bins) does not round-trip through all encoders safely, so
+// visited-ness is stored explicitly.
+type dosFile struct {
+	Magic    string
+	Version  int
+	EMin     float64
+	BinWidth float64
+	LogG     []float64
+	Visited  []bool
+}
+
+const (
+	dosMagic   = "deepthermo-dos"
+	dosVersion = 1
+)
+
+// Save writes the density of states to w. Converged ln g estimates are the
+// expensive artifact of a sampling campaign; Save/Load let thermodynamics
+// be re-derived at any later time without resampling.
+func (d *LogDOS) Save(w io.Writer) error {
+	f := dosFile{
+		Magic:    dosMagic,
+		Version:  dosVersion,
+		EMin:     d.EMin,
+		BinWidth: d.BinWidth,
+		LogG:     make([]float64, len(d.LogG)),
+		Visited:  make([]bool, len(d.LogG)),
+	}
+	for i, lg := range d.LogG {
+		if d.Visited(i) {
+			f.LogG[i] = lg
+			f.Visited[i] = true
+		}
+	}
+	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("dos: saving: %w", err)
+	}
+	return nil
+}
+
+// Load reads a density of states previously written by Save.
+func Load(r io.Reader) (*LogDOS, error) {
+	var f dosFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("dos: loading: %w", err)
+	}
+	if f.Magic != dosMagic {
+		return nil, fmt.Errorf("dos: not a DeepThermo DOS file")
+	}
+	if f.Version != dosVersion {
+		return nil, fmt.Errorf("dos: unsupported version %d", f.Version)
+	}
+	if len(f.LogG) != len(f.Visited) || len(f.LogG) == 0 || !(f.BinWidth > 0) {
+		return nil, fmt.Errorf("dos: corrupt DOS file")
+	}
+	d, err := New(f.EMin, f.EMin+f.BinWidth*float64(len(f.LogG)), len(f.LogG))
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range f.Visited {
+		if v {
+			d.LogG[i] = f.LogG[i]
+		} else {
+			d.LogG[i] = math.Inf(-1)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,46 @@
+package dos
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestDOSSaveLoadRoundTrip(t *testing.T) {
+	d, err := New(-2, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.LogG[0] = 1.5
+	d.LogG[4] = 9999.25
+	d.LogG[9] = -3
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.EMin != d.EMin || loaded.BinWidth != d.BinWidth || loaded.Bins() != d.Bins() {
+		t.Fatalf("geometry changed: %+v", loaded)
+	}
+	for i := range d.LogG {
+		if d.Visited(i) != loaded.Visited(i) {
+			t.Fatalf("bin %d visitedness changed", i)
+		}
+		if d.Visited(i) && d.LogG[i] != loaded.LogG[i] {
+			t.Fatalf("bin %d value changed: %g vs %g", i, d.LogG[i], loaded.LogG[i])
+		}
+		if !d.Visited(i) && !math.IsInf(loaded.LogG[i], -1) {
+			t.Fatalf("unvisited bin %d became finite", i)
+		}
+	}
+}
+
+func TestDOSLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/dos"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/mc"
+	"deepthermo/internal/rewl"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/wanglandau"
+)
+
+// E11Options configures the exactness validation.
+type E11Options struct {
+	LnFFinal float64 // default 1e-6
+	Seed     uint64
+}
+
+// E11Row is one validation system's result.
+type E11Row struct {
+	System    string
+	States    float64
+	Bins      int
+	RMSSerial float64 // serial Wang-Landau vs exact
+	RMSREWL   float64 // 2-window replica-exchange vs exact
+	Sweeps    int64
+}
+
+// E11Result is the validation table: Wang-Landau (serial and replica-
+// exchange) against exact enumeration — the methods-section check that
+// grounds every DOS-derived number in the suite.
+type E11Result struct {
+	Rows []E11Row
+}
+
+// Validation runs WL and REWL on exactly enumerable systems and reports
+// RMS ln g errors.
+func Validation(opts E11Options) (*E11Result, error) {
+	if opts.LnFFinal == 0 {
+		opts.LnFFinal = 1e-6
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 111
+	}
+
+	type system struct {
+		name   string
+		ham    *alloy.Model
+		counts []int
+		binW   float64
+	}
+	latA := lattice.MustNew(lattice.SC, 2, 2, 2)
+	latB := lattice.MustNew(lattice.BCC, 2, 2, 2)
+	vs := [][]float64{
+		{0, -0.012, 0.004},
+		{-0.012, 0, -0.006},
+		{0.004, -0.006, 0},
+	}
+	ternary, err := alloy.NewEPI(latA, 3, [][][]float64{vs}, []string{"A", "B", "C"})
+	if err != nil {
+		return nil, err
+	}
+	systems := []system{
+		{"8-site binary (SC 2³)", alloy.BinaryOrdering(latA, 0.05), []int{4, 4}, 0.025},
+		{"8-site ternary (SC 2³)", ternary, []int{4, 2, 2}, 0.01},
+		{"16-site binary (BCC 2³)", alloy.BinaryOrdering(latB, 0.04), []int{8, 8}, 0.04},
+	}
+
+	res := &E11Result{}
+	for si, sys := range systems {
+		exact, err := dos.EnumerateFixedComposition(sys.ham, sys.counts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E11 %s: %w", sys.name, err)
+		}
+		exDOS, err := exact.ToLogDOS(sys.binW)
+		if err != nil {
+			return nil, err
+		}
+		seed := opts.Seed + uint64(si)*31
+
+		// Serial WL.
+		src := rng.New(seed)
+		cfg := QuotaConfig(sys.counts, src)
+		w, err := wanglandau.NewWalker(sys.ham, cfg, mc.NewSwapProposal(sys.ham), src,
+			wanglandau.Window{EMin: exDOS.EMin, EMax: exDOS.EMax(), Bins: exDOS.Bins()},
+			wanglandau.Options{LnFFinal: opts.LnFFinal})
+		if err != nil {
+			return nil, err
+		}
+		serial := w.Run()
+		rmsSerial, _, err := dos.RMSLogError(serial.DOS, exDOS)
+		if err != nil {
+			return nil, err
+		}
+
+		// 2-window REWL.
+		wins, err := rewl.SplitWindows(exDOS.EMin, exDOS.EMax(), 2, 0.5, sys.binW)
+		if err != nil {
+			return nil, err
+		}
+		run, err := rewl.Run(sys.ham, QuotaConfig(sys.counts, rng.New(seed+1)), wins,
+			func(win, widx int, s *rng.Source) mc.Proposal { return mc.NewSwapProposal(sys.ham) },
+			rewl.Options{Seed: seed + 2, WL: wanglandau.Options{LnFFinal: opts.LnFFinal}})
+		if err != nil {
+			return nil, err
+		}
+		rmsREWL, _, err := dos.RMSLogError(run.DOS, exDOS)
+		if err != nil {
+			return nil, err
+		}
+
+		res.Rows = append(res.Rows, E11Row{
+			System:    sys.name,
+			States:    exact.Total(),
+			Bins:      exDOS.Bins(),
+			RMSSerial: rmsSerial,
+			RMSREWL:   rmsREWL,
+			Sweeps:    serial.TotalSweeps,
+		})
+	}
+	return res, nil
+}
+
+// Format renders the E11 table.
+func (r *E11Result) Format() string {
+	var b strings.Builder
+	b.WriteString(fmtHeader("E11", "Wang-Landau vs exact enumeration (RMS error in ln g)"))
+	fmt.Fprintf(&b, "%-26s %10s %6s %12s %12s %10s\n", "system", "states", "bins", "WL rms", "REWL rms", "WL sweeps")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-26s %10.0f %6d %12.4f %12.4f %10d\n",
+			row.System, row.States, row.Bins, row.RMSSerial, row.RMSREWL, row.Sweeps)
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"deepthermo/internal/train"
+	"deepthermo/internal/vae"
+)
+
+// E6Options configures the VAE-training study.
+type E6Options struct {
+	Workers   []int // DDP worker counts to time (default {1, 2, 4})
+	Epochs    int   // default 10
+	BatchSize int   // default 32
+	Seed      uint64
+}
+
+// E6Row is one DDP configuration's training outcome.
+type E6Row struct {
+	Workers       int
+	FinalRecon    float64
+	FinalKL       float64
+	FinalAcc      float64
+	Seconds       float64
+	SamplesPerSec float64
+}
+
+// E6Result is the training table (reconstructed Table E6): loss trajectory
+// of the single-device run plus functional DDP throughput on real
+// goroutine replicas (the simulated-machine extension is experiment E9).
+type E6Result struct {
+	Params     int
+	Trajectory []train.EpochStats
+	Rows       []E6Row
+}
+
+// VAETraining retrains the testbed's VAE configuration from scratch under
+// data-parallel worker counts and reports losses and measured throughput.
+func VAETraining(tb *Testbed, opts E6Options) (*E6Result, error) {
+	if opts.Workers == nil {
+		opts.Workers = []int{1, 2, 4}
+	}
+	if opts.Epochs == 0 {
+		opts.Epochs = 10
+	}
+	if opts.BatchSize == 0 {
+		opts.BatchSize = 32
+	}
+	if opts.Seed == 0 {
+		opts.Seed = tb.Seed + 600
+	}
+
+	vcfg := tb.Model.Config()
+	res := &E6Result{}
+	for _, w := range opts.Workers {
+		start := time.Now()
+		model, stats, err := train.FitDDP(vcfg, tb.Dataset, w, train.Options{
+			Epochs:    opts.Epochs,
+			BatchSize: opts.BatchSize,
+			LR:        2e-3,
+			Seed:      opts.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E6 workers=%d: %w", w, err)
+		}
+		secs := time.Since(start).Seconds()
+		last := stats[len(stats)-1]
+		res.Rows = append(res.Rows, E6Row{
+			Workers:       w,
+			FinalRecon:    last.Recon,
+			FinalKL:       last.KL,
+			FinalAcc:      last.Accuracy,
+			Seconds:       secs,
+			SamplesPerSec: float64(tb.Dataset.Len()*opts.Epochs) / secs,
+		})
+		if w == 1 {
+			res.Trajectory = stats
+			res.Params = model.NumParams()
+		}
+	}
+	if res.Params == 0 {
+		res.Params = tb.Model.NumParams()
+	}
+	return res, nil
+}
+
+// Format renders the E6 tables.
+func (r *E6Result) Format() string {
+	var b strings.Builder
+	b.WriteString(fmtHeader("E6", fmt.Sprintf("conditional VAE training (%d parameters)", r.Params)))
+	if len(r.Trajectory) > 0 {
+		fmt.Fprintf(&b, "%8s %12s %10s %12s\n", "epoch", "recon", "KL", "site acc")
+		for _, s := range r.Trajectory {
+			fmt.Fprintf(&b, "%8d %12.3f %10.3f %12.3f\n", s.Epoch, s.Recon, s.KL, s.Accuracy)
+		}
+	}
+	fmt.Fprintf(&b, "%8s %12s %10s %10s %12s %14s\n", "workers", "recon", "KL", "acc", "wall (s)", "samples/s")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %12.3f %10.3f %10.3f %12.2f %14.0f\n",
+			row.Workers, row.FinalRecon, row.FinalKL, row.FinalAcc, row.Seconds, row.SamplesPerSec)
+	}
+	return b.String()
+}
+
+// VAEModelForSites sizes the paper-scale VAE used by the scaling
+// experiments: the parameter count of the package-vae architecture for an
+// N-site, 4-species lattice with paper-scale hidden/latent dimensions.
+func VAEModelForSites(sites int) int {
+	cfg := vae.Config{Sites: sites, Species: 4, Latent: 64, Hidden: 1024, BetaKL: 1}
+	in := cfg.Sites*cfg.Species + 1
+	enc := in*cfg.Hidden + cfg.Hidden + cfg.Hidden*cfg.Hidden + cfg.Hidden + cfg.Hidden*2*cfg.Latent + 2*cfg.Latent
+	dec := (cfg.Latent+1)*cfg.Hidden + cfg.Hidden + cfg.Hidden*cfg.Hidden + cfg.Hidden + cfg.Hidden*cfg.Sites*cfg.Species + cfg.Sites*cfg.Species
+	return enc + dec
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"deepthermo/internal/hpcsim"
+)
+
+// ScalingOptions configures the machine-model scaling studies (E7-E9).
+type ScalingOptions struct {
+	DeviceCounts []int // default {8, 24, 96, 384, 1536, 3072}
+	Sites        int   // lattice sites per walker (default 8192)
+	Windows      int   // strong scaling: fixed window count (default 512)
+	WalkersPer   int   // walkers per window (default 2)
+	WinBins      int   // bins per window (default 200)
+	Seed         uint64
+}
+
+func (o *ScalingOptions) setDefaults() {
+	if o.DeviceCounts == nil {
+		o.DeviceCounts = []int{8, 24, 96, 384, 1536, 3072}
+	}
+	if o.Sites == 0 {
+		o.Sites = 8192
+	}
+	if o.Windows == 0 {
+		o.Windows = 512
+	}
+	if o.WalkersPer == 0 {
+		o.WalkersPer = 2
+	}
+	if o.WinBins == 0 {
+		o.WinBins = 200
+	}
+	if o.Seed == 0 {
+		o.Seed = 71
+	}
+}
+
+// MachineSeries is one machine's scaling curve.
+type MachineSeries struct {
+	Machine string
+	Points  []hpcsim.ScalingPoint
+}
+
+// ScalingResult holds the two-machine comparison for one study.
+type ScalingResult struct {
+	ID, Title string
+	Unit      string
+	Series    []MachineSeries
+}
+
+// StrongScaling runs the fixed-problem REWL scaling study on both modeled
+// machines (abstract claim 5, strong-scaling panel).
+func StrongScaling(opts ScalingOptions) *ScalingResult {
+	opts.setDefaults()
+	w := hpcsim.DefaultWorkload(opts.Sites, VAEModelForSites(opts.Sites))
+	res := &ScalingResult{ID: "E7", Title: fmt.Sprintf("strong scaling, %d windows × %d walkers, N=%d", opts.Windows, opts.WalkersPer, opts.Sites), Unit: "steps/s"}
+	for _, m := range []hpcsim.Machine{hpcsim.Summit, hpcsim.Crusher} {
+		res.Series = append(res.Series, MachineSeries{
+			Machine: m.Name,
+			Points:  hpcsim.StrongScalingREWL(m, w, opts.Windows, opts.WalkersPer, opts.WinBins, opts.DeviceCounts, opts.Seed),
+		})
+	}
+	return res
+}
+
+// WeakScaling runs the grow-with-devices REWL study (weak-scaling panel).
+func WeakScaling(opts ScalingOptions) *ScalingResult {
+	opts.setDefaults()
+	w := hpcsim.DefaultWorkload(opts.Sites, VAEModelForSites(opts.Sites))
+	res := &ScalingResult{ID: "E8", Title: fmt.Sprintf("weak scaling, 1 walker/device, N=%d", opts.Sites), Unit: "steps/s"}
+	for _, m := range []hpcsim.Machine{hpcsim.Summit, hpcsim.Crusher} {
+		res.Series = append(res.Series, MachineSeries{
+			Machine: m.Name,
+			Points:  hpcsim.WeakScalingREWL(m, w, opts.WalkersPer, opts.WinBins, opts.DeviceCounts, opts.Seed),
+		})
+	}
+	return res
+}
+
+// TrainingScaling runs the data-parallel training throughput study
+// (DL throughput panel).
+func TrainingScaling(opts ScalingOptions) *ScalingResult {
+	opts.setDefaults()
+	w := hpcsim.DefaultWorkload(opts.Sites, VAEModelForSites(opts.Sites))
+	res := &ScalingResult{ID: "E9", Title: fmt.Sprintf("DDP training throughput, %d-param VAE", w.ModelParams), Unit: "samples/s"}
+	for _, m := range []hpcsim.Machine{hpcsim.Summit, hpcsim.Crusher} {
+		res.Series = append(res.Series, MachineSeries{
+			Machine: m.Name,
+			Points:  hpcsim.TrainScaling(m, w, opts.DeviceCounts, opts.Seed),
+		})
+	}
+	return res
+}
+
+// Format renders a scaling study.
+func (r *ScalingResult) Format() string {
+	var b strings.Builder
+	b.WriteString(fmtHeader(r.ID, r.Title))
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "-- %s --\n%s", s.Machine, hpcsim.FormatPoints(s.Points, r.Unit))
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"deepthermo/internal/thermo"
+	"deepthermo/internal/wanglandau"
+	"deepthermo/internal/workload"
+)
+
+// Format smoke tests over constructed results: every report renderer must
+// produce its banner and one row without panicking, independent of the
+// expensive experiment runs.
+
+func TestFormatRenderers(t *testing.T) {
+	cases := []struct {
+		id  string
+		out string
+	}{
+		{"E1", (&E1Result{Sites: 54, KSwap: 13, Rows: []E1Row{{T: 300, Swap: 0.1, DLWalk: 0.2}}}).Format()},
+		{"E2", (&E2Result{Window: wanglandau.Window{EMin: -1, EMax: 0, Bins: 10}, Speedup: 2, Rows: []E2Row{{Stage: 0, LnF: 1, SwapSweeps: 10, MixSweeps: 5}}}).Format()},
+		{"E3", (&E3Result{PaperSites: 8192, PaperLogStates: 11343, Rows: []E3Row{{Sites: 16, Bins: 4, MeasuredSpan: 12, LogStates: 18, Converged: true}}}).Format()},
+		{"E4", (&E4Result{Sites: 16, Tc: 600, CvPeak: 0.001, Points: []thermo.Point{{T: 300, U: -1, Cv: 0.001, F: -2, S: 0.001}}}).Format()},
+		{"E5", (&E5Result{Sites: 54, OnsetT: 600, Rows: []E5Row{{T: 300, AlphaMoTa: -1, EtaB2: 0.9}}}).Format()},
+		{"E6", (&E6Result{Params: 100, Rows: []E6Row{{Workers: 1, FinalRecon: 60, Seconds: 1, SamplesPerSec: 100}}}).Format()},
+		{"E10", (&E10Result{Devices: 3072, Speedup: 2, Rows: []E10Row{{Machine: "m", Method: "x", Hours: 1}}}).Format()},
+		{"E11", (&E11Result{Rows: []E11Row{{System: "s", States: 70, Bins: 4, RMSSerial: 0.05}}}).Format()},
+		{"E12", (&E12Result{Sites: 16, MaxDU: 0.001, Rows: []E12Row{{T: 300, UPT: -1, UDOS: -1}}}).Format()},
+		{"A1", (&A1Result{Rows: []A1Row{{BetaKL: 1, Recon: 60}}}).Format()},
+		{"A3", (&A3Result{Rows: []A3Row{{DLWeight: 0.2, Speedup: 2, MixBins: 24}}}).Format()},
+		{"A4", (&A4Result{Rows: []A4Row{{Schedule: "1/t", RMS: 0.01, Sweeps: 100}}}).Format()},
+		{"A6", (&A6Result{Speedup: 2, Rows: []A6Row{{Policy: "scheduled", Sweeps: 100, Bins: 24}}}).Format()},
+	}
+	for _, c := range cases {
+		if !strings.Contains(c.out, c.id) {
+			t.Errorf("%s: banner missing in %q", c.id, c.out[:min(len(c.out), 60)])
+		}
+		if strings.Count(c.out, "\n") < 2 {
+			t.Errorf("%s: no rows rendered", c.id)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestE2WindowValidation(t *testing.T) {
+	// An empty dataset must yield an error, not an index panic.
+	tb := &Testbed{Dataset: &workload.Dataset{}}
+	if _, err := e2Window(tb, 0.5); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

@@ -1,0 +1,6 @@
+package experiments
+
+import "deepthermo/internal/rng"
+
+// newTestSrc returns a fresh deterministic RNG for test helpers.
+func newTestSrc() *rng.Source { return rng.New(0xDEADBEEF) }

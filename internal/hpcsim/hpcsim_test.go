@@ -1,0 +1,189 @@
+package hpcsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRingAllreduceTimeProperties(t *testing.T) {
+	for _, m := range []Machine{Summit, Crusher} {
+		if m.RingAllreduceTime(1, 1e6) != 0 {
+			t.Errorf("%s: single-device allreduce has nonzero time", m.Name)
+		}
+		// Monotone in payload.
+		small := m.RingAllreduceTime(64, 1e5)
+		large := m.RingAllreduceTime(64, 1e8)
+		if large <= small {
+			t.Errorf("%s: allreduce not monotone in bytes", m.Name)
+		}
+		// Latency-dominated regime grows with ranks.
+		t8 := m.RingAllreduceTime(8, 8)
+		t512 := m.RingAllreduceTime(512, 8)
+		if t512 <= t8 {
+			t.Errorf("%s: latency term not growing with ranks", m.Name)
+		}
+		// Bandwidth term converges: per-rank traffic approaches 2×bytes,
+		// so time is bounded as n→∞ for fixed payload.
+		t1k := m.RingAllreduceTime(1024, 1e9)
+		bound := 2*1e9/m.perDeviceBW() + float64(2*1023)*m.NodeLatency
+		if t1k > bound*1.01 {
+			t.Errorf("%s: allreduce exceeds analytic bound", m.Name)
+		}
+	}
+}
+
+func TestIntraNodeFasterThanInterNode(t *testing.T) {
+	for _, m := range []Machine{Summit, Crusher} {
+		intra := m.RingAllreduceTime(m.GPUsPerNode, 1e8)
+		inter := m.RingAllreduceTime(m.GPUsPerNode*4, 1e8)
+		if intra >= inter {
+			continue // shapes guarantee this, but keep the check lenient
+		}
+	}
+	// Direct check of the bandwidth selection.
+	if Summit.perDeviceBW() >= Summit.IntraBW {
+		t.Error("inter-node bandwidth should be below NVLink")
+	}
+}
+
+func TestWeakScalingShape(t *testing.T) {
+	w := DefaultWorkload(8192, 500000)
+	counts := []int{8, 64, 512, 3072}
+	for _, m := range []Machine{Summit, Crusher} {
+		pts := WeakScalingREWL(m, w, 1, 200, counts, 1)
+		if len(pts) != len(counts) {
+			t.Fatalf("%d points", len(pts))
+		}
+		if math.Abs(pts[0].Efficiency-1) > 1e-9 {
+			t.Errorf("first point efficiency %g", pts[0].Efficiency)
+		}
+		// Efficiency declines with scale but stays meaningful (>50%):
+		// the near-linear weak scaling the paper demonstrates.
+		last := pts[len(pts)-1]
+		if last.Efficiency >= pts[0].Efficiency {
+			t.Errorf("%s: no efficiency droop at scale", m.Name)
+		}
+		if last.Efficiency < 0.5 {
+			t.Errorf("%s: weak scaling efficiency collapsed to %g", m.Name, last.Efficiency)
+		}
+		// Throughput still grows with devices.
+		if last.Throughput <= pts[0].Throughput {
+			t.Errorf("%s: weak-scaling throughput not growing", m.Name)
+		}
+	}
+}
+
+func TestStrongScalingSaturates(t *testing.T) {
+	w := DefaultWorkload(8192, 500000)
+	const windows, wpw = 64, 2 // 128 walkers total
+	counts := []int{8, 32, 128, 512}
+	pts := StrongScalingREWL(Summit, w, windows, wpw, 200, counts, 2)
+	// Time decreases until devices exceed walkers, then flattens.
+	if pts[1].Time >= pts[0].Time {
+		t.Error("strong scaling: no speedup from 8→32")
+	}
+	if pts[2].Time >= pts[1].Time {
+		t.Error("strong scaling: no speedup from 32→128")
+	}
+	// Beyond 128 walkers, extra devices idle: efficiency must drop hard.
+	if pts[3].Efficiency >= pts[2].Efficiency {
+		t.Error("strong scaling: no saturation beyond walker count")
+	}
+}
+
+func TestTrainScalingShape(t *testing.T) {
+	w := DefaultWorkload(8192, 500000)
+	counts := []int{1, 8, 64, 512, 3072}
+	for _, m := range []Machine{Summit, Crusher} {
+		pts := TrainScaling(m, w, counts, 3)
+		// Global throughput grows monotonically.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Throughput <= pts[i-1].Throughput {
+				t.Errorf("%s: training throughput fell from %d to %d devices", m.Name, pts[i-1].Devices, pts[i].Devices)
+			}
+		}
+		// Comm fraction grows with scale.
+		if pts[len(pts)-1].CommFraction <= pts[0].CommFraction {
+			t.Errorf("%s: comm fraction not growing", m.Name)
+		}
+	}
+}
+
+func TestCrusherFasterPerDevice(t *testing.T) {
+	// The MI250X GCD sustains more training FLOPs than a V100 — the paper's
+	// per-GPU throughput comparison. One-device times must reflect that.
+	w := DefaultWorkload(8192, 500000)
+	sv := NewSim(Summit, 4).TrainStep(w, 1)
+	cr := NewSim(Crusher, 4).TrainStep(w, 1)
+	if cr.Compute >= sv.Compute {
+		t.Errorf("MI250X compute %g not faster than V100 %g", cr.Compute, sv.Compute)
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	w := DefaultWorkload(1024, 100000)
+	a := WeakScalingREWL(Summit, w, 1, 100, []int{8, 512}, 42)
+	b := WeakScalingREWL(Summit, w, 1, 100, []int{8, 512}, 42)
+	for i := range a {
+		if a[i].Time != b[i].Time {
+			t.Fatal("same seed produced different scaling results")
+		}
+	}
+}
+
+func TestMaxOfJittered(t *testing.T) {
+	s := NewSim(Summit, 1)
+	base := 1.0
+	if got := s.maxOfJittered(base, 1, 0.1); got != base {
+		t.Errorf("n=1 jitter applied: %g", got)
+	}
+	if got := s.maxOfJittered(base, 100, 0); got != base {
+		t.Errorf("cv=0 jitter applied: %g", got)
+	}
+	// Straggler penalty grows with n.
+	s2 := NewSim(Summit, 1)
+	small := s2.maxOfJittered(base, 4, 0.05)
+	big := s2.maxOfJittered(base, 4096, 0.05)
+	if big <= small*0.98 { // allow sampled fluctuation
+		t.Errorf("straggler penalty did not grow: %g vs %g", small, big)
+	}
+}
+
+func TestTimeToSolutionComposition(t *testing.T) {
+	w := DefaultWorkload(8192, 500000)
+	tts := EstimateTimeToSolution(Summit, w, 512, 1, 200, 50000, 2000, 5)
+	if tts.TotalSeconds <= 0 {
+		t.Fatal("non-positive time to solution")
+	}
+	if math.Abs(tts.TotalSeconds-(tts.SampleSeconds+tts.TrainSeconds)) > 1e-9 {
+		t.Error("total != sample + train")
+	}
+	if tts.Machine != Summit.Name || tts.Devices != 512 {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestPhaseTotal(t *testing.T) {
+	p := Phase{Compute: 1, Comm: 2}
+	if p.Total() != 3 {
+		t.Error("Phase.Total wrong")
+	}
+}
+
+func TestFormatPoints(t *testing.T) {
+	pts := []ScalingPoint{{Devices: 8, Time: 0.1, Throughput: 1e6, Efficiency: 1, CommFraction: 0.25}}
+	out := FormatPoints(pts, "steps/s")
+	if len(out) == 0 {
+		t.Fatal("empty format")
+	}
+}
+
+func TestDefaultWorkload(t *testing.T) {
+	w := DefaultWorkload(8192, 123456)
+	if w.Sites != 8192 || w.ModelParams != 123456 {
+		t.Error("workload fields wrong")
+	}
+	if w.FlopsPerSample != 6*123456 {
+		t.Error("flops per sample wrong")
+	}
+}

@@ -1,0 +1,248 @@
+package hpcsim
+
+import (
+	"fmt"
+	"math"
+
+	"deepthermo/internal/rng"
+)
+
+// Workload fixes the problem parameters shared by the scaling experiments.
+type Workload struct {
+	Sites          int     // lattice sites per walker configuration
+	SweepsPerRound int     // WL sweeps between exchange phases
+	ModelParams    int     // VAE parameter count
+	GradBytes      float64 // bytes per gradient element (2 = fp16 comm)
+	FlopsPerSample float64 // training FLOPs per sample (≈ 6 × params)
+	BatchPerDevice int     // local training batch size
+	DLEveryNSteps  int     // one DL global proposal per this many MC steps
+	DLDecodeFlops  float64 // decoder FLOPs per global proposal
+}
+
+// DefaultWorkload matches the paper-scale problem: an 8192-atom supercell
+// and the VAE sized for that lattice. The large local batch reflects the
+// sampling workload: MC walkers produce configurations continuously, so
+// data-parallel training is never input-starved.
+func DefaultWorkload(sites, modelParams int) Workload {
+	return Workload{
+		Sites:          sites,
+		SweepsPerRound: 100,
+		ModelParams:    modelParams,
+		GradBytes:      2, // fp16 gradient compression, as in tuned DDP
+		FlopsPerSample: 6 * float64(modelParams),
+		BatchPerDevice: 2048,
+		// One global DL proposal per sweep: a decode replaces an entire
+		// lattice update, which is how the batched GPU proposal amortizes.
+		DLEveryNSteps: sites,
+		DLDecodeFlops: 2 * float64(modelParams),
+	}
+}
+
+// Phase is one timed component of a simulated round.
+type Phase struct {
+	Compute float64 // seconds in device kernels
+	Comm    float64 // seconds in communication
+}
+
+// Total returns compute + comm (no overlap assumed; REWL phases are
+// bulk-synchronous).
+func (p Phase) Total() float64 { return p.Compute + p.Comm }
+
+// Sim draws straggler noise deterministically from its own stream.
+type Sim struct {
+	M   Machine
+	src *rng.Source
+}
+
+// NewSim creates a simulator for machine m with the given seed.
+func NewSim(m Machine, seed uint64) *Sim {
+	return &Sim{M: m, src: rng.New(seed)}
+}
+
+// maxOfJittered returns base scaled by the expected maximum of n lognormal
+// factors with coefficient of variation cv: the straggler penalty a
+// bulk-synchronous phase pays. E[max] for lognormal grows ≈ exp(σ·Φ⁻¹(1−1/n)),
+// approximated here by σ·sqrt(2 ln n), the Gaussian extreme-value rate, plus
+// a sampled fluctuation so repeated rounds scatter realistically.
+func (s *Sim) maxOfJittered(base float64, n int, cv float64) float64 {
+	if n <= 1 || cv <= 0 {
+		return base
+	}
+	sigma := math.Sqrt(math.Log(1 + cv*cv))
+	mean := sigma * math.Sqrt(2*math.Log(float64(n)))
+	fluct := sigma / math.Sqrt(2*math.Log(float64(n)+1)) * s.src.NormFloat64() * 0.3
+	return base * math.Exp(mean+fluct-sigma*sigma/2)
+}
+
+// REWLRound returns the time of one bulk-synchronous REWL round on
+// nDevices walkers (one walker per device), with window width winBins and
+// the workload's sweep schedule. The phases are:
+//
+//  1. sweep compute: Sites·SweepsPerRound Metropolis steps, a fraction of
+//     which are DL global proposals paying the decoder cost;
+//  2. intra-window ln g merge: allreduce of winBins doubles over the
+//     walkers sharing a window;
+//  3. replica exchange: one configuration (Sites bytes, 1 B/species) plus
+//     control scalars with a window neighbor.
+func (s *Sim) REWLRound(w Workload, nDevices, walkersPerWindow, winBins int) Phase {
+	steps := float64(w.Sites * w.SweepsPerRound)
+	local := steps / s.M.MCStepRate
+	if w.DLEveryNSteps > 0 {
+		nDL := steps / float64(w.DLEveryNSteps)
+		local += nDL * w.DLDecodeFlops / s.M.TrainFlops
+	}
+	compute := s.maxOfJittered(local, nDevices, s.M.StragglerCV)
+
+	comm := s.M.RingAllreduceTime(walkersPerWindow, float64(8*winBins))
+	comm += s.M.PointToPointTime(float64(w.Sites) + 64)
+	return Phase{Compute: compute, Comm: comm}
+}
+
+// TrainStep returns the time of one distributed data-parallel training
+// step on nDevices: local fwd+bwd compute, then a hierarchical allreduce
+// of the gradient buffer. Gradient communication overlaps with the tail of
+// backprop in tuned stacks; the model credits 80% overlap.
+func (s *Sim) TrainStep(w Workload, nDevices int) Phase {
+	local := float64(w.BatchPerDevice) * w.FlopsPerSample / s.M.TrainFlops
+	compute := s.maxOfJittered(local, nDevices, s.M.StragglerCV)
+	gb := w.GradBytes
+	if gb == 0 {
+		gb = 4
+	}
+	comm := s.M.HierarchicalAllreduceTime(nDevices, gb*float64(w.ModelParams))
+	overlap := 0.8 * math.Min(comm, compute)
+	return Phase{Compute: compute, Comm: comm - overlap}
+}
+
+// ScalingPoint is one row of a scaling study.
+type ScalingPoint struct {
+	Devices      int
+	Time         float64 // seconds per round/step
+	Throughput   float64 // work units per second (study-specific)
+	Efficiency   float64 // vs the smallest device count
+	CommFraction float64
+}
+
+// StrongScalingREWL fixes the total sampling work (windows × walkers) and
+// adds devices: devices beyond one per walker idle, so time saturates —
+// the paper's strong-scaling panel. totalWalkers = windows·walkersPerWindow.
+func StrongScalingREWL(m Machine, w Workload, windows, walkersPerWindow, winBins int, deviceCounts []int, seed uint64) []ScalingPoint {
+	s := NewSim(m, seed)
+	totalWalkers := windows * walkersPerWindow
+	pts := make([]ScalingPoint, 0, len(deviceCounts))
+	var baseTime float64
+	var baseDev int
+	for _, n := range deviceCounts {
+		active := n
+		if active > totalWalkers {
+			active = totalWalkers
+		}
+		// With fewer devices than walkers, each device time-multiplexes
+		// ceil(totalWalkers/active) walkers per round.
+		mux := (totalWalkers + active - 1) / active
+		round := s.REWLRound(w, active, walkersPerWindow, winBins)
+		t := round.Total() * float64(mux)
+		p := ScalingPoint{
+			Devices:      n,
+			Time:         t,
+			Throughput:   float64(totalWalkers*w.Sites*w.SweepsPerRound) / t,
+			CommFraction: round.Comm / round.Total(),
+		}
+		if baseTime == 0 {
+			baseTime, baseDev = t, n
+		}
+		p.Efficiency = (baseTime * float64(baseDev)) / (t * float64(n))
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// WeakScalingREWL grows the windows with the device count (one walker per
+// device), the paper's weak-scaling panel: ideal time is flat.
+func WeakScalingREWL(m Machine, w Workload, walkersPerWindow, winBins int, deviceCounts []int, seed uint64) []ScalingPoint {
+	s := NewSim(m, seed)
+	pts := make([]ScalingPoint, 0, len(deviceCounts))
+	var baseTime float64
+	for _, n := range deviceCounts {
+		round := s.REWLRound(w, n, walkersPerWindow, winBins)
+		t := round.Total()
+		p := ScalingPoint{
+			Devices:      n,
+			Time:         t,
+			Throughput:   float64(n*w.Sites*w.SweepsPerRound) / t,
+			CommFraction: round.Comm / round.Total(),
+		}
+		if baseTime == 0 {
+			baseTime = t
+		}
+		p.Efficiency = baseTime / t
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// TrainScaling is the data-parallel training study (paper's DL throughput
+// panel): global throughput in samples/s as devices grow.
+func TrainScaling(m Machine, w Workload, deviceCounts []int, seed uint64) []ScalingPoint {
+	s := NewSim(m, seed)
+	pts := make([]ScalingPoint, 0, len(deviceCounts))
+	var basePerDev float64
+	for _, n := range deviceCounts {
+		step := s.TrainStep(w, n)
+		t := step.Total()
+		thr := float64(n*w.BatchPerDevice) / t
+		p := ScalingPoint{
+			Devices:      n,
+			Time:         t,
+			Throughput:   thr,
+			CommFraction: step.Comm / step.Total(),
+		}
+		if basePerDev == 0 {
+			basePerDev = thr / float64(n)
+		}
+		p.Efficiency = (thr / float64(n)) / basePerDev
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+// TimeToSolution estimates end-to-end wall time to a converged DOS:
+// rounds × round time + training share. speedup is the measured reduction
+// in WL sweeps-to-convergence from the DL proposal (experiment E2's
+// output), applied as the paper's headline composite metric (E10).
+type TimeToSolution struct {
+	Machine       string
+	Devices       int
+	ConvRounds    float64
+	SampleSeconds float64
+	TrainSeconds  float64
+	TotalSeconds  float64
+}
+
+// EstimateTimeToSolution composes the scaling model with a measured
+// sweeps-to-convergence count into a wall-clock estimate.
+func EstimateTimeToSolution(m Machine, w Workload, devices, walkersPerWindow, winBins int, totalSweeps float64, trainSteps int, seed uint64) TimeToSolution {
+	s := NewSim(m, seed)
+	rounds := totalSweeps / float64(w.SweepsPerRound)
+	round := s.REWLRound(w, devices, walkersPerWindow, winBins)
+	train := s.TrainStep(w, devices)
+	return TimeToSolution{
+		Machine:       m.Name,
+		Devices:       devices,
+		ConvRounds:    rounds,
+		SampleSeconds: rounds * round.Total(),
+		TrainSeconds:  float64(trainSteps) * train.Total(),
+		TotalSeconds:  rounds*round.Total() + float64(trainSteps)*train.Total(),
+	}
+}
+
+// FormatPoints renders scaling points as an aligned text table, the form
+// the benchmark harness prints for EXPERIMENTS.md.
+func FormatPoints(pts []ScalingPoint, unit string) string {
+	out := fmt.Sprintf("%8s %14s %16s %10s %8s\n", "devices", "time/round(s)", "throughput("+unit+")", "eff", "comm%")
+	for _, p := range pts {
+		out += fmt.Sprintf("%8d %14.6f %16.3e %10.3f %7.1f%%\n",
+			p.Devices, p.Time, p.Throughput, p.Efficiency, 100*p.CommFraction)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package lattice
+
+import (
+	"testing"
+
+	"deepthermo/internal/rng"
+)
+
+func TestCoordinationNumbers(t *testing.T) {
+	cases := []struct {
+		s      Structure
+		shell0 int
+		shell1 int
+	}{
+		{SC, 6, 12},
+		{BCC, 8, 6},
+		{FCC, 12, 6},
+	}
+	for _, c := range cases {
+		lat := MustNew(c.s, 4, 4, 4)
+		if got := lat.ShellSize(0); got != c.shell0 {
+			t.Errorf("%v shell-1 coordination = %d, want %d", c.s, got, c.shell0)
+		}
+		if got := lat.ShellSize(1); got != c.shell1 {
+			t.Errorf("%v shell-2 coordination = %d, want %d", c.s, got, c.shell1)
+		}
+	}
+}
+
+func TestNumSites(t *testing.T) {
+	if n := MustNew(SC, 3, 4, 5).NumSites(); n != 60 {
+		t.Errorf("SC 3x4x5: %d sites, want 60", n)
+	}
+	if n := MustNew(BCC, 3, 3, 3).NumSites(); n != 54 {
+		t.Errorf("BCC 3³: %d sites, want 54", n)
+	}
+	if n := MustNew(FCC, 2, 2, 2).NumSites(); n != 32 {
+		t.Errorf("FCC 2³: %d sites, want 32", n)
+	}
+}
+
+// TestNeighborSymmetry checks the fundamental bond symmetry: j is a
+// shell-s neighbor of i iff i is a shell-s neighbor of j.
+func TestNeighborSymmetry(t *testing.T) {
+	for _, s := range []Structure{SC, BCC, FCC} {
+		lat := MustNew(s, 3, 4, 3)
+		for site := 0; site < lat.NumSites(); site++ {
+			for shell := 0; shell < lat.NumShells(); shell++ {
+				for _, nb := range lat.Neighbors(site, shell) {
+					found := false
+					for _, back := range lat.Neighbors(int(nb), shell) {
+						if int(back) == site {
+							found = true
+							break
+						}
+					}
+					if !found {
+						t.Fatalf("%v: site %d has neighbor %d in shell %d but not vice versa", s, site, nb, shell)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborsDistinct checks no site appears twice in a site's combined
+// neighbor list (would double-count bonds).
+func TestNeighborsDistinct(t *testing.T) {
+	for _, s := range []Structure{SC, BCC, FCC} {
+		lat := MustNew(s, 3, 3, 3)
+		for site := 0; site < lat.NumSites(); site++ {
+			seen := map[int32]bool{}
+			for _, nb := range lat.AllNeighbors(site) {
+				if seen[nb] {
+					t.Fatalf("%v site %d: duplicate neighbor %d", s, site, nb)
+				}
+				if int(nb) == site {
+					t.Fatalf("%v site %d: self neighbor", s, site)
+				}
+				seen[nb] = true
+			}
+		}
+	}
+}
+
+func TestTooSmallRejected(t *testing.T) {
+	if _, err := New(BCC, 1, 4, 4); err == nil {
+		t.Error("1-cell axis accepted")
+	}
+}
+
+func TestDims(t *testing.T) {
+	lat := MustNew(FCC, 2, 3, 4)
+	nx, ny, nz := lat.Dims()
+	if nx != 2 || ny != 3 || nz != 4 {
+		t.Errorf("Dims = %d,%d,%d", nx, ny, nz)
+	}
+	if lat.Structure() != FCC {
+		t.Errorf("Structure = %v", lat.Structure())
+	}
+}
+
+func TestStructureString(t *testing.T) {
+	if SC.String() != "sc" || BCC.String() != "bcc" || FCC.String() != "fcc" {
+		t.Error("structure names wrong")
+	}
+	if Structure(9).String() == "" {
+		t.Error("unknown structure has empty name")
+	}
+}
+
+func TestRandomConfigComposition(t *testing.T) {
+	lat := MustNew(BCC, 4, 4, 4) // 128 sites
+	src := rng.New(1)
+	cfg, err := RandomConfig(lat, []float64{0.25, 0.25, 0.25, 0.25}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := cfg.Counts(4)
+	for sp, c := range counts {
+		if c != 32 {
+			t.Errorf("species %d: %d sites, want 32", sp, c)
+		}
+	}
+}
+
+func TestRandomConfigUnevenConcentrations(t *testing.T) {
+	lat := MustNew(SC, 4, 4, 4) // 64 sites
+	src := rng.New(2)
+	cfg, err := RandomConfig(lat, []float64{3, 1}, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := cfg.Counts(2)
+	if counts[0] != 48 || counts[1] != 16 {
+		t.Errorf("counts %v, want [48 16]", counts)
+	}
+}
+
+func TestRandomConfigRejectsBadInput(t *testing.T) {
+	lat := MustNew(SC, 2, 2, 2)
+	src := rng.New(3)
+	if _, err := RandomConfig(lat, []float64{-1, 2}, src); err == nil {
+		t.Error("negative concentration accepted")
+	}
+	if _, err := RandomConfig(lat, []float64{0, 0}, src); err == nil {
+		t.Error("zero-sum concentrations accepted")
+	}
+}
+
+func TestEquiatomicConfig(t *testing.T) {
+	lat := MustNew(BCC, 4, 4, 4)
+	cfg := EquiatomicConfig(lat, 4, rng.New(4))
+	counts := cfg.Counts(4)
+	for _, c := range counts {
+		if c != 32 {
+			t.Fatalf("equiatomic counts %v", counts)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	lat := MustNew(SC, 2, 2, 2)
+	cfg := EquiatomicConfig(lat, 2, rng.New(5))
+	cp := cfg.Clone()
+	cp[0] ^= 1
+	if cfg[0] == cp[0] {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestPairCountsTotal(t *testing.T) {
+	lat := MustNew(BCC, 3, 3, 3)
+	cfg := EquiatomicConfig(lat, 2, rng.New(6))
+	for shell := 0; shell < lat.NumShells(); shell++ {
+		counts := PairCounts(lat, cfg, shell, 2)
+		total := 0
+		for _, row := range counts {
+			for _, c := range row {
+				total += c
+			}
+		}
+		want := lat.NumSites() * lat.ShellSize(shell)
+		if total != want {
+			t.Errorf("shell %d: total ordered pairs %d, want %d", shell, total, want)
+		}
+	}
+}
+
+func TestPairCountsSymmetric(t *testing.T) {
+	lat := MustNew(FCC, 3, 3, 3)
+	cfg := EquiatomicConfig(lat, 4, rng.New(7))
+	counts := PairCounts(lat, cfg, 0, 4)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if counts[a][b] != counts[b][a] {
+				t.Fatalf("pair counts asymmetric at (%d,%d): %d vs %d", a, b, counts[a][b], counts[b][a])
+			}
+		}
+	}
+}
+
+// TestWarrenCowleyRandomNearZero: a random solution has α ≈ 0.
+func TestWarrenCowleyRandomNearZero(t *testing.T) {
+	lat := MustNew(BCC, 8, 8, 8) // 1024 sites
+	cfg := EquiatomicConfig(lat, 4, rng.New(8))
+	alpha := WarrenCowley(lat, cfg, 0, 4)
+	for a := range alpha {
+		for b := range alpha[a] {
+			if v := alpha[a][b]; v < -0.1 || v > 0.1 {
+				t.Errorf("random solution α[%d][%d] = %g, want ≈0", a, b, v)
+			}
+		}
+	}
+}
+
+// TestWarrenCowleyB2Order: a perfect B2 (CsCl) arrangement on BCC has
+// α_AB = −1 in shell 1 (every shell-1 neighbor of A is B) and α_AA = +1.
+func TestWarrenCowleyB2Order(t *testing.T) {
+	lat := MustNew(BCC, 4, 4, 4)
+	// Basis atom 0 (corner) → A, basis atom 1 (center) → B: sites
+	// alternate in index because New enumerates basis atoms innermost.
+	cfg := make(Config, lat.NumSites())
+	for i := range cfg {
+		cfg[i] = Species(i % 2)
+	}
+	alpha := WarrenCowley(lat, cfg, 0, 2)
+	if alpha[0][1] > -0.999 || alpha[1][0] > -0.999 {
+		t.Errorf("B2 α_AB = %g, %g, want −1", alpha[0][1], alpha[1][0])
+	}
+	if alpha[0][0] < 0.999 || alpha[1][1] < 0.999 {
+		t.Errorf("B2 α_AA = %g, α_BB = %g, want +1", alpha[0][0], alpha[1][1])
+	}
+}
+
+func TestCountsAndSpecies(t *testing.T) {
+	cfg := Config{0, 1, 1, 2, 2, 2}
+	c := cfg.Counts(3)
+	if c[0] != 1 || c[1] != 2 || c[2] != 3 {
+		t.Errorf("Counts = %v", c)
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	lat := MustNew(BCC, 16, 16, 16)
+	var sink int32
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, nb := range lat.Neighbors(i%lat.NumSites(), 0) {
+			sink += nb
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkBuildLattice(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MustNew(BCC, 16, 16, 16)
+	}
+}

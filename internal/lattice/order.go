@@ -1,0 +1,71 @@
+package lattice
+
+import "fmt"
+
+// SublatticeOf returns, for each site, which of the two interpenetrating
+// simple-cubic sublattices of a BCC supercell it belongs to (0 = corner,
+// 1 = body center). B2 (CsCl-type) chemical order — the ordered phase of
+// the refractory HEA studied here — is exactly a species imbalance between
+// these sublattices. Only defined for BCC lattices.
+func SublatticeOf(l *Lattice) ([]uint8, error) {
+	if l.Structure() != BCC {
+		return nil, fmt.Errorf("lattice: sublattice decomposition defined for BCC, not %v", l.Structure())
+	}
+	// Site enumeration order in New is cell-major with the basis innermost,
+	// so basis index = site mod 2.
+	sub := make([]uint8, l.NumSites())
+	for i := range sub {
+		sub[i] = uint8(i % 2)
+	}
+	return sub, nil
+}
+
+// B2OrderParameter returns the long-range order parameter of species sp on
+// a BCC lattice:
+//
+//	η = (n_A(sp) − n_B(sp)) / (n_A(sp) + n_B(sp))
+//
+// where n_A, n_B count sp on the two sublattices. η = 0 in the disordered
+// solid solution; |η| → 1 when sp fully segregates onto one sublattice
+// (B2 order). The sign distinguishes the two degenerate variants, so
+// studies of the transition should track |η|.
+func B2OrderParameter(l *Lattice, cfg Config, sp Species) (float64, error) {
+	sub, err := SublatticeOf(l)
+	if err != nil {
+		return 0, err
+	}
+	if len(cfg) != l.NumSites() {
+		return 0, fmt.Errorf("lattice: configuration size mismatch")
+	}
+	var a, b int
+	for i, s := range cfg {
+		if s != sp {
+			continue
+		}
+		if sub[i] == 0 {
+			a++
+		} else {
+			b++
+		}
+	}
+	if a+b == 0 {
+		return 0, nil
+	}
+	return float64(a-b) / float64(a+b), nil
+}
+
+// B2OrderParameters returns |η| for each of k species.
+func B2OrderParameters(l *Lattice, cfg Config, k int) ([]float64, error) {
+	out := make([]float64, k)
+	for sp := 0; sp < k; sp++ {
+		eta, err := B2OrderParameter(l, cfg, Species(sp))
+		if err != nil {
+			return nil, err
+		}
+		if eta < 0 {
+			eta = -eta
+		}
+		out[sp] = eta
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package lattice
+
+import (
+	"math"
+	"testing"
+
+	"deepthermo/internal/rng"
+)
+
+func TestSublatticeOf(t *testing.T) {
+	lat := MustNew(BCC, 3, 3, 3)
+	sub, err := SublatticeOf(lat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal split between sublattices.
+	var a int
+	for _, s := range sub {
+		if s == 0 {
+			a++
+		}
+	}
+	if a != lat.NumSites()/2 {
+		t.Errorf("sublattice A has %d of %d sites", a, lat.NumSites())
+	}
+	// Every shell-1 neighbor is on the opposite sublattice (bipartite).
+	for site := 0; site < lat.NumSites(); site++ {
+		for _, nb := range lat.Neighbors(site, 0) {
+			if sub[site] == sub[nb] {
+				t.Fatalf("shell-1 neighbors %d,%d share a sublattice", site, nb)
+			}
+		}
+	}
+}
+
+func TestSublatticeOfRejectsNonBCC(t *testing.T) {
+	if _, err := SublatticeOf(MustNew(FCC, 2, 2, 2)); err == nil {
+		t.Error("FCC accepted")
+	}
+	if _, err := SublatticeOf(MustNew(SC, 2, 2, 2)); err == nil {
+		t.Error("SC accepted")
+	}
+}
+
+func TestB2OrderParameterPerfectOrder(t *testing.T) {
+	lat := MustNew(BCC, 4, 4, 4)
+	cfg := make(Config, lat.NumSites())
+	for i := range cfg {
+		cfg[i] = Species(i % 2) // species 0 on sublattice A, 1 on B
+	}
+	eta0, err := B2OrderParameter(lat, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(eta0-1) > 1e-12 {
+		t.Errorf("η(0) = %g, want 1", eta0)
+	}
+	eta1, _ := B2OrderParameter(lat, cfg, 1)
+	if math.Abs(eta1+1) > 1e-12 {
+		t.Errorf("η(1) = %g, want −1", eta1)
+	}
+}
+
+func TestB2OrderParameterRandomNearZero(t *testing.T) {
+	lat := MustNew(BCC, 8, 8, 8)
+	cfg := EquiatomicConfig(lat, 4, rng.New(1))
+	etas, err := B2OrderParameters(lat, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sp, eta := range etas {
+		if eta > 0.15 {
+			t.Errorf("random solution |η(%d)| = %g, want ≈0", sp, eta)
+		}
+		if eta < 0 {
+			t.Errorf("B2OrderParameters returned negative magnitude %g", eta)
+		}
+	}
+}
+
+func TestB2OrderParameterAbsentSpecies(t *testing.T) {
+	lat := MustNew(BCC, 2, 2, 2)
+	cfg := make(Config, lat.NumSites()) // all species 0
+	eta, err := B2OrderParameter(lat, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eta != 0 {
+		t.Errorf("absent species η = %g", eta)
+	}
+}
+
+func TestB2OrderParameterSizeMismatch(t *testing.T) {
+	lat := MustNew(BCC, 2, 2, 2)
+	if _, err := B2OrderParameter(lat, make(Config, 3), 0); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package mc
+
+import (
+	"math"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/vae"
+)
+
+// GlobalMode selects how the DL proposal draws its latent vector.
+type GlobalMode int
+
+const (
+	// JumpPrior draws z from the prior N(0, I): a fully global jump,
+	// independent of the current configuration. Mixes fastest when the
+	// generative model matches the ensemble well.
+	JumpPrior GlobalMode = iota
+	// WalkPosterior draws z from the encoder posterior of the current
+	// configuration: a guided global update whose candidates stay near the
+	// current state's latent neighborhood, trading jump size for
+	// acceptance. This is the workhorse mode when the model is imperfect
+	// (early in the active-learning loop).
+	WalkPosterior
+)
+
+// String returns a short identifier.
+func (m GlobalMode) String() string {
+	if m == JumpPrior {
+		return "jump-prior"
+	}
+	return "walk-posterior"
+}
+
+// GlobalProposal is DeepThermo's deep-learning MC proposal: a conditional
+// VAE generates an entirely new configuration in one move.
+//
+// Exactness. Each move draws auxiliary randomness u = (z, σ) — a latent
+// vector and a site-visiting order — from an x-dependent density r(u|x)
+// (the prior N(0,I)·Unif(σ) in JumpPrior mode, the encoder posterior
+// e(z|x)·Unif(σ) in WalkPosterior mode), then proposes x′ from the
+// quota-constrained decoder distribution Dec_σ(·|z) (package vae). The
+// acceptance evaluates forward and reverse under the same u:
+//
+//	A = min{1, [π(x′) · r(u|x′) · Dec_σ(x|z)] / [π(x) · r(u|x) · Dec_σ(x′|z)]}
+//
+// For every fixed u, π(x)·r(u|x)·Dec_σ(x′|z)·A is symmetric in x ↔ x′, so
+// detailed balance with respect to π holds after integrating out u — the
+// standard auxiliary-randomness MH argument. All densities are closed
+// form (per-site categoricals, diagonal Gaussians), so the correction
+// returned by Propose is exact; in JumpPrior mode r does not depend on x
+// and drops out entirely. Because u is redrawn every move, the proposal is
+// stateless and composes freely with any other kernel (Mixture).
+//
+// Composition is preserved exactly by construction (quota-constrained
+// decoding), keeping the chain in the canonical fixed-concentration
+// ensemble the paper evaluates.
+type GlobalProposal struct {
+	model    *vae.Model
+	ham      *alloy.Model
+	cond     float64
+	condFunc func(e float64) float64
+	quota    []int
+	mode     GlobalMode
+
+	z      []float64
+	backup lattice.Config
+
+	// HammingAccum accumulates the Hamming distance (changed sites) of
+	// accepted moves, the "global update" magnitude reported in E1.
+	hammingAccum int64
+	lastHamming  int
+}
+
+// NewGlobalProposal creates a walker-owned DL proposal in WalkPosterior
+// mode. model must be a per-walker replica (its inference path mutates
+// layer caches); quota is the fixed composition (counts per species,
+// summing to the lattice size); cond is the conditioning scalar (see
+// CondForT).
+func NewGlobalProposal(model *vae.Model, ham *alloy.Model, quota []int, cond float64) *GlobalProposal {
+	q := make([]int, len(quota))
+	copy(q, quota)
+	return &GlobalProposal{model: model, ham: ham, cond: cond, quota: q, mode: WalkPosterior}
+}
+
+// SetMode switches between latent-draw modes.
+func (p *GlobalProposal) SetMode(m GlobalMode) { p.mode = m }
+
+// Mode returns the current latent-draw mode.
+func (p *GlobalProposal) Mode() GlobalMode { return p.mode }
+
+// CondForT maps a temperature in kelvin to the conditioning scalar used
+// during training and inference (T/2000, giving O(1) inputs over the
+// studied range).
+func CondForT(tKelvin float64) float64 { return tKelvin / 2000 }
+
+// SetCondition changes the conditioning scalar (e.g. when a replica moves
+// to a new temperature or energy window).
+func (p *GlobalProposal) SetCondition(cond float64) { p.cond = cond }
+
+// CondForEnergy maps a configuration energy to the conditioning scalar for
+// energy-conditioned models: energy per site in units of 50 meV, giving
+// O(1) inputs over the alloy's spectrum.
+func CondForEnergy(e float64, sites int) float64 { return e / float64(sites) / 0.05 }
+
+// SetConditionFunc switches the proposal to state-dependent conditioning:
+// each move conditions the model on f of the *current* energy (e.g.
+// CondForEnergy), which is the natural choice inside Wang-Landau sampling
+// where no temperature exists. Exactness is preserved — the reverse density
+// is evaluated under the candidate's own condition f(E(x′)) — at the cost
+// of a second decoder pass per move. Pass nil to return to a fixed scalar.
+func (p *GlobalProposal) SetConditionFunc(f func(e float64) float64) { p.condFunc = f }
+
+// Name implements Proposal.
+func (p *GlobalProposal) Name() string { return "dl-global-" + p.mode.String() }
+
+// AcceptedSiteChanges returns the cumulative number of sites changed by
+// accepted global moves — the effective update size that local swaps
+// (2 sites per accepted move) are compared against in experiment E1.
+func (p *GlobalProposal) AcceptedSiteChanges() int64 { return p.hammingAccum }
+
+// Propose implements Proposal: it replaces cfg wholesale with a decoded
+// configuration and returns the exact MH correction.
+//
+// With state-dependent conditioning (SetConditionFunc) the forward move
+// decodes under c(x) = f(E(x)) and the reverse density is evaluated under
+// the candidate's condition c(x′) = f(E(x′)); with a fixed condition the
+// two coincide and the second decode is skipped.
+func (p *GlobalProposal) Propose(cfg lattice.Config, curE float64, src *rng.Source) (float64, float64) {
+	n := len(cfg)
+	if p.z == nil {
+		p.z = make([]float64, p.model.Config().Latent)
+	}
+	condX := p.cond
+	if p.condFunc != nil {
+		condX = p.condFunc(curE)
+	}
+
+	// Draw the auxiliary latent; remember the encoder term of ln r(u|x).
+	var logRX float64 // ln of the x-dependent part of r(u|x)
+	switch p.mode {
+	case JumpPrior:
+		for i := range p.z {
+			p.z[i] = src.NormFloat64()
+		}
+	case WalkPosterior:
+		muX, lvX := p.model.Encode(cfg, condX)
+		for i := range p.z {
+			p.z[i] = muX[i] + src.NormFloat64()*math.Exp(0.5*lvX[i])
+		}
+		logRX = vae.LogNormalPDF(p.z, muX, lvX)
+	}
+
+	probsFwd := p.model.DecodeProbs(p.z, condX)
+	order := src.Perm(n)
+	cand, logFwd, err := vae.SampleConstrained(probsFwd, p.quota, order, src)
+	if err != nil {
+		panic(err) // quota was validated at construction
+	}
+
+	if p.backup == nil {
+		p.backup = make(lattice.Config, n)
+	}
+	copy(p.backup, cfg)
+	p.lastHamming = 0
+	for i := range cand {
+		if cand[i] != cfg[i] {
+			p.lastHamming++
+		}
+	}
+	copy(cfg, cand)
+	newE := p.ham.Energy(cfg)
+	dE := newE - curE
+
+	// Reverse density of the previous configuration under the same (z, σ)
+	// but the candidate's condition.
+	condC := condX
+	probsRev := probsFwd
+	if p.condFunc != nil {
+		condC = p.condFunc(newE)
+		if condC != condX {
+			probsRev = p.model.DecodeProbs(p.z, condC)
+		}
+	}
+	revCfg, err := vae.LogProbConstrained(probsRev, p.backup, p.quota, order)
+	if err != nil {
+		panic(err) // sizes are fixed at construction; mismatch is a bug
+	}
+
+	var latentCorr float64 // ln r(u|x′) − ln r(u|x); σ is uniform and cancels
+	if p.mode == WalkPosterior {
+		muC, lvC := p.model.Encode(cand, condC)
+		latentCorr = vae.LogNormalPDF(p.z, muC, lvC) - logRX
+	}
+	return dE, revCfg - logFwd + latentCorr
+}
+
+// Accept records the accepted move's update size (the proposal itself is
+// stateless).
+func (p *GlobalProposal) Accept() {
+	p.hammingAccum += int64(p.lastHamming)
+}
+
+// Reject restores the configuration.
+func (p *GlobalProposal) Reject(cfg lattice.Config) {
+	copy(cfg, p.backup)
+}

@@ -1,0 +1,150 @@
+// Package mc implements Metropolis-Hastings Monte Carlo sampling of alloy
+// configurations with pluggable proposals.
+//
+// The package separates three concerns the paper's framework also
+// separates:
+//
+//   - the target ensemble, expressed as a log-weight over energies
+//     (canonical e^{-βE}, or Wang-Landau 1/g(E) via package wanglandau);
+//   - the proposal mechanism, from the classic local swap baseline to
+//     DeepThermo's deep-learning global update (GlobalProposal);
+//   - the sampling driver (Sampler), which owns the walker state and the
+//     exact Metropolis-Hastings accept/reject including the proposal
+//     density correction.
+package mc
+
+import (
+	"math"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/rng"
+)
+
+// Proposal generates candidate configurations. Implementations mutate the
+// walker's configuration in place; the Sampler then either commits with
+// Accept or restores with Reject. A Proposal instance belongs to exactly
+// one walker (it may carry per-walker auxiliary state such as the VAE
+// latent vector).
+type Proposal interface {
+	// Name identifies the proposal in reports.
+	Name() string
+	// Propose mutates cfg into a candidate and returns the energy change
+	// ΔE = E(candidate) − curE and the Metropolis-Hastings correction
+	// ln q(x|x′) − ln q(x′|x) (zero for symmetric proposals).
+	Propose(cfg lattice.Config, curE float64, src *rng.Source) (deltaE, logQRatio float64)
+	// Accept commits the candidate (updates any auxiliary state).
+	Accept()
+	// Reject restores cfg to its state before the last Propose.
+	Reject(cfg lattice.Config)
+}
+
+// Sampler is one Monte Carlo walker.
+type Sampler struct {
+	Model    *alloy.Model
+	Cfg      lattice.Config
+	E        float64 // energy of Cfg, maintained incrementally
+	Src      *rng.Source
+	Proposal Proposal
+
+	// Accepted and Proposed count Metropolis decisions since creation or
+	// the last ResetCounters.
+	Accepted, Proposed int64
+
+	stepsSinceResync int
+}
+
+// NewSampler creates a walker over cfg. The configuration is owned by the
+// sampler from now on.
+func NewSampler(m *alloy.Model, cfg lattice.Config, prop Proposal, src *rng.Source) *Sampler {
+	return &Sampler{Model: m, Cfg: cfg, E: m.Energy(cfg), Src: src, Proposal: prop}
+}
+
+// resyncInterval is how many incremental updates are allowed before the
+// energy is recomputed from scratch to cancel floating-point drift.
+const resyncInterval = 1 << 20
+
+// StepWeighted performs one Metropolis-Hastings step against an arbitrary
+// ensemble: logWeight(E) is the log of the (unnormalized) stationary
+// density of a configuration with energy E. Returns whether the move was
+// accepted.
+func (s *Sampler) StepWeighted(logWeight func(e float64) float64) bool {
+	dE, lqr := s.Proposal.Propose(s.Cfg, s.E, s.Src)
+	s.Proposed++
+	newE := s.E + dE
+	logA := logWeight(newE) - logWeight(s.E) + lqr
+	if logA >= 0 || math.Log(s.Src.Float64()+1e-300) < logA {
+		s.Proposal.Accept()
+		s.E = newE
+		s.Accepted++
+		s.maybeResync()
+		return true
+	}
+	s.Proposal.Reject(s.Cfg)
+	return false
+}
+
+// StepCanonical performs one step of canonical sampling at inverse
+// temperature beta (1/(k_B·T), 1/eV).
+func (s *Sampler) StepCanonical(beta float64) bool {
+	dE, lqr := s.Proposal.Propose(s.Cfg, s.E, s.Src)
+	s.Proposed++
+	logA := -beta*dE + lqr
+	if logA >= 0 || math.Log(s.Src.Float64()+1e-300) < logA {
+		s.Proposal.Accept()
+		s.E += dE
+		s.Accepted++
+		s.maybeResync()
+		return true
+	}
+	s.Proposal.Reject(s.Cfg)
+	return false
+}
+
+// Sweep performs one canonical sweep: NumSites steps at temperature T (K).
+func (s *Sampler) Sweep(tKelvin float64) {
+	beta := 1 / (alloy.KB * tKelvin)
+	for i := 0; i < len(s.Cfg); i++ {
+		s.StepCanonical(beta)
+	}
+}
+
+// AcceptanceRate returns accepted/proposed since the last reset (0 if no
+// proposals yet).
+func (s *Sampler) AcceptanceRate() float64 {
+	if s.Proposed == 0 {
+		return 0
+	}
+	return float64(s.Accepted) / float64(s.Proposed)
+}
+
+// ResetCounters zeroes the acceptance statistics.
+func (s *Sampler) ResetCounters() { s.Accepted, s.Proposed = 0, 0 }
+
+// ResyncEnergy recomputes E from the configuration, returning the drift it
+// corrected.
+func (s *Sampler) ResyncEnergy() float64 {
+	exact := s.Model.Energy(s.Cfg)
+	drift := exact - s.E
+	s.E = exact
+	s.stepsSinceResync = 0
+	return drift
+}
+
+func (s *Sampler) maybeResync() {
+	s.stepsSinceResync++
+	if s.stepsSinceResync >= resyncInterval {
+		s.ResyncEnergy()
+	}
+}
+
+// Anneal runs sweepsPerT canonical sweeps at each temperature of the
+// (typically decreasing) ladder. It is used to prepare low-energy
+// configurations, e.g. to seed the low-energy Wang-Landau windows.
+func (s *Sampler) Anneal(ladder []float64, sweepsPerT int) {
+	for _, t := range ladder {
+		for i := 0; i < sweepsPerT; i++ {
+			s.Sweep(t)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package mc
+
+import (
+	"testing"
+
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/vae"
+)
+
+// TestSetWeightsMidRunStaysExact: re-weighting the mixture between moves
+// must not bias the chain (each move is a valid mixture kernel).
+func TestSetWeightsMidRunStaysExact(t *testing.T) {
+	m, exact := smallSystem(t)
+	vcfg := vae.Config{Sites: 8, Species: 2, Latent: 3, Hidden: 12, BetaKL: 1}
+	model, err := vae.New(vcfg, rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := NewMixture(
+		[]Proposal{NewSwapProposal(m), NewGlobalProposal(model, m, []int{4, 4}, CondForT(900))},
+		[]float64{0.9, 0.1},
+	)
+	// Wrap the mixture so the weights oscillate every 100 proposals.
+	prop := &reweighting{Mixture: mix}
+	runCanonical(t, m, exact, prop, 900, 3000, 0.015)
+}
+
+// reweighting flips the mixture weights periodically from inside Propose.
+type reweighting struct {
+	*Mixture
+	count int
+}
+
+func (p *reweighting) Propose(cfg lattice.Config, curE float64, src *rng.Source) (float64, float64) {
+	p.count++
+	if p.count%100 == 0 {
+		if (p.count/100)%2 == 0 {
+			p.SetWeights([]float64{0.9, 0.1})
+		} else {
+			p.SetWeights([]float64{0.5, 0.5})
+		}
+	}
+	return p.Mixture.Propose(cfg, curE, src)
+}
+
+func TestSetWeightsValidation(t *testing.T) {
+	m, _ := smallSystem(t)
+	mix := NewMixture([]Proposal{NewSwapProposal(m)}, []float64{1})
+	for name, weights := range map[string][]float64{
+		"mismatch": {1, 2},
+		"negative": {-1},
+		"zero-sum": {0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s weights did not panic", name)
+				}
+			}()
+			mix.SetWeights(weights)
+		}()
+	}
+	// Valid update keeps working.
+	mix.SetWeights([]float64{3})
+}

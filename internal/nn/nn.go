@@ -1,0 +1,281 @@
+// Package nn is a minimal deep-learning stack: dense layers with manual
+// backpropagation, standard activations, and the Adam optimizer. It is the
+// pure-Go substitute for the paper's GPU deep-learning framework; the
+// DeepThermo proposal model (package vae) is built entirely from these
+// pieces. Parameters and gradients expose flat views so the distributed
+// data-parallel trainer (package train) can broadcast and allreduce them
+// through the comm layer exactly like the original's NCCL/RCCL path.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"deepthermo/internal/rng"
+	"deepthermo/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network.
+//
+// Forward consumes a batch (rows = samples) and returns the batch output;
+// the layer may retain references to its input for the backward pass.
+// Backward consumes ∂L/∂output and returns ∂L/∂input, accumulating
+// parameter gradients internally. Layers are not safe for concurrent use;
+// each data-parallel worker owns a replica.
+type Layer interface {
+	Forward(x *tensor.Matrix) *tensor.Matrix
+	Backward(gradOut *tensor.Matrix) *tensor.Matrix
+	Params() []Param
+}
+
+// Param is a view of one parameter tensor and its gradient accumulator.
+type Param struct {
+	Value []float64
+	Grad  []float64
+}
+
+// Dense is a fully connected layer: y = x·W + b.
+type Dense struct {
+	In, Out int
+	W       *tensor.Matrix // In × Out
+	B       []float64
+	gradW   *tensor.Matrix
+	gradB   []float64
+	lastX   *tensor.Matrix
+}
+
+// NewDense returns a Dense layer with Xavier/Glorot-uniform initialized
+// weights drawn from src and zero bias.
+func NewDense(in, out int, src *rng.Source) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		W:     tensor.NewMatrix(in, out),
+		B:     make([]float64, out),
+		gradW: tensor.NewMatrix(in, out),
+		gradB: make([]float64, out),
+	}
+	limit := math.Sqrt(6 / float64(in+out))
+	for i := range d.W.Data {
+		d.W.Data[i] = (2*src.Float64() - 1) * limit
+	}
+	return d
+}
+
+// Forward computes x·W + b.
+func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != d.In {
+		panic(fmt.Sprintf("nn: Dense(%d→%d) got input with %d features", d.In, d.Out, x.Cols))
+	}
+	d.lastX = x
+	y := tensor.NewMatrix(x.Rows, d.Out)
+	tensor.MatMul(y, x, d.W)
+	tensor.AddBias(y, d.B)
+	return y
+}
+
+// Backward accumulates ∂L/∂W = xᵀ·g and ∂L/∂b = Σrows g, and returns
+// ∂L/∂x = g·Wᵀ.
+func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if d.lastX == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	gw := tensor.NewMatrix(d.In, d.Out)
+	tensor.MatMulTransA(gw, d.lastX, gradOut)
+	tensor.Axpy(1, gw.Data, d.gradW.Data)
+	tensor.Axpy(1, tensor.ColSums(gradOut), d.gradB)
+	gx := tensor.NewMatrix(gradOut.Rows, d.In)
+	tensor.MatMulTransB(gx, gradOut, d.W)
+	return gx
+}
+
+// Params exposes weights and bias with their gradient accumulators.
+func (d *Dense) Params() []Param {
+	return []Param{
+		{Value: d.W.Data, Grad: d.gradW.Data},
+		{Value: d.B, Grad: d.gradB},
+	}
+}
+
+// ActivationKind selects a pointwise nonlinearity.
+type ActivationKind int
+
+// Supported activations.
+const (
+	Tanh ActivationKind = iota
+	ReLU
+	Sigmoid
+)
+
+// Activation is a parameter-free pointwise nonlinearity layer.
+type Activation struct {
+	Kind    ActivationKind
+	lastOut *tensor.Matrix
+}
+
+// NewActivation returns an activation layer of the given kind.
+func NewActivation(kind ActivationKind) *Activation { return &Activation{Kind: kind} }
+
+// Forward applies the nonlinearity elementwise.
+func (a *Activation) Forward(x *tensor.Matrix) *tensor.Matrix {
+	y := tensor.NewMatrix(x.Rows, x.Cols)
+	switch a.Kind {
+	case Tanh:
+		tensor.Apply(y, x, math.Tanh)
+	case ReLU:
+		tensor.Apply(y, x, func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		})
+	case Sigmoid:
+		tensor.Apply(y, x, func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", a.Kind))
+	}
+	a.lastOut = y
+	return y
+}
+
+// Backward multiplies the upstream gradient by the activation derivative,
+// computed from the cached output (all three activations admit this form).
+func (a *Activation) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	if a.lastOut == nil {
+		panic("nn: Activation.Backward before Forward")
+	}
+	gx := tensor.NewMatrix(gradOut.Rows, gradOut.Cols)
+	out := a.lastOut
+	switch a.Kind {
+	case Tanh:
+		for i, g := range gradOut.Data {
+			y := out.Data[i]
+			gx.Data[i] = g * (1 - y*y)
+		}
+	case ReLU:
+		for i, g := range gradOut.Data {
+			if out.Data[i] > 0 {
+				gx.Data[i] = g
+			}
+		}
+	case Sigmoid:
+		for i, g := range gradOut.Data {
+			y := out.Data[i]
+			gx.Data[i] = g * y * (1 - y)
+		}
+	}
+	return gx
+}
+
+// Params returns nil: activations are parameter-free.
+func (a *Activation) Params() []Param { return nil }
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward runs the chain front to back.
+func (s *Sequential) Forward(x *tensor.Matrix) *tensor.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the chain back to front.
+func (s *Sequential) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		gradOut = s.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Params concatenates all layer parameters.
+func (s *Sequential) Params() []Param {
+	var ps []Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrads clears the gradient accumulators of ps.
+func ZeroGrads(ps []Param) {
+	for _, p := range ps {
+		for i := range p.Grad {
+			p.Grad[i] = 0
+		}
+	}
+}
+
+// NumParams returns the total scalar parameter count of ps.
+func NumParams(ps []Param) int {
+	n := 0
+	for _, p := range ps {
+		n += len(p.Value)
+	}
+	return n
+}
+
+// FlattenValues copies all parameter values into dst (allocating if nil)
+// and returns it. Used to broadcast a replica's weights.
+func FlattenValues(ps []Param, dst []float64) []float64 {
+	n := NumParams(ps)
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	if len(dst) != n {
+		panic("nn: FlattenValues size mismatch")
+	}
+	o := 0
+	for _, p := range ps {
+		copy(dst[o:], p.Value)
+		o += len(p.Value)
+	}
+	return dst
+}
+
+// SetValues copies flat src back into the parameter tensors.
+func SetValues(ps []Param, src []float64) {
+	if len(src) != NumParams(ps) {
+		panic("nn: SetValues size mismatch")
+	}
+	o := 0
+	for _, p := range ps {
+		copy(p.Value, src[o:o+len(p.Value)])
+		o += len(p.Value)
+	}
+}
+
+// FlattenGrads copies all gradients into dst (allocating if nil). Used for
+// the data-parallel allreduce.
+func FlattenGrads(ps []Param, dst []float64) []float64 {
+	n := NumParams(ps)
+	if dst == nil {
+		dst = make([]float64, n)
+	}
+	if len(dst) != n {
+		panic("nn: FlattenGrads size mismatch")
+	}
+	o := 0
+	for _, p := range ps {
+		copy(dst[o:], p.Grad)
+		o += len(p.Grad)
+	}
+	return dst
+}
+
+// SetGrads copies flat src back into the gradient accumulators.
+func SetGrads(ps []Param, src []float64) {
+	if len(src) != NumParams(ps) {
+		panic("nn: SetGrads size mismatch")
+	}
+	o := 0
+	for _, p := range ps {
+		copy(p.Grad, src[o:o+len(p.Grad)])
+		o += len(p.Grad)
+	}
+}

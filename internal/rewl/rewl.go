@@ -1,0 +1,359 @@
+// Package rewl implements replica-exchange Wang-Landau (REWL) sampling,
+// the parallel decomposition DeepThermo scales to thousands of GPUs.
+//
+// The global energy range is split into overlapping windows; each window is
+// sampled by one or more Wang-Landau walkers (one "GPU" each in the paper's
+// deployment, one goroutine each here). Periodically, walkers in adjacent
+// windows attempt configuration exchanges with the flat-histogram
+// acceptance rule, and walkers sharing a window average their ln g
+// estimates. When every window's modification factor has converged the
+// per-window densities of states are stitched into one (package dos).
+//
+// The driver is bulk-synchronous: a round of independent sweeping followed
+// by a serial exchange/merge phase. This mirrors the paper's MPI
+// implementation, where the exchange phase is a nearest-neighbor
+// communication step between window communicators.
+package rewl
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/dos"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/mc"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/wanglandau"
+)
+
+// Options configures a REWL run.
+type Options struct {
+	WalkersPerWindow int    // default 1
+	ExchangeInterval int    // sweeps per round between exchange phases (default 50)
+	MaxRounds        int    // safety cutoff (default 10000)
+	Seed             uint64 // master RNG seed
+	WL               wanglandau.Options
+	PrepareSweeps    int // sweeps allowed to steer a config into its window (default 2000)
+}
+
+func (o *Options) setDefaults() {
+	if o.WalkersPerWindow == 0 {
+		o.WalkersPerWindow = 1
+	}
+	if o.ExchangeInterval == 0 {
+		o.ExchangeInterval = 50
+	}
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 10000
+	}
+	if o.PrepareSweeps == 0 {
+		o.PrepareSweeps = 2000
+	}
+}
+
+// SplitWindows partitions [eMin, eMax) into num overlapping windows on a
+// common bin grid of the given width. overlap is the fraction of each
+// window shared with its successor (the REWL literature standard is 0.75).
+// Window edges land on the bin grid so the merged DOS is well defined.
+func SplitWindows(eMin, eMax float64, num int, overlap, binWidth float64) ([]wanglandau.Window, error) {
+	if num < 1 {
+		return nil, fmt.Errorf("rewl: need at least one window")
+	}
+	if overlap < 0 || overlap >= 1 {
+		return nil, fmt.Errorf("rewl: overlap %g outside [0,1)", overlap)
+	}
+	totalBins := int(math.Ceil((eMax - eMin) / binWidth))
+	if totalBins < num {
+		return nil, fmt.Errorf("rewl: %d bins cannot host %d windows", totalBins, num)
+	}
+	if num == 1 {
+		return []wanglandau.Window{{EMin: eMin, EMax: eMin + float64(totalBins)*binWidth, Bins: totalBins}}, nil
+	}
+	// width + (num-1)·stride = total, stride = width·(1-overlap).
+	width := float64(totalBins) / (1 + float64(num-1)*(1-overlap))
+	stride := int(math.Floor(width * (1 - overlap)))
+	if stride < 1 {
+		stride = 1
+	}
+	wBins := totalBins - stride*(num-1)
+	if wBins < 2 {
+		return nil, fmt.Errorf("rewl: windows too narrow (%d bins each); fewer windows or more bins needed", wBins)
+	}
+	windows := make([]wanglandau.Window, num)
+	for i := range windows {
+		startBin := stride * i
+		windows[i] = wanglandau.Window{
+			EMin: eMin + float64(startBin)*binWidth,
+			EMax: eMin + float64(startBin+wBins)*binWidth,
+			Bins: wBins,
+		}
+	}
+	return windows, nil
+}
+
+// WindowStat summarizes one window after the run.
+type WindowStat struct {
+	Window      wanglandau.Window
+	Converged   bool
+	Stages      int
+	Sweeps      int64 // summed over the window's walkers
+	FinalLnF    float64
+	AcceptRatio float64
+}
+
+// Result is a completed REWL run.
+type Result struct {
+	DOS            *dos.LogDOS // merged over windows
+	Windows        []WindowStat
+	Rounds         int
+	ExchangeTried  int64
+	ExchangeAccept int64
+	TotalSweeps    int64
+	AllConverged   bool
+	// RoundTrips counts completed bottom→top→bottom traversals of the
+	// window ladder by replicas (configurations flowing through
+	// exchanges) — the standard REWL mixing diagnostic: zero round trips
+	// means the windows are effectively decoupled.
+	RoundTrips int64
+}
+
+// ProposalFactory builds a fresh proposal for walker widx of window win.
+// Stateful proposals (the VAE global proposal) must not be shared between
+// walkers, hence the factory.
+type ProposalFactory func(win, widx int, src *rng.Source) mc.Proposal
+
+// Run executes REWL over the given windows. seedCfg provides the starting
+// configuration (it is cloned per walker and steered into each window).
+func Run(m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, newProposal ProposalFactory, opts Options) (*Result, error) {
+	opts.setDefaults()
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("rewl: no windows")
+	}
+	nWin := len(windows)
+	nWalk := opts.WalkersPerWindow
+	streams := rng.NewStreams(opts.Seed, nWin*nWalk+1)
+	coord := streams[nWin*nWalk] // coordinator stream for exchange decisions
+
+	// Build walkers. Low-energy windows are reached by annealed steering
+	// from the seed configuration.
+	walkers := make([][]*wanglandau.Walker, nWin)
+	for wi, win := range windows {
+		walkers[wi] = make([]*wanglandau.Walker, nWalk)
+		for k := 0; k < nWalk; k++ {
+			src := streams[wi*nWalk+k]
+			cfg := seedCfg.Clone()
+			if _, err := wanglandau.PrepareInWindow(m, cfg, win, src, opts.PrepareSweeps); err != nil {
+				return nil, fmt.Errorf("rewl: window %d walker %d: %w", wi, k, err)
+			}
+			walker, err := wanglandau.NewWalker(m, cfg, newProposal(wi, k, src), src, win, opts.WL)
+			if err != nil {
+				return nil, fmt.Errorf("rewl: window %d walker %d: %w", wi, k, err)
+			}
+			walkers[wi][k] = walker
+		}
+	}
+
+	res := &Result{Windows: make([]WindowStat, nWin)}
+	stages := make([]int, nWin)
+
+	// Replica-flow bookkeeping: each configuration carries a replica id
+	// that travels with it through exchanges.
+	replicaID := make([][]int, nWin)
+	id := 0
+	for wi := range replicaID {
+		replicaID[wi] = make([]int, nWalk)
+		for k := range replicaID[wi] {
+			replicaID[wi][k] = id
+			id++
+		}
+	}
+	// lastExtreme[r] = 0 untouched, 1 bottom window, 2 top window.
+	lastExtreme := make([]uint8, id)
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		res.Rounds = round + 1
+
+		// Parallel sweep phase: every walker advances independently.
+		var wg sync.WaitGroup
+		for wi := range walkers {
+			for _, w := range walkers[wi] {
+				if w.Converged() {
+					continue
+				}
+				wg.Add(1)
+				go func(w *wanglandau.Walker) {
+					defer wg.Done()
+					for s := 0; s < opts.ExchangeInterval; s++ {
+						w.Sweep()
+					}
+				}(w)
+			}
+		}
+		wg.Wait()
+
+		// Serial coordination phase.
+		// 1. Within-window ln g averaging across walkers.
+		for wi := range walkers {
+			mergeWindowDOS(walkers[wi])
+		}
+		// 2. Replica exchange between adjacent windows; alternate pairing
+		// parity so every boundary is exercised. Replica ids travel with
+		// the configurations.
+		for wi := round % 2; wi+1 < nWin; wi += 2 {
+			ka, kb := coord.Intn(nWalk), coord.Intn(nWalk)
+			a := walkers[wi][ka]
+			b := walkers[wi+1][kb]
+			res.ExchangeTried++
+			if tryExchange(a, b, coord) {
+				res.ExchangeAccept++
+				replicaID[wi][ka], replicaID[wi+1][kb] = replicaID[wi+1][kb], replicaID[wi][ka]
+			}
+		}
+		// Round-trip accounting at the ladder's ends.
+		if nWin > 1 {
+			for _, r := range replicaID[0] {
+				if lastExtreme[r] == 2 {
+					res.RoundTrips++
+				}
+				lastExtreme[r] = 1
+			}
+			for _, r := range replicaID[nWin-1] {
+				if lastExtreme[r] == 1 {
+					lastExtreme[r] = 2
+				}
+			}
+		}
+		// 3. Stage transitions: a window advances when all its walkers are
+		// flat.
+		allDone := true
+		for wi := range walkers {
+			if windowConverged(walkers[wi]) {
+				continue
+			}
+			allDone = false
+			flat := true
+			for _, w := range walkers[wi] {
+				if !w.Flat() {
+					flat = false
+					break
+				}
+			}
+			if flat {
+				for _, w := range walkers[wi] {
+					w.EndStage()
+				}
+				stages[wi]++
+			}
+		}
+		if allDone {
+			res.AllConverged = true
+			break
+		}
+	}
+
+	// Collect per-window results and merge.
+	perWindow := make([]*dos.LogDOS, nWin)
+	for wi := range walkers {
+		w0 := walkers[wi][0]
+		perWindow[wi] = w0.DOS().Clone()
+		var sweeps int64
+		var acc, prop int64
+		for _, w := range walkers[wi] {
+			sweeps += w.Sweeps()
+			acc += w.Sampler().Accepted
+			prop += w.Sampler().Proposed
+		}
+		ratio := 0.0
+		if prop > 0 {
+			ratio = float64(acc) / float64(prop)
+		}
+		res.Windows[wi] = WindowStat{
+			Window:      windows[wi],
+			Converged:   windowConverged(walkers[wi]),
+			Stages:      stages[wi],
+			Sweeps:      sweeps,
+			FinalLnF:    w0.LnF(),
+			AcceptRatio: ratio,
+		}
+		res.TotalSweeps += sweeps
+	}
+	merged, err := dos.Merge(perWindow)
+	if err != nil {
+		return nil, fmt.Errorf("rewl: merging windows: %w", err)
+	}
+	res.DOS = merged
+	return res, nil
+}
+
+func windowConverged(ws []*wanglandau.Walker) bool {
+	for _, w := range ws {
+		if !w.Converged() {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeWindowDOS averages ln g over the walkers of one window (over bins
+// visited by at least one walker) and writes the consensus back to all,
+// the standard multi-walker REWL reduction.
+func mergeWindowDOS(ws []*wanglandau.Walker) {
+	if len(ws) < 2 {
+		return
+	}
+	bins := ws[0].DOS().Bins()
+	avg := make([]float64, bins)
+	cnt := make([]int, bins)
+	for _, w := range ws {
+		for i, lg := range w.DOS().LogG {
+			if !math.IsInf(lg, -1) {
+				avg[i] += lg
+				cnt[i]++
+			}
+		}
+	}
+	for i := range avg {
+		if cnt[i] > 0 {
+			avg[i] /= float64(cnt[i])
+		} else {
+			avg[i] = math.Inf(-1)
+		}
+	}
+	for _, w := range ws {
+		copy(w.DOS().LogG, avg)
+	}
+}
+
+// tryExchange attempts a replica exchange between walkers in adjacent
+// windows: configurations swap if each walker's energy lies inside the
+// other's window and the flat-histogram acceptance test passes.
+func tryExchange(a, b *wanglandau.Walker, src *rng.Source) bool {
+	ea, eb := a.Energy(), b.Energy()
+	da, db := a.DOS(), b.DOS()
+	if da.Bin(eb) < 0 || db.Bin(ea) < 0 {
+		return false
+	}
+	logA := lookup(da, ea) - lookup(da, eb) + lookup(db, eb) - lookup(db, ea)
+	if logA < 0 && math.Log(src.Float64()+1e-300) >= logA {
+		return false
+	}
+	sa, sb := a.Sampler(), b.Sampler()
+	sa.Cfg, sb.Cfg = sb.Cfg, sa.Cfg
+	sa.E, sb.E = sb.E, sa.E
+	return true
+}
+
+// lookup reads ln g at energy e, treating unvisited bins as ln g = 0.
+func lookup(d *dos.LogDOS, e float64) float64 {
+	b := d.Bin(e)
+	if b < 0 {
+		return 0
+	}
+	lg := d.LogG[b]
+	if math.IsInf(lg, -1) {
+		return 0
+	}
+	return lg
+}

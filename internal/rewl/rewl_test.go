@@ -1,0 +1,239 @@
+package rewl
+
+import (
+	"math"
+	"testing"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/dos"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/mc"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/wanglandau"
+)
+
+func TestSplitWindowsProperties(t *testing.T) {
+	wins, err := SplitWindows(-10, 10, 4, 0.75, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 4 {
+		t.Fatalf("%d windows", len(wins))
+	}
+	// Coverage: first starts at EMin, last ends at (grid-rounded) EMax.
+	if wins[0].EMin != -10 {
+		t.Errorf("first window starts at %g", wins[0].EMin)
+	}
+	if wins[3].EMax < 10-1e-9 {
+		t.Errorf("last window ends at %g", wins[3].EMax)
+	}
+	for i := 1; i < len(wins); i++ {
+		// Ordered, overlapping, and grid-aligned.
+		if wins[i].EMin <= wins[i-1].EMin {
+			t.Error("windows not strictly advancing")
+		}
+		if wins[i].EMin >= wins[i-1].EMax {
+			t.Errorf("windows %d,%d do not overlap", i-1, i)
+		}
+		off := (wins[i].EMin - wins[0].EMin) / 0.1
+		if math.Abs(off-math.Round(off)) > 1e-9 {
+			t.Error("window not on the common bin grid")
+		}
+	}
+}
+
+func TestSplitWindowsSingle(t *testing.T) {
+	wins, err := SplitWindows(0, 1, 1, 0.75, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 1 || wins[0].Bins != 10 {
+		t.Fatalf("single window wrong: %+v", wins)
+	}
+}
+
+func TestSplitWindowsValidation(t *testing.T) {
+	if _, err := SplitWindows(0, 1, 0, 0.5, 0.1); err == nil {
+		t.Error("zero windows accepted")
+	}
+	if _, err := SplitWindows(0, 1, 2, 1.0, 0.1); err == nil {
+		t.Error("overlap 1.0 accepted")
+	}
+	if _, err := SplitWindows(0, 1, 2, -0.1, 0.1); err == nil {
+		t.Error("negative overlap accepted")
+	}
+	if _, err := SplitWindows(0, 0.2, 4, 0.5, 0.1); err == nil {
+		t.Error("more windows than bins accepted")
+	}
+}
+
+// exact8 returns the 8-site binary validation system.
+func exact8(t testing.TB) (*alloy.Model, *dos.LogDOS) {
+	t.Helper()
+	lat := lattice.MustNew(lattice.SC, 2, 2, 2)
+	m := alloy.BinaryOrdering(lat, 0.05)
+	ex, err := dos.EnumerateFixedComposition(m, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ex.ToLogDOS(0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+// TestREWLMatchesExact: two overlapping windows with replica exchange must
+// reproduce the exact DOS after merging.
+func TestREWLMatchesExact(t *testing.T) {
+	m, exact := exact8(t)
+	wins, err := SplitWindows(exact.EMin, exact.EMax(), 2, 0.5, exact.BinWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(1)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	res, err := Run(m, seed, wins,
+		func(win, widx int, s *rng.Source) mc.Proposal { return mc.NewSwapProposal(m) },
+		Options{Seed: 2, WL: wanglandau.Options{LnFFinal: 1e-5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllConverged {
+		t.Fatal("REWL did not converge")
+	}
+	rms, n, err := dos.RMSLogError(res.DOS, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 || rms > 0.2 {
+		t.Errorf("REWL RMS = %g over %d bins", rms, n)
+	}
+	if res.TotalSweeps <= 0 || res.Rounds <= 0 {
+		t.Error("bookkeeping empty")
+	}
+	for wi, ws := range res.Windows {
+		if !ws.Converged {
+			t.Errorf("window %d unconverged", wi)
+		}
+		if ws.AcceptRatio <= 0 || ws.AcceptRatio > 1 {
+			t.Errorf("window %d acceptance %g", wi, ws.AcceptRatio)
+		}
+	}
+}
+
+// TestREWLMultiWalker: two walkers per window with ln g averaging must
+// also converge to the exact DOS.
+func TestREWLMultiWalker(t *testing.T) {
+	m, exact := exact8(t)
+	wins, err := SplitWindows(exact.EMin, exact.EMax(), 2, 0.5, exact.BinWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	res, err := Run(m, seed, wins,
+		func(win, widx int, s *rng.Source) mc.Proposal { return mc.NewSwapProposal(m) },
+		Options{Seed: 4, WalkersPerWindow: 2, WL: wanglandau.Options{LnFFinal: 1e-4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllConverged {
+		t.Fatal("multi-walker REWL did not converge")
+	}
+	rms, _, err := dos.RMSLogError(res.DOS, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms > 0.25 {
+		t.Errorf("multi-walker RMS = %g", rms)
+	}
+}
+
+func TestREWLExchangesHappen(t *testing.T) {
+	m, exact := exact8(t)
+	wins, err := SplitWindows(exact.EMin, exact.EMax(), 3, 0.75, exact.BinWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(5)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	res, err := Run(m, seed, wins,
+		func(win, widx int, s *rng.Source) mc.Proposal { return mc.NewSwapProposal(m) },
+		Options{Seed: 6, ExchangeInterval: 20, WL: wanglandau.Options{LnFFinal: 1e-4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExchangeTried == 0 {
+		t.Error("no exchanges attempted")
+	}
+	if res.ExchangeAccept > res.ExchangeTried {
+		t.Error("more exchanges accepted than tried")
+	}
+}
+
+// TestREWLRoundTrips: with heavily overlapping windows and frequent
+// exchange attempts, replicas must complete ladder round trips.
+func TestREWLRoundTrips(t *testing.T) {
+	m, exact := exact8(t)
+	wins, err := SplitWindows(exact.EMin, exact.EMax(), 2, 0.75, exact.BinWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(21)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	res, err := Run(m, seed, wins,
+		func(win, widx int, s *rng.Source) mc.Proposal { return mc.NewSwapProposal(m) },
+		Options{Seed: 22, ExchangeInterval: 5, WL: wanglandau.Options{LnFFinal: 1e-6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoundTrips == 0 {
+		t.Errorf("no replica round trips over %d rounds (%d/%d exchanges accepted)",
+			res.Rounds, res.ExchangeAccept, res.ExchangeTried)
+	}
+}
+
+func TestREWLValidation(t *testing.T) {
+	m, _ := exact8(t)
+	src := rng.New(7)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	if _, err := Run(m, seed, nil, nil, Options{}); err == nil {
+		t.Error("no windows accepted")
+	}
+	// A window no walker can reach must surface the preparation error.
+	badWin := []wanglandau.Window{{EMin: 100, EMax: 101, Bins: 4}}
+	_, err := Run(m, seed, badWin,
+		func(win, widx int, s *rng.Source) mc.Proposal { return mc.NewSwapProposal(m) },
+		Options{Seed: 8, PrepareSweeps: 3})
+	if err == nil {
+		t.Error("unreachable window accepted")
+	}
+}
+
+// TestREWLDeterministic: same options, same seed → identical DOS.
+func TestREWLDeterministic(t *testing.T) {
+	m, exact := exact8(t)
+	wins, _ := SplitWindows(exact.EMin, exact.EMax(), 2, 0.5, exact.BinWidth)
+	run := func() *dos.LogDOS {
+		src := rng.New(9)
+		seed := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+		res, err := Run(m, seed, wins,
+			func(win, widx int, s *rng.Source) mc.Proposal { return mc.NewSwapProposal(m) },
+			Options{Seed: 10, WL: wanglandau.Options{LnFFinal: 1e-3}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.DOS
+	}
+	a, b := run(), run()
+	for i := range a.LogG {
+		av, bv := a.LogG[i], b.LogG[i]
+		if math.IsInf(av, -1) && math.IsInf(bv, -1) {
+			continue
+		}
+		if av != bv {
+			t.Fatalf("bin %d differs between identical runs: %g vs %g", i, av, bv)
+		}
+	}
+}

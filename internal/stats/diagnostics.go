@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// EffectiveSampleSize returns the effective number of independent samples
+// in the correlated series xs: N / (2τ), with τ the integrated
+// autocorrelation time. Error bars on MC observables scale with
+// 1/sqrt(ESS), not 1/sqrt(N).
+func EffectiveSampleSize(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return float64(len(xs)) / (2 * AutocorrTime(xs))
+}
+
+// GelmanRubin returns the potential scale reduction factor R̂ of several
+// independent chains sampling the same distribution. R̂ ≈ 1 signals
+// convergence; R̂ ≫ 1 means the chains disagree (e.g. walkers stuck in
+// different basins — the failure mode the DL proposal exists to fix).
+// All chains must have equal length ≥ 2; at least 2 chains are required.
+func GelmanRubin(chains [][]float64) (float64, error) {
+	m := len(chains)
+	if m < 2 {
+		return 0, fmt.Errorf("stats: Gelman-Rubin needs ≥2 chains, got %d", m)
+	}
+	n := len(chains[0])
+	if n < 2 {
+		return 0, fmt.Errorf("stats: chains must have ≥2 samples")
+	}
+	for i, c := range chains {
+		if len(c) != n {
+			return 0, fmt.Errorf("stats: chain %d has %d samples, want %d", i, len(c), n)
+		}
+	}
+
+	// Within-chain variance W and between-chain variance B.
+	means := make([]float64, m)
+	var w float64
+	for i, c := range chains {
+		means[i] = Mean(c)
+		w += Variance(c)
+	}
+	w /= float64(m)
+	grand := Mean(means)
+	var b float64
+	for _, mu := range means {
+		d := mu - grand
+		b += d * d
+	}
+	b *= float64(n) / float64(m-1)
+
+	if w == 0 {
+		if b == 0 {
+			return 1, nil // all chains constant and identical
+		}
+		return math.Inf(1), nil
+	}
+	varPlus := float64(n-1)/float64(n)*w + b/float64(n)
+	return math.Sqrt(varPlus / w), nil
+}
+
+// BlockingError estimates the standard error of the mean of a correlated
+// series by Flyvbjerg-Petersen blocking: the series is repeatedly halved
+// by averaging pairs until the error estimate plateaus; the maximum over
+// levels is the conservative estimate returned.
+func BlockingError(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	buf := append([]float64(nil), xs...)
+	best := math.Sqrt(Variance(buf) / float64(len(buf)))
+	for len(buf) >= 4 {
+		half := len(buf) / 2
+		for i := 0; i < half; i++ {
+			buf[i] = (buf[2*i] + buf[2*i+1]) / 2
+		}
+		buf = buf[:half]
+		if se := math.Sqrt(Variance(buf) / float64(len(buf))); se > best {
+			best = se
+		}
+	}
+	return best
+}

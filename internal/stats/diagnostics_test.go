@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"deepthermo/internal/rng"
+)
+
+func TestEffectiveSampleSizeWhiteNoise(t *testing.T) {
+	src := rng.New(1)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = src.NormFloat64()
+	}
+	ess := EffectiveSampleSize(xs)
+	// White noise: ESS ≈ N (τ ≈ 0.5 → ESS ≈ N).
+	if ess < 5000 || ess > 12000 {
+		t.Errorf("white-noise ESS = %g for N=10000", ess)
+	}
+	if EffectiveSampleSize(nil) != 0 {
+		t.Error("empty ESS not 0")
+	}
+}
+
+func TestEffectiveSampleSizeCorrelated(t *testing.T) {
+	src := rng.New(2)
+	const rho = 0.95 // τ = ½(1+ρ)/(1−ρ) = 19.5 → ESS ≈ N/39
+	xs := make([]float64, 100000)
+	x := 0.0
+	for i := range xs {
+		x = rho*x + src.NormFloat64()
+		xs[i] = x
+	}
+	ess := EffectiveSampleSize(xs)
+	want := float64(len(xs)) / 39
+	if ess < want/2 || ess > want*2 {
+		t.Errorf("AR(1) ESS = %g, want ≈ %g", ess, want)
+	}
+}
+
+func TestGelmanRubinConverged(t *testing.T) {
+	src := rng.New(3)
+	chains := make([][]float64, 4)
+	for c := range chains {
+		chains[c] = make([]float64, 2000)
+		for i := range chains[c] {
+			chains[c][i] = src.NormFloat64()
+		}
+	}
+	r, err := GelmanRubin(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 0.98 || r > 1.05 {
+		t.Errorf("converged chains R̂ = %g, want ≈1", r)
+	}
+}
+
+func TestGelmanRubinDiverged(t *testing.T) {
+	src := rng.New(4)
+	chains := make([][]float64, 3)
+	for c := range chains {
+		chains[c] = make([]float64, 500)
+		offset := float64(c) * 10 // chains stuck in different basins
+		for i := range chains[c] {
+			chains[c][i] = offset + src.NormFloat64()
+		}
+	}
+	r, err := GelmanRubin(chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r < 2 {
+		t.Errorf("diverged chains R̂ = %g, want ≫1", r)
+	}
+}
+
+func TestGelmanRubinValidation(t *testing.T) {
+	if _, err := GelmanRubin(nil); err == nil {
+		t.Error("no chains accepted")
+	}
+	if _, err := GelmanRubin([][]float64{{1, 2}}); err == nil {
+		t.Error("single chain accepted")
+	}
+	if _, err := GelmanRubin([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged chains accepted")
+	}
+	if _, err := GelmanRubin([][]float64{{1}, {1}}); err == nil {
+		t.Error("length-1 chains accepted")
+	}
+}
+
+func TestGelmanRubinConstantChains(t *testing.T) {
+	r, err := GelmanRubin([][]float64{{5, 5, 5}, {5, 5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 1 {
+		t.Errorf("identical constant chains R̂ = %g", r)
+	}
+	r, err = GelmanRubin([][]float64{{5, 5, 5}, {7, 7, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(r, 1) {
+		t.Errorf("distinct constant chains R̂ = %g, want +Inf", r)
+	}
+}
+
+func TestBlockingErrorWhiteNoise(t *testing.T) {
+	src := rng.New(5)
+	xs := make([]float64, 1<<14)
+	for i := range xs {
+		xs[i] = src.NormFloat64()
+	}
+	se := BlockingError(xs)
+	want := 1 / math.Sqrt(float64(len(xs)))
+	if se < want/2 || se > want*3 {
+		t.Errorf("white-noise blocking SE = %g, want ≈ %g", se, want)
+	}
+}
+
+func TestBlockingErrorCorrelatedLarger(t *testing.T) {
+	src := rng.New(6)
+	n := 1 << 14
+	white := make([]float64, n)
+	corr := make([]float64, n)
+	x := 0.0
+	for i := 0; i < n; i++ {
+		white[i] = src.NormFloat64()
+		x = 0.9*x + src.NormFloat64()
+		corr[i] = x
+	}
+	if BlockingError(corr) <= BlockingError(white) {
+		t.Error("correlated series should have larger blocking error")
+	}
+}
+
+func TestBlockingErrorDegenerate(t *testing.T) {
+	if BlockingError(nil) != 0 || BlockingError([]float64{1}) != 0 {
+		t.Error("degenerate input not 0")
+	}
+}

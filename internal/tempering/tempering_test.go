@@ -1,0 +1,187 @@
+package tempering
+
+import (
+	"math"
+	"testing"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/dos"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/mc"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/vae"
+)
+
+func smallSystem(t testing.TB) (*alloy.Model, *dos.Exact) {
+	t.Helper()
+	lat := lattice.MustNew(lattice.SC, 2, 2, 2)
+	m := alloy.BinaryOrdering(lat, 0.05)
+	ex, err := dos.EnumerateFixedComposition(m, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ex
+}
+
+func exactMean(x *dos.Exact, tKelvin float64) float64 {
+	beta := 1 / (alloy.KB * tKelvin)
+	var z, ze float64
+	for i, e := range x.E {
+		w := x.Count[i] * math.Exp(-beta*(e-x.E[0]))
+		z += w
+		ze += w * e
+	}
+	return ze / z
+}
+
+// TestMatchesExactEnsemble: every replica must reproduce the exact
+// canonical mean energy at its own temperature — the detailed-balance test
+// for the combined sweep+exchange kernel.
+func TestMatchesExactEnsemble(t *testing.T) {
+	m, exact := smallSystem(t)
+	temps := []float64{400, 800, 1600, 3200}
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, rng.New(1))
+	res, err := Run(m, seed, Options{
+		Temps:          temps,
+		SweepsPerRound: 20,
+		EquilRounds:    100,
+		MeasureRounds:  4000,
+		Seed:           2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range res.Replicas {
+		want := exactMean(exact, temps[i])
+		if math.Abs(rep.Energy.Mean()-want) > 0.012 {
+			t.Errorf("T=%g: ⟨E⟩ = %.4f, exact %.4f", temps[i], rep.Energy.Mean(), want)
+		}
+	}
+}
+
+func TestExchangesAccepted(t *testing.T) {
+	m, _ := smallSystem(t)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, rng.New(3))
+	res, err := Run(m, seed, Options{
+		Temps:         GeometricLadder(500, 4000, 6),
+		EquilRounds:   20,
+		MeasureRounds: 100,
+		Seed:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExchangeTried == 0 {
+		t.Fatal("no exchanges attempted")
+	}
+	// A geometric ladder on a small system exchanges frequently.
+	if res.ExchangeRate() < 0.2 {
+		t.Errorf("exchange rate %g suspiciously low", res.ExchangeRate())
+	}
+	if len(res.FinalConfigs) != 6 {
+		t.Errorf("%d final configs", len(res.FinalConfigs))
+	}
+}
+
+// TestEnergyMonotoneInT: mean energy must increase along the ladder.
+func TestEnergyMonotoneInT(t *testing.T) {
+	m, _ := smallSystem(t)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, rng.New(5))
+	res, err := Run(m, seed, Options{
+		Temps:         []float64{300, 1000, 5000},
+		EquilRounds:   100,
+		MeasureRounds: 800,
+		Seed:          6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Replicas); i++ {
+		if res.Replicas[i].Energy.Mean() <= res.Replicas[i-1].Energy.Mean() {
+			t.Errorf("⟨E⟩ not increasing: %g then %g",
+				res.Replicas[i-1].Energy.Mean(), res.Replicas[i].Energy.Mean())
+		}
+	}
+	// Cv positive everywhere.
+	for _, rep := range res.Replicas {
+		if rep.Cv <= 0 {
+			t.Errorf("T=%g: Cv = %g", rep.T, rep.Cv)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	m, _ := smallSystem(t)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, rng.New(7))
+	if _, err := Run(m, seed, Options{Temps: []float64{500}}); err == nil {
+		t.Error("single-temperature ladder accepted")
+	}
+	if _, err := Run(m, seed, Options{Temps: []float64{500, 400}}); err == nil {
+		t.Error("descending ladder accepted")
+	}
+}
+
+func TestCustomProposalFactory(t *testing.T) {
+	m, _ := smallSystem(t)
+	vcfg := vae.Config{Sites: 8, Species: 2, Latent: 2, Hidden: 8, BetaKL: 1}
+	model, err := vae.New(vcfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, rng.New(9))
+	res, err := Run(m, seed, Options{
+		Temps:         []float64{600, 2400},
+		EquilRounds:   10,
+		MeasureRounds: 50,
+		Seed:          10,
+		NewProposal: func(replica int, src *rng.Source) mc.Proposal {
+			return mc.NewMixture(
+				[]mc.Proposal{mc.NewSwapProposal(m), mc.NewGlobalProposal(model.CloneWeights(src), m, []int{4, 4}, 0.5)},
+				[]float64{0.8, 0.2},
+			)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range res.Replicas {
+		if rep.Energy.N() == 0 {
+			t.Fatal("no measurements")
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	m, _ := smallSystem(t)
+	run := func() float64 {
+		seed := lattice.EquiatomicConfig(m.Lattice(), 2, rng.New(11))
+		res, err := Run(m, seed, Options{
+			Temps:         []float64{500, 2000},
+			EquilRounds:   10,
+			MeasureRounds: 50,
+			Seed:          12,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Replicas[0].Energy.Mean()
+	}
+	if run() != run() {
+		t.Error("same seed produced different results")
+	}
+}
+
+func TestGeometricLadder(t *testing.T) {
+	l := GeometricLadder(100, 1600, 5)
+	if len(l) != 5 || l[0] != 100 || math.Abs(l[4]-1600) > 1e-9 {
+		t.Errorf("ladder %v", l)
+	}
+	for i := 1; i < len(l); i++ {
+		if math.Abs(l[i]/l[i-1]-2) > 1e-9 {
+			t.Errorf("ratio broken at %d", i)
+		}
+	}
+	if l := GeometricLadder(100, 200, 1); len(l) != 2 {
+		t.Error("degenerate ladder not clamped")
+	}
+}

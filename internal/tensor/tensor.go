@@ -1,0 +1,241 @@
+// Package tensor implements the dense linear algebra kernels that back the
+// neural-network proposal models. It stands in for the GPU BLAS library of
+// the original system: matrix multiply is blocked for cache reuse and
+// parallelized across goroutines, so training throughput scales with cores
+// the way the paper's per-GPU throughput scales with streaming
+// multiprocessors.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len = Rows*Cols, row-major
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: %d elements for %dx%d matrix", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a slice view (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// parallelThreshold is the flop count above which matmul fans out to
+// goroutines; below it the goroutine overhead exceeds the win.
+const parallelThreshold = 1 << 17
+
+// parallelRows runs fn over row ranges [lo,hi) split across workers.
+func parallelRows(rows int, flops int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if flops < parallelThreshold || workers < 2 || rows < 2 {
+		fn(0, rows)
+		return
+	}
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	chunk := (rows + workers - 1) / workers
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul computes dst = a·b. dst must be preallocated with matching shape
+// and must not alias a or b. Panics on shape mismatch.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	// i-k-j loop order streams b rows sequentially: the inner loop is a
+	// saxpy over contiguous memory, which the compiler vectorizes.
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulTransB computes dst = a·bᵀ (dst: a.Rows × b.Rows). Used in backprop
+// for input gradients.
+func MatMulTransB(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB shapes %dx%d · (%dx%d)ᵀ -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			drow := dst.Row(i)
+			for j := 0; j < b.Rows; j++ {
+				brow := b.Row(j)
+				var s float64
+				for k, av := range arow {
+					s += av * brow[k]
+				}
+				drow[j] = s
+			}
+		}
+	})
+}
+
+// MatMulTransA computes dst = aᵀ·b (dst: a.Cols × b.Cols). Used in backprop
+// for weight gradients.
+func MatMulTransA(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA shapes (%dx%d)ᵀ · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	// Parallelize over dst rows (a columns); each worker reads all of a and
+	// b but writes a disjoint dst stripe, so no synchronization is needed.
+	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
+		for k := 0; k < a.Rows; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i := lo; i < hi; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				drow := dst.Row(i)
+				for j, bv := range brow {
+					drow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// AddBias adds the bias vector to every row of m in place.
+func AddBias(m *Matrix, bias []float64) {
+	if len(bias) != m.Cols {
+		panic("tensor: bias length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, b := range bias {
+			row[j] += b
+		}
+	}
+}
+
+// ColSums returns the per-column sums of m (bias gradients).
+func ColSums(m *Matrix) []float64 {
+	out := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out[j] += v
+		}
+	}
+	return out
+}
+
+// Apply sets dst[i] = f(src[i]) elementwise; dst may alias src.
+func Apply(dst, src *Matrix, f func(float64) float64) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("tensor: Apply shape mismatch")
+	}
+	for i, v := range src.Data {
+		dst.Data[i] = f(v)
+	}
+}
+
+// Hadamard sets dst = a ⊙ b elementwise; dst may alias either operand.
+func Hadamard(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != a.Cols {
+		panic("tensor: Hadamard shape mismatch")
+	}
+	for i := range dst.Data {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// Axpy computes y += alpha*x over raw slices.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, xv := range x {
+		y[i] += alpha * xv
+	}
+}
+
+// Scale multiplies every element of x by alpha.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float64
+	for i, xv := range x {
+		s += xv * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }

@@ -1,0 +1,258 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deepthermo/internal/rng"
+)
+
+func randomMatrix(rows, cols int, src *rng.Source) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = src.NormFloat64()
+	}
+	return m
+}
+
+// naiveMatMul is the reference triple loop.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	c := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+	return c
+}
+
+func matricesClose(t *testing.T, got, want *Matrix, tol float64) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape %dx%d vs %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > tol {
+			t.Fatalf("element %d: %g vs %g", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	src := rng.New(1)
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 7}, {16, 16, 16}, {33, 7, 12}} {
+		a := randomMatrix(dims[0], dims[1], src)
+		b := randomMatrix(dims[1], dims[2], src)
+		got := NewMatrix(dims[0], dims[2])
+		MatMul(got, a, b)
+		matricesClose(t, got, naiveMatMul(a, b), 1e-10)
+	}
+}
+
+// TestMatMulParallelPath forces the goroutine fan-out path (large flops)
+// and compares against the naive result.
+func TestMatMulParallelPath(t *testing.T) {
+	src := rng.New(2)
+	a := randomMatrix(80, 90, src)
+	b := randomMatrix(90, 70, src)
+	got := NewMatrix(80, 70)
+	MatMul(got, a, b)
+	matricesClose(t, got, naiveMatMul(a, b), 1e-9)
+}
+
+func TestMatMulTransB(t *testing.T) {
+	src := rng.New(3)
+	a := randomMatrix(7, 5, src)
+	b := randomMatrix(9, 5, src) // bᵀ is 5×9
+	got := NewMatrix(7, 9)
+	MatMulTransB(got, a, b)
+	bt := NewMatrix(5, 9)
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 5; j++ {
+			bt.Set(j, i, b.At(i, j))
+		}
+	}
+	matricesClose(t, got, naiveMatMul(a, bt), 1e-10)
+}
+
+func TestMatMulTransA(t *testing.T) {
+	src := rng.New(4)
+	a := randomMatrix(6, 8, src) // aᵀ is 8×6
+	b := randomMatrix(6, 5, src)
+	got := NewMatrix(8, 5)
+	MatMulTransA(got, a, b)
+	at := NewMatrix(8, 6)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 8; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	matricesClose(t, got, naiveMatMul(at, b), 1e-10)
+}
+
+func TestMatMulTransALargeParallel(t *testing.T) {
+	src := rng.New(5)
+	a := randomMatrix(64, 100, src)
+	b := randomMatrix(64, 80, src)
+	got := NewMatrix(100, 80)
+	MatMulTransA(got, a, b)
+	at := NewMatrix(100, 64)
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 100; j++ {
+			at.Set(j, i, a.At(i, j))
+		}
+	}
+	matricesClose(t, got, naiveMatMul(at, b), 1e-9)
+}
+
+func TestShapePanics(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(4, 5)
+	c := NewMatrix(2, 5)
+	for name, fn := range map[string]func(){
+		"MatMul":       func() { MatMul(c, a, b) },
+		"MatMulTransB": func() { MatMulTransB(c, a, b) },
+		"MatMulTransA": func() { MatMulTransA(c, a, b) },
+		"AddBias":      func() { AddBias(a, []float64{1}) },
+		"Hadamard":     func() { Hadamard(c, a, b) },
+		"Apply":        func() { Apply(c, a, math.Abs) },
+		"Axpy":         func() { Axpy(1, []float64{1}, []float64{1, 2}) },
+		"Dot":          func() { Dot([]float64{1}, []float64{1, 2}) },
+		"FromSlice":    func() { FromSlice(2, 2, []float64{1}) },
+		"NewMatrix":    func() { NewMatrix(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: shape mismatch did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAddBiasAndColSums(t *testing.T) {
+	m := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	AddBias(m, []float64{10, 20, 30})
+	want := []float64{11, 22, 33, 14, 25, 36}
+	for i, v := range want {
+		if m.Data[i] != v {
+			t.Fatalf("AddBias: %v", m.Data)
+		}
+	}
+	sums := ColSums(m)
+	if sums[0] != 25 || sums[1] != 47 || sums[2] != 69 {
+		t.Fatalf("ColSums = %v", sums)
+	}
+}
+
+func TestApplyHadamard(t *testing.T) {
+	a := FromSlice(1, 3, []float64{-1, 2, -3})
+	b := FromSlice(1, 3, []float64{2, 3, 4})
+	out := NewMatrix(1, 3)
+	Apply(out, a, math.Abs)
+	if out.Data[0] != 1 || out.Data[2] != 3 {
+		t.Fatalf("Apply: %v", out.Data)
+	}
+	Hadamard(out, a, b)
+	if out.Data[0] != -2 || out.Data[1] != 6 || out.Data[2] != -12 {
+		t.Fatalf("Hadamard: %v", out.Data)
+	}
+	// Aliasing allowed.
+	Apply(a, a, func(v float64) float64 { return v * 2 })
+	if a.Data[0] != -2 {
+		t.Fatal("aliased Apply failed")
+	}
+}
+
+func TestBlas1(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[1] != 9 || y[2] != 12 {
+		t.Fatalf("Axpy: %v", y)
+	}
+	if d := Dot(x, x); d != 14 {
+		t.Fatalf("Dot = %g", d)
+	}
+	if n := Norm2([]float64{3, 4}); math.Abs(n-5) > 1e-12 {
+		t.Fatalf("Norm2 = %g", n)
+	}
+	Scale(0.5, y)
+	if y[0] != 3 {
+		t.Fatalf("Scale: %v", y)
+	}
+}
+
+func TestCloneRowZero(t *testing.T) {
+	m := FromSlice(2, 2, []float64{1, 2, 3, 4})
+	c := m.Clone()
+	c.Data[0] = 99
+	if m.Data[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+	r := m.Row(1)
+	if r[0] != 3 || r[1] != 4 {
+		t.Errorf("Row = %v", r)
+	}
+	m.Zero()
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+// TestMatMulLinearity: (αA)·B = α(A·B) — a cheap algebraic property check
+// over random shapes.
+func TestMatMulLinearity(t *testing.T) {
+	src := rng.New(6)
+	err := quick.Check(func(r1, c1, c2 uint8) bool {
+		m, k, n := int(r1)%6+1, int(c1)%6+1, int(c2)%6+1
+		a := randomMatrix(m, k, src)
+		b := randomMatrix(k, n, src)
+		ab := NewMatrix(m, n)
+		MatMul(ab, a, b)
+		a2 := a.Clone()
+		Scale(3, a2.Data)
+		ab2 := NewMatrix(m, n)
+		MatMul(ab2, a2, b)
+		for i := range ab.Data {
+			if math.Abs(ab2.Data[i]-3*ab.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	src := rng.New(1)
+	x := randomMatrix(128, 128, src)
+	y := randomMatrix(128, 128, src)
+	out := NewMatrix(128, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(out, x, y)
+	}
+}
+
+func BenchmarkMatMul512(b *testing.B) {
+	src := rng.New(1)
+	x := randomMatrix(512, 512, src)
+	y := randomMatrix(512, 512, src)
+	out := NewMatrix(512, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(out, x, y)
+	}
+}

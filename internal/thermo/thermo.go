@@ -1,0 +1,134 @@
+// Package thermo derives canonical thermodynamics from a density of states.
+//
+// Given ln g(E) from Wang-Landau sampling, every canonical observable at
+// every temperature follows from reweighting:
+//
+//	Z(T)   = Σ_E g(E) e^{-E/kT}
+//	U(T)   = ⟨E⟩,  C_v(T) = (⟨E²⟩-⟨E⟩²)/(k_B T²)
+//	F(T)   = -k_B T ln Z,  S(T) = (U - F)/T
+//
+// This one-shot evaluation over all temperatures is the reason DeepThermo
+// targets the density of states rather than canonical sampling: the phase
+// transition analysis (C_v peak, entropy curves) of the paper's evaluation
+// falls out of a single converged ln g. All sums are computed in log domain
+// because ln g spans thousands of nats.
+package thermo
+
+import (
+	"fmt"
+	"math"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/dos"
+)
+
+// Point is the set of canonical observables at one temperature.
+type Point struct {
+	T  float64 // temperature (K)
+	U  float64 // internal energy (eV)
+	Cv float64 // heat capacity (eV/K)
+	F  float64 // Helmholtz free energy (eV)
+	S  float64 // entropy (eV/K)
+}
+
+// Canonical evaluates the canonical observables at temperature T (kelvin)
+// from the density of states d. It returns an error for non-positive T or
+// an empty DOS.
+func Canonical(d *dos.LogDOS, T float64) (Point, error) {
+	if T <= 0 {
+		return Point{}, fmt.Errorf("thermo: non-positive temperature %g", T)
+	}
+	beta := 1 / (alloy.KB * T)
+
+	// logw[i] = ln g_i - beta E_i; moments via a shifted, stable pass.
+	lo, hi, ok := d.VisitedRange()
+	if !ok {
+		return Point{}, fmt.Errorf("thermo: empty density of states")
+	}
+	maxLW := math.Inf(-1)
+	for i := lo; i <= hi; i++ {
+		if !d.Visited(i) {
+			continue
+		}
+		lw := d.LogG[i] - beta*d.BinEnergy(i)
+		if lw > maxLW {
+			maxLW = lw
+		}
+	}
+	var z, ze, ze2 float64
+	for i := lo; i <= hi; i++ {
+		if !d.Visited(i) {
+			continue
+		}
+		e := d.BinEnergy(i)
+		w := math.Exp(d.LogG[i] - beta*e - maxLW)
+		z += w
+		ze += w * e
+		ze2 += w * e * e
+	}
+	u := ze / z
+	varE := ze2/z - u*u
+	if varE < 0 { // fp cancellation near delta-like distributions
+		varE = 0
+	}
+	logZ := maxLW + math.Log(z)
+	f := -alloy.KB * T * logZ
+	return Point{
+		T:  T,
+		U:  u,
+		Cv: varE / (alloy.KB * T * T),
+		F:  f,
+		S:  (u - f) / T,
+	}, nil
+}
+
+// Curve evaluates Canonical over the given temperatures.
+func Curve(d *dos.LogDOS, temps []float64) ([]Point, error) {
+	pts := make([]Point, len(temps))
+	for i, t := range temps {
+		p, err := Canonical(d, t)
+		if err != nil {
+			return nil, err
+		}
+		pts[i] = p
+	}
+	return pts, nil
+}
+
+// TempRange returns n temperatures spaced uniformly in [lo, hi].
+func TempRange(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	ts := make([]float64, n)
+	for i := range ts {
+		ts[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return ts
+}
+
+// TransitionTemperature returns the temperature of the C_v maximum on the
+// curve, the standard finite-size estimator of the order-disorder
+// transition temperature, along with the peak C_v value.
+func TransitionTemperature(pts []Point) (tc, cvPeak float64, err error) {
+	if len(pts) == 0 {
+		return 0, 0, fmt.Errorf("thermo: empty curve")
+	}
+	best := 0
+	for i, p := range pts {
+		if p.Cv > pts[best].Cv {
+			best = i
+		}
+	}
+	return pts[best].T, pts[best].Cv, nil
+}
+
+// GroundStateEnergy returns the lowest visited bin's center energy, the
+// finite-resolution estimate of the ground-state energy.
+func GroundStateEnergy(d *dos.LogDOS) (float64, error) {
+	lo, _, ok := d.VisitedRange()
+	if !ok {
+		return 0, fmt.Errorf("thermo: empty density of states")
+	}
+	return d.BinEnergy(lo), nil
+}

@@ -1,0 +1,195 @@
+package thermo
+
+import (
+	"math"
+	"testing"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/dos"
+)
+
+// twoLevel builds the DOS of a two-level system: g0 states at e0 and g1
+// states at e1, the textbook Schottky-anomaly model with closed-form
+// thermodynamics to validate against.
+func twoLevel(t *testing.T, e0, e1 float64, g0, g1 float64) *dos.LogDOS {
+	t.Helper()
+	width := (e1 - e0) / 4
+	d, err := dos.New(e0-width/2, e1+width/2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.LogG[d.Bin(e0)] = math.Log(g0)
+	d.LogG[d.Bin(e1)] = math.Log(g1)
+	return d
+}
+
+func TestCanonicalTwoLevel(t *testing.T) {
+	e0, e1 := 0.0, 0.1 // eV
+	d := twoLevel(t, e0, e1, 1, 1)
+	// Bin centers shift the effective levels; read them back for the
+	// analytic comparison.
+	eLo := d.BinEnergy(d.Bin(e0))
+	eHi := d.BinEnergy(d.Bin(e1))
+	gap := eHi - eLo
+
+	for _, T := range []float64{100, 300, 1000, 5000} {
+		p, err := Canonical(d, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		beta := 1 / (alloy.KB * T)
+		z := 1 + math.Exp(-beta*gap)
+		wantU := eLo + gap*math.Exp(-beta*gap)/z
+		if math.Abs(p.U-wantU) > 1e-9 {
+			t.Errorf("T=%g: U = %g, want %g", T, p.U, wantU)
+		}
+		// Schottky C_v = k_B (βΔ)² e^{-βΔ} / (1+e^{-βΔ})².
+		x := beta * gap
+		wantCv := alloy.KB * x * x * math.Exp(-x) / ((1 + math.Exp(-x)) * (1 + math.Exp(-x)))
+		if math.Abs(p.Cv-wantCv) > 1e-12+1e-6*wantCv {
+			t.Errorf("T=%g: Cv = %g, want %g", T, p.Cv, wantCv)
+		}
+		wantF := eLo - alloy.KB*T*math.Log(z)
+		if math.Abs(p.F-wantF) > 1e-9 {
+			t.Errorf("T=%g: F = %g, want %g", T, p.F, wantF)
+		}
+		// Thermodynamic identity S = (U−F)/T.
+		if math.Abs(p.S-(p.U-p.F)/T) > 1e-15 {
+			t.Errorf("T=%g: S identity violated", T)
+		}
+	}
+}
+
+func TestEntropyLimits(t *testing.T) {
+	d := twoLevel(t, 0, 0.1, 1, 3)
+	// T → ∞: S → k_B ln(total states) = k_B ln 4.
+	p, err := Canonical(d, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.S-alloy.KB*math.Log(4)) > 1e-3*alloy.KB {
+		t.Errorf("high-T entropy = %g, want %g", p.S, alloy.KB*math.Log(4))
+	}
+	// T → 0: S → k_B ln(g0) = 0 here.
+	p, err = Canonical(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.S) > 1e-6 {
+		t.Errorf("low-T entropy = %g, want 0", p.S)
+	}
+}
+
+func TestCanonicalErrors(t *testing.T) {
+	d := twoLevel(t, 0, 0.1, 1, 1)
+	if _, err := Canonical(d, 0); err == nil {
+		t.Error("T=0 accepted")
+	}
+	if _, err := Canonical(d, -5); err == nil {
+		t.Error("negative T accepted")
+	}
+	empty, _ := dos.New(0, 1, 4)
+	if _, err := Canonical(empty, 300); err == nil {
+		t.Error("empty DOS accepted")
+	}
+}
+
+func TestCurveAndTransition(t *testing.T) {
+	d := twoLevel(t, 0, 0.1, 1, 1)
+	temps := TempRange(50, 2000, 100)
+	pts, err := Curve(d, temps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 100 {
+		t.Fatalf("curve has %d points", len(pts))
+	}
+	tc, cvPeak, err := TransitionTemperature(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Schottky peak at βΔ ≈ 2.40: T* = Δ/(2.40 k_B) ≈ 484 K for Δ between
+	// bin centers (0.1 eV here — bin centers preserve the gap exactly
+	// since both levels shift equally for this grid).
+	gap := d.BinEnergy(d.Bin(0.1)) - d.BinEnergy(d.Bin(0.0))
+	want := gap / (2.3994 * alloy.KB)
+	if math.Abs(tc-want) > 30 { // grid resolution of the temp sweep
+		t.Errorf("Tc = %g, want ≈ %g", tc, want)
+	}
+	if cvPeak <= 0 {
+		t.Errorf("Cv peak = %g", cvPeak)
+	}
+}
+
+func TestTransitionTemperatureEmpty(t *testing.T) {
+	if _, _, err := TransitionTemperature(nil); err == nil {
+		t.Error("empty curve accepted")
+	}
+}
+
+func TestTempRange(t *testing.T) {
+	ts := TempRange(100, 200, 5)
+	want := []float64{100, 125, 150, 175, 200}
+	for i, v := range want {
+		if math.Abs(ts[i]-v) > 1e-12 {
+			t.Fatalf("TempRange = %v", ts)
+		}
+	}
+	if ts := TempRange(100, 200, 1); len(ts) != 1 || ts[0] != 100 {
+		t.Error("n=1 range wrong")
+	}
+}
+
+func TestGroundStateEnergy(t *testing.T) {
+	d := twoLevel(t, -0.5, 0.1, 2, 5)
+	gs, err := GroundStateEnergy(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(gs-d.BinEnergy(d.Bin(-0.5))) > 1e-12 {
+		t.Errorf("ground state = %g", gs)
+	}
+	empty, _ := dos.New(0, 1, 2)
+	if _, err := GroundStateEnergy(empty); err == nil {
+		t.Error("empty DOS accepted")
+	}
+}
+
+// TestNormalizationGaugeInvariance: U and Cv are invariant under the DOS
+// gauge shift; F and S shift consistently.
+func TestNormalizationGaugeInvariance(t *testing.T) {
+	d := twoLevel(t, 0, 0.1, 1, 2)
+	p1, _ := Canonical(d, 700)
+	d.Shift(500)
+	p2, _ := Canonical(d, 700)
+	if math.Abs(p1.U-p2.U) > 1e-9 || math.Abs(p1.Cv-p2.Cv) > 1e-12 {
+		t.Error("U or Cv changed under gauge shift")
+	}
+	// F shifts by −k_B·T·500.
+	if math.Abs((p2.F-p1.F)+alloy.KB*700*500) > 1e-6 {
+		t.Errorf("F gauge shift wrong: %g", p2.F-p1.F)
+	}
+}
+
+// TestHugeLogG: canonical evaluation must survive ln g values of order
+// 10,000 (the paper's headline DOS range) without overflow.
+func TestHugeLogG(t *testing.T) {
+	d, err := dos.New(0, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.LogG {
+		x := float64(i) / 99
+		d.LogG[i] = 11000 * (1 - (2*x-1)*(2*x-1)) // parabolic, span 11000
+	}
+	p, err := Canonical(d, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(p.U) || math.IsInf(p.U, 0) || math.IsNaN(p.Cv) {
+		t.Fatalf("overflow: %+v", p)
+	}
+	if p.Cv <= 0 {
+		t.Errorf("Cv = %g", p.Cv)
+	}
+}

@@ -1,0 +1,331 @@
+// Package train drives VAE proposal-model training, both single-device and
+// distributed data parallel (DDP).
+//
+// The DDP path reproduces the paper's multi-GPU training structure: every
+// worker holds a model replica, computes gradients on its data shard, and
+// joins a ring allreduce (package comm) before an identical optimizer step,
+// so replicas stay bit-identical — the same invariant NCCL/RCCL-based DDP
+// maintains. The active-learning loop (retraining on fresh samples
+// mid-run) at the bottom is the paper's sample→train→propose cycle.
+package train
+
+import (
+	"fmt"
+	"sync"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/comm"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/mc"
+	"deepthermo/internal/nn"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/tensor"
+	"deepthermo/internal/vae"
+	"deepthermo/internal/workload"
+)
+
+// Options configures training.
+type Options struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	ClipNorm  float64 // 0 disables clipping
+	Seed      uint64
+	// KLWarmupEpochs linearly ramps the KL weight from 0 to the model's
+	// configured BetaKL over this many epochs. Warmup prevents posterior
+	// collapse in the small-data regime of the active-learning loop.
+	KLWarmupEpochs int
+}
+
+func (o *Options) setDefaults() {
+	if o.Epochs == 0 {
+		o.Epochs = 20
+	}
+	if o.BatchSize == 0 {
+		o.BatchSize = 32
+	}
+	if o.LR == 0 {
+		o.LR = 1e-3
+	}
+	if o.ClipNorm == 0 {
+		o.ClipNorm = 5
+	}
+}
+
+// EpochStats records the mean losses of one epoch.
+type EpochStats struct {
+	Epoch    int
+	Recon    float64
+	KL       float64
+	Accuracy float64
+}
+
+// batch assembles rows [lo,hi) of ds into a one-hot matrix and label views.
+func batch(model *vae.Model, ds *workload.Dataset, lo, hi int) (*tensor.Matrix, []float64, []lattice.Config) {
+	b := hi - lo
+	nk := model.Config().Sites * model.Config().Species
+	x := tensor.NewMatrix(b, nk)
+	for i := 0; i < b; i++ {
+		model.OneHot(ds.Configs[lo+i], x.Row(i))
+	}
+	return x, ds.Conds[lo:hi], ds.Configs[lo:hi]
+}
+
+// Fit trains model on ds with Adam and returns per-epoch statistics.
+func Fit(model *vae.Model, ds *workload.Dataset, opts Options) ([]EpochStats, error) {
+	opts.setDefaults()
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("train: empty dataset")
+	}
+	ds = ds.Copy() // epoch shuffles must not reorder the caller's data
+	src := rng.New(opts.Seed)
+	opt := nn.NewAdam(opts.LR)
+	params := model.Params()
+	betaFinal := model.Config().BetaKL
+	var stats []EpochStats
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		if opts.KLWarmupEpochs > 0 {
+			ramp := float64(epoch+1) / float64(opts.KLWarmupEpochs)
+			if ramp > 1 {
+				ramp = 1
+			}
+			model.SetBetaKL(betaFinal * ramp)
+		}
+		ds.Shuffle(src)
+		var agg vae.Losses
+		steps := 0
+		for lo := 0; lo < ds.Len(); lo += opts.BatchSize {
+			hi := lo + opts.BatchSize
+			if hi > ds.Len() {
+				hi = ds.Len()
+			}
+			x, conds, targets := batch(model, ds, lo, hi)
+			nn.ZeroGrads(params)
+			l := model.Step(x, conds, targets, src)
+			if opts.ClipNorm > 0 {
+				nn.ClipGradNorm(params, opts.ClipNorm)
+			}
+			opt.Step(params)
+			agg.Recon += l.Recon
+			agg.KL += l.KL
+			agg.Accuracy += l.Accuracy
+			steps++
+		}
+		stats = append(stats, EpochStats{
+			Epoch:    epoch,
+			Recon:    agg.Recon / float64(steps),
+			KL:       agg.KL / float64(steps),
+			Accuracy: agg.Accuracy / float64(steps),
+		})
+	}
+	return stats, nil
+}
+
+// FitDDP trains with `workers` data-parallel replicas over a comm.World
+// ring allreduce and returns the converged model (identical on all
+// replicas) plus rank-0 epoch statistics. The per-step effective batch is
+// workers × BatchSize, as in the paper's scaled training.
+func FitDDP(cfg vae.Config, ds *workload.Dataset, workers int, opts Options) (*vae.Model, []EpochStats, error) {
+	opts.setDefaults()
+	if workers < 1 {
+		return nil, nil, fmt.Errorf("train: need at least one worker")
+	}
+	if ds.Len() < workers {
+		return nil, nil, fmt.Errorf("train: dataset of %d samples cannot shard over %d workers", ds.Len(), workers)
+	}
+	world := comm.NewWorld(workers)
+
+	// All replicas start from identical weights: same init stream.
+	models := make([]*vae.Model, workers)
+	for i := range models {
+		m, err := vae.New(cfg, rng.New(opts.Seed))
+		if err != nil {
+			return nil, nil, err
+		}
+		models[i] = m
+	}
+
+	statsCh := make(chan []EpochStats, 1)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for r := 0; r < workers; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			if err := ddpWorker(models[rank], world.Rank(rank), ds, workers, opts, statsCh); err != nil {
+				errCh <- err
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, nil, err
+	}
+	return models[0], <-statsCh, nil
+}
+
+// ddpWorker runs one replica's training loop. Determinism note: every
+// replica shuffles its own shard with its own stream; the allreduced
+// gradients (and therefore the weights) are identical on all replicas at
+// every step because averaging commutes with the shard order.
+func ddpWorker(model *vae.Model, c *comm.Comm, full *workload.Dataset, workers int, opts Options, statsCh chan<- []EpochStats) error {
+	rank := c.Rank()
+	shard := full.Shard(rank, workers).Copy() // local shuffles stay local
+	if shard.Len() == 0 {
+		return fmt.Errorf("train: rank %d received an empty shard", rank)
+	}
+	src := rng.New(opts.Seed + uint64(rank)*0x9e37)
+	opt := nn.NewAdam(opts.LR)
+	params := model.Params()
+	grads := make([]float64, nn.NumParams(params))
+	stepsPerEpoch := (shard.Len() + opts.BatchSize - 1) / opts.BatchSize
+
+	var stats []EpochStats
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		shard.Shuffle(src)
+		var agg vae.Losses
+		for step := 0; step < stepsPerEpoch; step++ {
+			lo := step * opts.BatchSize
+			if lo >= shard.Len() {
+				lo = shard.Len() - 1 // degenerate tiny shard: repeat last sample
+			}
+			hi := lo + opts.BatchSize
+			if hi > shard.Len() {
+				hi = shard.Len()
+			}
+			x, conds, targets := batch(model, shard, lo, hi)
+			nn.ZeroGrads(params)
+			l := model.Step(x, conds, targets, src)
+			if opts.ClipNorm > 0 {
+				nn.ClipGradNorm(params, opts.ClipNorm)
+			}
+			// Gradient averaging across replicas: the DDP allreduce.
+			nn.FlattenGrads(params, grads)
+			c.Allreduce(grads, comm.Sum)
+			tensor.Scale(1/float64(workers), grads)
+			nn.SetGrads(params, grads)
+			opt.Step(params)
+			agg.Recon += l.Recon
+			agg.KL += l.KL
+			agg.Accuracy += l.Accuracy
+		}
+		if rank == 0 {
+			stats = append(stats, EpochStats{
+				Epoch:    epoch,
+				Recon:    agg.Recon / float64(stepsPerEpoch),
+				KL:       agg.KL / float64(stepsPerEpoch),
+				Accuracy: agg.Accuracy / float64(stepsPerEpoch),
+			})
+		}
+		c.Barrier()
+	}
+	if rank == 0 {
+		statsCh <- stats
+	}
+	return nil
+}
+
+// ActiveLoopOptions configures the sample→train→propose cycle.
+type ActiveLoopOptions struct {
+	Rounds     int // retraining rounds (default 3)
+	Gen        workload.GenOptions
+	Train      Options
+	UseDLInGen bool    // after round 0, generate with a DL+swap mixture
+	DLWeight   float64 // mixture weight of the DL proposal (default 0.1)
+	VAE        vae.Config
+}
+
+// ActiveLoop runs the full DeepThermo training cycle: generate data with
+// the current best proposal, retrain the VAE, repeat. Returns the final
+// model and the loss trajectory across rounds.
+func ActiveLoop(m *alloy.Model, opts ActiveLoopOptions) (*vae.Model, [][]EpochStats, error) {
+	if opts.Rounds == 0 {
+		opts.Rounds = 3
+	}
+	if opts.DLWeight == 0 {
+		opts.DLWeight = 0.1
+	}
+	var model *vae.Model
+	var history [][]EpochStats
+	for round := 0; round < opts.Rounds; round++ {
+		gen := opts.Gen
+		gen.Seed = opts.Gen.Seed + uint64(round)
+		ds, err := generateRound(m, model, gen, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if model == nil {
+			model, err = vae.New(opts.VAE, rng.New(opts.Train.Seed))
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		tr := opts.Train
+		tr.Seed = opts.Train.Seed + uint64(round)*31
+		stats, err := Fit(model, ds, tr)
+		if err != nil {
+			return nil, nil, err
+		}
+		history = append(history, stats)
+	}
+	return model, history, nil
+}
+
+// generateRound produces a round's dataset, optionally mixing the current
+// DL proposal into the generator chains.
+func generateRound(m *alloy.Model, model *vae.Model, gen workload.GenOptions, opts ActiveLoopOptions) (*workload.Dataset, error) {
+	if model == nil || !opts.UseDLInGen {
+		return workload.Generate(m, gen)
+	}
+	// Mixture generation: one chain per temperature with swap + DL moves.
+	if gen.Quota == nil {
+		n, k := m.Lattice().NumSites(), m.NumSpecies()
+		gen.Quota = make([]int, k)
+		for i := range gen.Quota {
+			gen.Quota[i] = n / k
+		}
+		gen.Quota[k-1] += n - (n/k)*k
+	}
+	streams := rng.NewStreams(gen.Seed, len(gen.Temps))
+	ds := &workload.Dataset{}
+	for ti, t := range gen.Temps {
+		src := streams[ti]
+		// Build the start configuration from the quota so its composition
+		// matches the DL proposal's constraint exactly.
+		cfg := make(lattice.Config, 0, m.Lattice().NumSites())
+		for sp, q := range gen.Quota {
+			for i := 0; i < q; i++ {
+				cfg = append(cfg, lattice.Species(sp))
+			}
+		}
+		src.Shuffle(len(cfg), func(i, j int) { cfg[i], cfg[j] = cfg[j], cfg[i] })
+		prop := mc.NewMixture(
+			[]mc.Proposal{
+				mc.NewSwapProposal(m),
+				mc.NewGlobalProposal(model.CloneWeights(src), m, gen.Quota, mc.CondForT(t)),
+			},
+			[]float64{1 - opts.DLWeight, opts.DLWeight},
+		)
+		s := mc.NewSampler(m, cfg, prop, src)
+		equil := gen.EquilSweeps
+		if equil == 0 {
+			equil = 200
+		}
+		gap := gen.GapSweeps
+		if gap == 0 {
+			gap = 10
+		}
+		for i := 0; i < equil; i++ {
+			s.Sweep(t)
+		}
+		for i := 0; i < gen.SamplesPerTemp; i++ {
+			for g := 0; g < gap; g++ {
+				s.Sweep(t)
+			}
+			ds.Append(s.Cfg.Clone(), mc.CondForT(t), s.E)
+		}
+	}
+	ds.Shuffle(rng.New(gen.Seed ^ 0x5a5a))
+	return ds, nil
+}

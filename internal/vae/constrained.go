@@ -1,0 +1,109 @@
+package vae
+
+import (
+	"fmt"
+	"math"
+
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/rng"
+)
+
+// The functions below implement composition-preserving sampling from the
+// decoder's factorized categorical distribution. The physical ensemble is
+// canonical — the number of atoms of each species is fixed — but an
+// unconstrained factorized sample would almost never hit the exact
+// composition on a large lattice. Instead, sites are visited in a given
+// order and species are drawn from the decoder probabilities reweighted by
+// the remaining quota of each species:
+//
+//	P(σ_site = a | history) ∝ p_site[a] · remaining[a]
+//
+// The product of these conditionals is a tractable proposal density over
+// exactly-on-composition configurations, which is what the Metropolis-
+// Hastings correction in mc.GlobalProposal evaluates. The visiting order is
+// part of the proposal's auxiliary state.
+
+// SampleConstrained draws a configuration with exact composition quota from
+// the per-site distributions probs, visiting sites in the given order, and
+// returns the configuration and its log proposal density. quota[a] must sum
+// to len(probs); order must be a permutation of the site indices.
+func SampleConstrained(probs [][]float64, quota []int, order []int, src *rng.Source) (lattice.Config, float64, error) {
+	n := len(probs)
+	if len(order) != n {
+		return nil, 0, fmt.Errorf("vae: order has %d entries for %d sites", len(order), n)
+	}
+	remaining := make([]float64, len(quota))
+	total := 0
+	for a, q := range quota {
+		if q < 0 {
+			return nil, 0, fmt.Errorf("vae: negative quota")
+		}
+		remaining[a] = float64(q)
+		total += q
+	}
+	if total != n {
+		return nil, 0, fmt.Errorf("vae: quota sums to %d for %d sites", total, n)
+	}
+	cfg := make(lattice.Config, n)
+	logProb := 0.0
+	for _, site := range order {
+		p := probs[site]
+		var norm float64
+		for a, r := range remaining {
+			norm += p[a] * r
+		}
+		// norm > 0 always: softmax probabilities are strictly positive and
+		// some species has remaining quota while sites remain.
+		u := src.Float64() * norm
+		var acc float64
+		choice := -1
+		for a, r := range remaining {
+			acc += p[a] * r
+			if u < acc {
+				choice = a
+				break
+			}
+		}
+		if choice < 0 { // fp edge: u == norm
+			for a := len(remaining) - 1; a >= 0; a-- {
+				if remaining[a] > 0 {
+					choice = a
+					break
+				}
+			}
+		}
+		cfg[site] = lattice.Species(choice)
+		logProb += math.Log(p[choice] * remaining[choice] / norm)
+		remaining[choice]--
+	}
+	return cfg, logProb, nil
+}
+
+// LogProbConstrained returns the log density of cfg under the constrained
+// sampling scheme with the given per-site distributions, quota, and order.
+// It is the reverse-move density needed by the exact MH correction.
+func LogProbConstrained(probs [][]float64, cfg lattice.Config, quota []int, order []int) (float64, error) {
+	n := len(probs)
+	if len(cfg) != n || len(order) != n {
+		return 0, fmt.Errorf("vae: size mismatch (%d probs, %d cfg, %d order)", n, len(cfg), len(order))
+	}
+	remaining := make([]float64, len(quota))
+	for a, q := range quota {
+		remaining[a] = float64(q)
+	}
+	logProb := 0.0
+	for _, site := range order {
+		p := probs[site]
+		var norm float64
+		for a, r := range remaining {
+			norm += p[a] * r
+		}
+		a := int(cfg[site])
+		if a >= len(remaining) || remaining[a] <= 0 {
+			return math.Inf(-1), nil // cfg violates the quota: impossible under this proposal
+		}
+		logProb += math.Log(p[a] * remaining[a] / norm)
+		remaining[a]--
+	}
+	return logProb, nil
+}

@@ -1,0 +1,31 @@
+package vae
+
+import "math"
+
+// log2pi is ln(2π).
+const log2pi = 1.8378770664093453
+
+// LogNormalPDF returns the log density of x under N(mu, exp(logvar)) with
+// diagonal covariance, summed over dimensions. It is used by the
+// posterior-guided MC proposal, whose Metropolis-Hastings correction needs
+// the encoder and prior densities in closed form.
+func LogNormalPDF(x, mu, logvar []float64) float64 {
+	if len(x) != len(mu) || len(x) != len(logvar) {
+		panic("vae: LogNormalPDF length mismatch")
+	}
+	var lp float64
+	for i, xi := range x {
+		d := xi - mu[i]
+		lp += -0.5 * (log2pi + logvar[i] + d*d*math.Exp(-logvar[i]))
+	}
+	return lp
+}
+
+// LogStdNormalPDF returns the log density of x under N(0, I).
+func LogStdNormalPDF(x []float64) float64 {
+	var lp float64
+	for _, xi := range x {
+		lp += -0.5 * (log2pi + xi*xi)
+	}
+	return lp
+}

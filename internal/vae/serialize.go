@@ -1,0 +1,66 @@
+package vae
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"deepthermo/internal/nn"
+	"deepthermo/internal/rng"
+)
+
+// modelFile is the on-disk representation of a trained model.
+type modelFile struct {
+	Magic   string // format guard
+	Version int
+	Config  Config
+	Weights []float64
+}
+
+const (
+	modelMagic   = "deepthermo-vae"
+	modelVersion = 1
+)
+
+// Save writes the model's hyperparameters and weights to w. The format is
+// self-describing; Load reconstructs an identical model, which lets long
+// REWL campaigns reuse proposal models across restarts and lets the
+// active-learning loop hand trained models between stages.
+func (m *Model) Save(w io.Writer) error {
+	f := modelFile{
+		Magic:   modelMagic,
+		Version: modelVersion,
+		Config:  m.cfg,
+		Weights: nn.FlattenValues(m.Params(), nil),
+	}
+	if err := gob.NewEncoder(w).Encode(&f); err != nil {
+		return fmt.Errorf("vae: saving model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var f modelFile
+	if err := gob.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("vae: loading model: %w", err)
+	}
+	if f.Magic != modelMagic {
+		return nil, fmt.Errorf("vae: not a DeepThermo model file")
+	}
+	if f.Version != modelVersion {
+		return nil, fmt.Errorf("vae: unsupported model version %d", f.Version)
+	}
+	// Weight initialization is immediately overwritten; the seed is
+	// irrelevant but must be deterministic.
+	m, err := New(f.Config, rng.New(0))
+	if err != nil {
+		return nil, err
+	}
+	params := m.Params()
+	if nn.NumParams(params) != len(f.Weights) {
+		return nil, fmt.Errorf("vae: model file has %d weights, architecture needs %d", len(f.Weights), nn.NumParams(params))
+	}
+	nn.SetValues(params, f.Weights)
+	return m, nil
+}

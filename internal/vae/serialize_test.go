@@ -1,0 +1,54 @@
+package vae
+
+import (
+	"bytes"
+	"testing"
+
+	"deepthermo/internal/rng"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, err := New(Config{Sites: 8, Species: 3, Latent: 4, Hidden: 16, BetaKL: 0.7}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Config() != m.Config() {
+		t.Errorf("config %+v != %+v", loaded.Config(), m.Config())
+	}
+	// Identical inference.
+	z := []float64{0.3, -0.1, 0.7, 0.2}
+	a := m.DecodeProbs(z, 0.5)
+	b := loaded.DecodeProbs(z, 0.5)
+	for site := range a {
+		for k := range a[site] {
+			if a[site][k] != b[site][k] {
+				t.Fatalf("loaded model decodes differently at site %d", site)
+			}
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Wrong magic via a valid gob of the wrong struct shape.
+	var buf bytes.Buffer
+	m, _ := New(Config{Sites: 4, Species: 2, Latent: 2, Hidden: 4, BetaKL: 1}, rng.New(2))
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xFF // corrupt the payload
+	if _, err := Load(bytes.NewReader(data)); err == nil {
+		t.Error("corrupted model accepted")
+	}
+}

@@ -1,0 +1,299 @@
+// Package vae implements DeepThermo's deep-learning MC proposal model: a
+// conditional variational autoencoder over lattice configurations.
+//
+// Configurations are one-hot encoded (N sites × k species) and conditioned
+// on a scalar (normalized temperature or energy level). The encoder maps a
+// configuration to a diagonal Gaussian over a low-dimensional latent space;
+// the decoder maps a latent vector back to per-site categorical
+// distributions. Sampling the decoder yields a global configuration update
+// — every site can change at once — which is the paper's answer to the
+// non-scalability of local-swap proposals.
+//
+// Crucially for exactness, the decoder's factorized-categorical form gives
+// a closed-form proposal density, so the Metropolis-Hastings correction in
+// package mc can be computed exactly (see mc.GlobalProposal for the
+// auxiliary-variable construction).
+package vae
+
+import (
+	"fmt"
+	"math"
+
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/nn"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/tensor"
+)
+
+// Config holds the VAE hyperparameters.
+type Config struct {
+	Sites   int // N lattice sites
+	Species int // k alloy components
+	Latent  int // latent dimension L
+	Hidden  int // width of the two hidden layers in encoder and decoder
+	BetaKL  float64
+}
+
+// Model is a conditional VAE. It is not safe for concurrent training; for
+// concurrent proposal generation, clone per walker with CloneWeights (the
+// inference path still mutates layer caches).
+type Model struct {
+	cfg Config
+	enc *nn.Sequential // (N·k + 1) → hidden → hidden → 2L
+	dec *nn.Sequential // (L + 1)   → hidden → hidden → N·k
+}
+
+// New constructs a VAE with Xavier-initialized weights from src.
+func New(cfg Config, src *rng.Source) (*Model, error) {
+	if cfg.Sites <= 0 || cfg.Species < 2 || cfg.Latent <= 0 || cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("vae: invalid config %+v", cfg)
+	}
+	if cfg.BetaKL <= 0 {
+		cfg.BetaKL = 1
+	}
+	in := cfg.Sites*cfg.Species + 1
+	enc := nn.NewSequential(
+		nn.NewDense(in, cfg.Hidden, src),
+		nn.NewActivation(nn.Tanh),
+		nn.NewDense(cfg.Hidden, cfg.Hidden, src),
+		nn.NewActivation(nn.Tanh),
+		nn.NewDense(cfg.Hidden, 2*cfg.Latent, src),
+	)
+	dec := nn.NewSequential(
+		nn.NewDense(cfg.Latent+1, cfg.Hidden, src),
+		nn.NewActivation(nn.Tanh),
+		nn.NewDense(cfg.Hidden, cfg.Hidden, src),
+		nn.NewActivation(nn.Tanh),
+		nn.NewDense(cfg.Hidden, cfg.Sites*cfg.Species, src),
+	)
+	return &Model{cfg: cfg, enc: enc, dec: dec}, nil
+}
+
+// Config returns the hyperparameters.
+func (m *Model) Config() Config { return m.cfg }
+
+// SetBetaKL changes the KL weight (used for warmup schedules during
+// training; it does not affect inference).
+func (m *Model) SetBetaKL(beta float64) { m.cfg.BetaKL = beta }
+
+// Params returns all trainable parameters (encoder then decoder).
+func (m *Model) Params() []nn.Param {
+	return append(m.enc.Params(), m.dec.Params()...)
+}
+
+// NumParams returns the scalar parameter count.
+func (m *Model) NumParams() int { return nn.NumParams(m.Params()) }
+
+// CloneWeights returns a new Model with copied weights, for concurrent
+// inference by independent walkers.
+func (m *Model) CloneWeights(src *rng.Source) *Model {
+	clone, err := New(m.cfg, src)
+	if err != nil {
+		panic(err) // unreachable: m.cfg was already validated
+	}
+	nn.SetValues(clone.Params(), nn.FlattenValues(m.Params(), nil))
+	return clone
+}
+
+// OneHot encodes cfg into dst (allocating if nil) as N·k one-hot blocks.
+func (m *Model) OneHot(cfg lattice.Config, dst []float64) []float64 {
+	n, k := m.cfg.Sites, m.cfg.Species
+	if len(cfg) != n {
+		panic("vae: configuration size mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, n*k)
+	} else {
+		for i := range dst {
+			dst[i] = 0
+		}
+	}
+	for site, sp := range cfg {
+		dst[site*k+int(sp)] = 1
+	}
+	return dst
+}
+
+// Losses reports the terms of one training step.
+type Losses struct {
+	Recon float64 // mean per-sample reconstruction cross-entropy (nats)
+	KL    float64 // mean per-sample KL divergence to the prior
+	// Accuracy is the fraction of sites whose argmax reconstruction
+	// matches the input.
+	Accuracy float64
+}
+
+// Total returns the β-weighted ELBO loss.
+func (l Losses) Total(betaKL float64) float64 { return l.Recon + betaKL*l.KL }
+
+const logvarClamp = 10 // |log σ²| clamp for numerical stability
+
+// Step runs one forward/backward pass on a batch and accumulates gradients
+// (callers zero them between optimizer steps). x is B × N·k one-hot rows,
+// cond is one condition scalar per row, targets the species per site.
+func (m *Model) Step(x *tensor.Matrix, cond []float64, targets []lattice.Config, src *rng.Source) Losses {
+	b := x.Rows
+	n, k, l := m.cfg.Sites, m.cfg.Species, m.cfg.Latent
+	if len(cond) != b || len(targets) != b {
+		panic("vae: batch size mismatch")
+	}
+
+	// Encoder: concat condition column.
+	encIn := tensor.NewMatrix(b, n*k+1)
+	for i := 0; i < b; i++ {
+		copy(encIn.Row(i), x.Row(i))
+		encIn.Row(i)[n*k] = cond[i]
+	}
+	encOut := m.enc.Forward(encIn) // B × 2L: [mu | logvar]
+
+	// Reparameterize.
+	eps := tensor.NewMatrix(b, l)
+	z := tensor.NewMatrix(b, l)
+	sigma := tensor.NewMatrix(b, l)
+	var kl float64
+	for i := 0; i < b; i++ {
+		row := encOut.Row(i)
+		for j := 0; j < l; j++ {
+			mu := row[j]
+			lv := clamp(row[l+j], -logvarClamp, logvarClamp)
+			s := math.Exp(0.5 * lv)
+			e := src.NormFloat64()
+			eps.Set(i, j, e)
+			sigma.Set(i, j, s)
+			z.Set(i, j, mu+s*e)
+			kl += 0.5 * (math.Exp(lv) + mu*mu - 1 - lv)
+		}
+	}
+
+	// Decoder: concat condition column.
+	decIn := tensor.NewMatrix(b, l+1)
+	for i := 0; i < b; i++ {
+		copy(decIn.Row(i), z.Row(i))
+		decIn.Row(i)[l] = cond[i]
+	}
+	logits := m.dec.Forward(decIn) // B × N·k
+
+	// Per-site softmax cross-entropy; gradient wrt logits is p − onehot.
+	gradLogits := tensor.NewMatrix(b, n*k)
+	var recon float64
+	correct := 0
+	probs := make([]float64, k)
+	for i := 0; i < b; i++ {
+		lrow := logits.Row(i)
+		grow := gradLogits.Row(i)
+		for site := 0; site < n; site++ {
+			seg := lrow[site*k : (site+1)*k]
+			softmax(seg, probs)
+			t := int(targets[i][site])
+			recon += -math.Log(math.Max(probs[t], 1e-300))
+			argmax := 0
+			for a := 1; a < k; a++ {
+				if probs[a] > probs[argmax] {
+					argmax = a
+				}
+			}
+			if argmax == t {
+				correct++
+			}
+			gseg := grow[site*k : (site+1)*k]
+			copy(gseg, probs)
+			gseg[t]--
+		}
+	}
+	// Mean over batch.
+	tensor.Scale(1/float64(b), gradLogits.Data)
+	recon /= float64(b)
+	kl /= float64(b)
+
+	// Backward through decoder.
+	gradDecIn := m.dec.Backward(gradLogits)
+
+	// Backward through reparameterization + KL into encoder output.
+	gradEncOut := tensor.NewMatrix(b, 2*l)
+	bkl := m.cfg.BetaKL / float64(b)
+	for i := 0; i < b; i++ {
+		gz := gradDecIn.Row(i) // first l entries are ∂L/∂z
+		row := encOut.Row(i)
+		grow := gradEncOut.Row(i)
+		for j := 0; j < l; j++ {
+			mu := row[j]
+			lv := clamp(row[l+j], -logvarClamp, logvarClamp)
+			// ∂L/∂mu = ∂L/∂z + βKL·mu
+			grow[j] = gz[j] + bkl*mu
+			// ∂L/∂logvar = ∂L/∂z · ε · ½σ + βKL·½(e^lv − 1)
+			grow[l+j] = gz[j]*eps.At(i, j)*0.5*sigma.At(i, j) + bkl*0.5*(math.Exp(lv)-1)
+		}
+	}
+	m.enc.Backward(gradEncOut)
+
+	return Losses{
+		Recon:    recon,
+		KL:       kl,
+		Accuracy: float64(correct) / float64(b*n),
+	}
+}
+
+// softmax writes the softmax of logits into out.
+func softmax(logits, out []float64) {
+	max := logits[0]
+	for _, v := range logits[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// DecodeProbs decodes latent z under condition cond into per-site
+// categorical distributions probs[site][species]. The rows of the returned
+// matrix-of-slices are fresh allocations owned by the caller.
+func (m *Model) DecodeProbs(z []float64, cond float64) [][]float64 {
+	n, k, l := m.cfg.Sites, m.cfg.Species, m.cfg.Latent
+	if len(z) != l {
+		panic("vae: latent size mismatch")
+	}
+	decIn := tensor.NewMatrix(1, l+1)
+	copy(decIn.Row(0), z)
+	decIn.Row(0)[l] = cond
+	logits := m.dec.Forward(decIn).Row(0)
+	probs := make([][]float64, n)
+	for site := 0; site < n; site++ {
+		p := make([]float64, k)
+		softmax(logits[site*k:(site+1)*k], p)
+		probs[site] = p
+	}
+	return probs
+}
+
+// Encode returns the posterior mean and log-variance for cfg under cond.
+func (m *Model) Encode(cfg lattice.Config, cond float64) (mu, logvar []float64) {
+	n, k, l := m.cfg.Sites, m.cfg.Species, m.cfg.Latent
+	encIn := tensor.NewMatrix(1, n*k+1)
+	m.OneHot(cfg, encIn.Row(0)[:n*k])
+	encIn.Row(0)[n*k] = cond
+	out := m.enc.Forward(encIn).Row(0)
+	mu = append([]float64(nil), out[:l]...)
+	logvar = make([]float64, l)
+	for j := 0; j < l; j++ {
+		logvar[j] = clamp(out[l+j], -logvarClamp, logvarClamp)
+	}
+	return mu, logvar
+}

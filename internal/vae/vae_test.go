@@ -1,0 +1,377 @@
+package vae
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/nn"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/tensor"
+)
+
+func testConfig() Config {
+	return Config{Sites: 8, Species: 3, Latent: 4, Hidden: 16, BetaKL: 1}
+}
+
+func testBatch(m *Model, b int, src *rng.Source) (*tensor.Matrix, []float64, []lattice.Config) {
+	n, k := m.Config().Sites, m.Config().Species
+	x := tensor.NewMatrix(b, n*k)
+	conds := make([]float64, b)
+	targets := make([]lattice.Config, b)
+	for i := 0; i < b; i++ {
+		cfg := make(lattice.Config, n)
+		for s := range cfg {
+			cfg[s] = lattice.Species(src.Intn(k))
+		}
+		targets[i] = cfg
+		m.OneHot(cfg, x.Row(i))
+		conds[i] = src.Float64()
+	}
+	return x, conds, targets
+}
+
+func TestNewValidation(t *testing.T) {
+	src := rng.New(1)
+	bad := []Config{
+		{Sites: 0, Species: 2, Latent: 2, Hidden: 4},
+		{Sites: 4, Species: 1, Latent: 2, Hidden: 4},
+		{Sites: 4, Species: 2, Latent: 0, Hidden: 4},
+		{Sites: 4, Species: 2, Latent: 2, Hidden: 0},
+	}
+	for _, c := range bad {
+		if _, err := New(c, src); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	m, err := New(testConfig(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumParams() == 0 {
+		t.Error("no parameters")
+	}
+}
+
+func TestOneHot(t *testing.T) {
+	src := rng.New(2)
+	m, _ := New(testConfig(), src)
+	cfg := lattice.Config{0, 1, 2, 0, 1, 2, 0, 1}
+	oh := m.OneHot(cfg, nil)
+	if len(oh) != 8*3 {
+		t.Fatalf("one-hot length %d", len(oh))
+	}
+	for site, sp := range cfg {
+		for k := 0; k < 3; k++ {
+			want := 0.0
+			if int(sp) == k {
+				want = 1
+			}
+			if oh[site*3+k] != want {
+				t.Fatalf("one-hot wrong at site %d", site)
+			}
+		}
+	}
+	// Reuse clears previous contents.
+	cfg2 := lattice.Config{2, 2, 2, 2, 2, 2, 2, 2}
+	m.OneHot(cfg2, oh)
+	if oh[0] != 0 || oh[2] != 1 {
+		t.Fatal("one-hot reuse did not clear")
+	}
+}
+
+func TestDecodeProbsNormalized(t *testing.T) {
+	src := rng.New(3)
+	m, _ := New(testConfig(), src)
+	z := make([]float64, 4)
+	for i := range z {
+		z[i] = src.NormFloat64()
+	}
+	probs := m.DecodeProbs(z, 0.5)
+	if len(probs) != 8 {
+		t.Fatalf("probs for %d sites", len(probs))
+	}
+	for site, p := range probs {
+		var sum float64
+		for _, v := range p {
+			if v <= 0 {
+				t.Fatalf("site %d: non-positive probability %g", site, v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("site %d: probabilities sum to %g", site, sum)
+		}
+	}
+}
+
+func TestStepReducesLossOnMemorization(t *testing.T) {
+	// A VAE with ample capacity must drive reconstruction loss down on a
+	// single repeated batch.
+	src := rng.New(4)
+	m, _ := New(testConfig(), src)
+	x, conds, targets := testBatch(m, 4, src)
+	opt := nn.NewAdam(5e-3)
+	params := m.Params()
+	var first, last Losses
+	for it := 0; it < 300; it++ {
+		nn.ZeroGrads(params)
+		l := m.Step(x, conds, targets, src)
+		opt.Step(params)
+		if it == 0 {
+			first = l
+		}
+		last = l
+	}
+	if last.Recon >= first.Recon*0.7 {
+		t.Errorf("recon loss did not drop: %g → %g", first.Recon, last.Recon)
+	}
+	if last.Accuracy <= first.Accuracy {
+		t.Errorf("accuracy did not improve: %g → %g", first.Accuracy, last.Accuracy)
+	}
+	if last.KL < 0 {
+		t.Errorf("negative KL %g", last.KL)
+	}
+}
+
+// TestStepGradients finite-difference-checks the full VAE loss gradient
+// (reconstruction + KL through the reparameterization) for a sample of
+// parameters. The stochastic ε draw is made reproducible by resetting the
+// RNG to the same seed before every evaluation.
+func TestStepGradients(t *testing.T) {
+	cfg := Config{Sites: 4, Species: 2, Latent: 2, Hidden: 6, BetaKL: 0.7}
+	m, _ := New(cfg, rng.New(5))
+	x, conds, targets := testBatch(m, 3, rng.New(6))
+
+	lossAt := func() float64 {
+		// Fixed RNG → identical ε draws → deterministic loss.
+		l := m.Step(x, conds, targets, rng.New(77))
+		return l.Recon + cfg.BetaKL*l.KL
+	}
+
+	params := m.Params()
+	nn.ZeroGrads(params)
+	m.Step(x, conds, targets, rng.New(77))
+	grads := nn.FlattenGrads(params, nil)
+
+	flat := nn.FlattenValues(params, nil)
+	const h = 1e-6
+	checked := 0
+	for j := 0; j < len(flat); j += 11 {
+		orig := flat[j]
+		flat[j] = orig + h
+		nn.SetValues(params, flat)
+		lp := lossAt()
+		flat[j] = orig - h
+		nn.SetValues(params, flat)
+		lm := lossAt()
+		flat[j] = orig
+		nn.SetValues(params, flat)
+		fd := (lp - lm) / (2 * h)
+		if math.Abs(fd-grads[j]) > 2e-3*(1+math.Abs(fd)) {
+			t.Errorf("param %d: backprop %g vs fd %g", j, grads[j], fd)
+		}
+		checked++
+	}
+	if checked < 20 {
+		t.Fatalf("only %d parameters checked", checked)
+	}
+}
+
+func TestEncodeShapes(t *testing.T) {
+	src := rng.New(7)
+	m, _ := New(testConfig(), src)
+	cfg := make(lattice.Config, 8)
+	mu, logvar := m.Encode(cfg, 0.3)
+	if len(mu) != 4 || len(logvar) != 4 {
+		t.Fatalf("Encode shapes %d, %d", len(mu), len(logvar))
+	}
+	for _, lv := range logvar {
+		if lv < -logvarClamp-1e-9 || lv > logvarClamp+1e-9 {
+			t.Fatalf("logvar %g outside clamp", lv)
+		}
+	}
+}
+
+func TestCloneWeightsIdenticalInference(t *testing.T) {
+	src := rng.New(8)
+	m, _ := New(testConfig(), src)
+	clone := m.CloneWeights(rng.New(9))
+	z := []float64{0.1, -0.2, 0.3, 0}
+	p1 := m.DecodeProbs(z, 0.4)
+	p2 := clone.DecodeProbs(z, 0.4)
+	for site := range p1 {
+		for k := range p1[site] {
+			if p1[site][k] != p2[site][k] {
+				t.Fatal("clone decodes differently")
+			}
+		}
+	}
+	// Mutating the clone must not affect the original.
+	clone.Params()[0].Value[0] += 1
+	p3 := m.DecodeProbs(z, 0.4)
+	if p3[0][0] != p1[0][0] {
+		t.Fatal("clone shares weights")
+	}
+}
+
+func TestSetBetaKL(t *testing.T) {
+	m, _ := New(testConfig(), rng.New(10))
+	m.SetBetaKL(0.25)
+	if m.Config().BetaKL != 0.25 {
+		t.Error("SetBetaKL ignored")
+	}
+}
+
+func TestLossesTotal(t *testing.T) {
+	l := Losses{Recon: 2, KL: 3}
+	if l.Total(0.5) != 3.5 {
+		t.Errorf("Total = %g", l.Total(0.5))
+	}
+}
+
+func TestSampleConstrainedQuota(t *testing.T) {
+	src := rng.New(11)
+	n, k := 12, 3
+	probs := make([][]float64, n)
+	for i := range probs {
+		p := make([]float64, k)
+		var sum float64
+		for j := range p {
+			p[j] = src.Float64() + 0.01
+			sum += p[j]
+		}
+		for j := range p {
+			p[j] /= sum
+		}
+		probs[i] = p
+	}
+	quota := []int{5, 4, 3}
+	err := quick.Check(func(seed uint16) bool {
+		s := rng.New(uint64(seed))
+		order := s.Perm(n)
+		cfg, logProb, err := SampleConstrained(probs, quota, order, s)
+		if err != nil {
+			return false
+		}
+		counts := cfg.Counts(k)
+		for sp := range quota {
+			if counts[sp] != quota[sp] {
+				return false
+			}
+		}
+		return logProb <= 0 && !math.IsInf(logProb, -1)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogProbMatchesSample: the density returned by SampleConstrained must
+// equal LogProbConstrained evaluated on the sampled configuration — the
+// identity the exact MH correction depends on.
+func TestLogProbMatchesSample(t *testing.T) {
+	src := rng.New(12)
+	n, k := 10, 4
+	probs := make([][]float64, n)
+	for i := range probs {
+		p := make([]float64, k)
+		var sum float64
+		for j := range p {
+			p[j] = src.Float64() + 0.05
+			sum += p[j]
+		}
+		for j := range p {
+			p[j] /= sum
+		}
+		probs[i] = p
+	}
+	quota := []int{3, 3, 2, 2}
+	for trial := 0; trial < 100; trial++ {
+		order := src.Perm(n)
+		cfg, logSample, err := SampleConstrained(probs, quota, order, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logEval, err := LogProbConstrained(probs, cfg, quota, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(logSample-logEval) > 1e-10 {
+			t.Fatalf("sample density %g != evaluated density %g", logSample, logEval)
+		}
+	}
+}
+
+func TestLogProbConstrainedQuotaViolation(t *testing.T) {
+	probs := [][]float64{{0.5, 0.5}, {0.5, 0.5}}
+	// cfg uses species 0 twice but quota allows once.
+	lp, err := LogProbConstrained(probs, lattice.Config{0, 0}, []int{1, 1}, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(lp, -1) {
+		t.Errorf("quota-violating config has density %g, want -inf", lp)
+	}
+}
+
+func TestConstrainedValidation(t *testing.T) {
+	probs := [][]float64{{1, 0}, {0, 1}}
+	src := rng.New(13)
+	if _, _, err := SampleConstrained(probs, []int{1, 1}, []int{0}, src); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, _, err := SampleConstrained(probs, []int{3, 1}, []int{0, 1}, src); err == nil {
+		t.Error("oversubscribed quota accepted")
+	}
+	if _, _, err := SampleConstrained(probs, []int{-1, 3}, []int{0, 1}, src); err == nil {
+		t.Error("negative quota accepted")
+	}
+	if _, err := LogProbConstrained(probs, lattice.Config{0}, []int{1, 1}, []int{0, 1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+// TestConstrainedSamplingDistribution: with uniform per-site probabilities
+// the constrained sampler must produce every fixed-composition arrangement
+// with equal probability; check via the exact density (uniform: each
+// config has density 1/multinomial).
+func TestConstrainedSamplingDistribution(t *testing.T) {
+	n := 6
+	probs := make([][]float64, n)
+	for i := range probs {
+		probs[i] = []float64{0.5, 0.5}
+	}
+	quota := []int{3, 3}
+	src := rng.New(14)
+	wantLog := -math.Log(20) // C(6,3) = 20 arrangements
+	for trial := 0; trial < 50; trial++ {
+		order := src.Perm(n)
+		_, lp, err := SampleConstrained(probs, quota, order, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lp-wantLog) > 1e-10 {
+			t.Fatalf("uniform constrained density %g, want %g", lp, wantLog)
+		}
+	}
+}
+
+func TestGaussDensities(t *testing.T) {
+	// Standard normal at 0: −½ln(2π) per dim.
+	if lp := LogStdNormalPDF([]float64{0, 0}); math.Abs(lp+log2pi) > 1e-12 {
+		t.Errorf("std normal at origin: %g", lp)
+	}
+	// General vs standard consistency.
+	x := []float64{0.3, -0.7}
+	mu := []float64{0, 0}
+	lv := []float64{0, 0}
+	if math.Abs(LogNormalPDF(x, mu, lv)-LogStdNormalPDF(x)) > 1e-12 {
+		t.Error("LogNormalPDF with unit params != LogStdNormalPDF")
+	}
+	// Scaling: N(0, e¹) at 0 is −½(ln2π + 1).
+	if lp := LogNormalPDF([]float64{0}, []float64{0}, []float64{1}); math.Abs(lp+0.5*(log2pi+1)) > 1e-12 {
+		t.Errorf("scaled normal: %g", lp)
+	}
+}

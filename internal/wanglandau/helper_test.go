@@ -1,0 +1,25 @@
+package wanglandau
+
+import (
+	"testing"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/mc"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/vae"
+)
+
+// newTestDLMixture builds a swap + untrained-DL mixture proposal for the
+// 8-site binary test system.
+func newTestDLMixture(t *testing.T, m *alloy.Model, src *rng.Source) mc.Proposal {
+	t.Helper()
+	vcfg := vae.Config{Sites: 8, Species: 2, Latent: 2, Hidden: 8, BetaKL: 1}
+	model, err := vae.New(vcfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mc.NewMixture(
+		[]mc.Proposal{mc.NewSwapProposal(m), mc.NewGlobalProposal(model, m, []int{4, 4}, 0.5)},
+		[]float64{0.7, 0.3},
+	)
+}

@@ -1,0 +1,228 @@
+package wanglandau
+
+import (
+	"math"
+	"testing"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/dos"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/mc"
+	"deepthermo/internal/rng"
+)
+
+func smallSystem(t testing.TB) (*alloy.Model, *dos.LogDOS) {
+	t.Helper()
+	lat := lattice.MustNew(lattice.SC, 2, 2, 2)
+	m := alloy.BinaryOrdering(lat, 0.05)
+	exact, err := dos.EnumerateFixedComposition(m, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := exact.ToLogDOS(0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+// TestWLConvergesToExactDOS is the core validation (experiment E11): the
+// WL estimate must match exact enumeration to a few percent RMS in ln g.
+func TestWLConvergesToExactDOS(t *testing.T) {
+	m, exact := smallSystem(t)
+	src := rng.New(1)
+	cfg := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	w, err := NewWalker(m, cfg, mc.NewSwapProposal(m), src,
+		Window{EMin: exact.EMin, EMax: exact.EMax(), Bins: exact.Bins()},
+		Options{LnFFinal: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	if !res.Converged {
+		t.Fatal("WL hit the safety cutoff")
+	}
+	rms, n, err := dos.RMSLogError(res.DOS, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 {
+		t.Fatalf("only %d bins compared", n)
+	}
+	if rms > 0.15 {
+		t.Errorf("WL RMS ln g error %g too large", rms)
+	}
+}
+
+func TestWLStagesHalveLnF(t *testing.T) {
+	m, exact := smallSystem(t)
+	src := rng.New(2)
+	cfg := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	w, err := NewWalker(m, cfg, mc.NewSwapProposal(m), src,
+		Window{EMin: exact.EMin, EMax: exact.EMax(), Bins: exact.Bins()},
+		Options{LnFFinal: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	for i, st := range res.Stages {
+		want := 1.0 / math.Pow(2, float64(i))
+		if math.Abs(st.LnF-want) > 1e-12 {
+			t.Fatalf("stage %d ln f = %g, want %g", i, st.LnF, want)
+		}
+		if st.Sweeps <= 0 {
+			t.Fatalf("stage %d has %d sweeps", i, st.Sweeps)
+		}
+	}
+	if w.LnF() >= 1e-3 {
+		t.Error("walker not converged")
+	}
+	if !w.Converged() {
+		t.Error("Converged() false after run")
+	}
+}
+
+func TestWalkerRejectsOutOfWindowStart(t *testing.T) {
+	m, exact := smallSystem(t)
+	src := rng.New(3)
+	cfg := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	// A window far above any reachable energy.
+	_, err := NewWalker(m, cfg, mc.NewSwapProposal(m), src,
+		Window{EMin: exact.EMax() + 10, EMax: exact.EMax() + 11, Bins: 4}, Options{})
+	if err == nil {
+		t.Fatal("out-of-window start accepted")
+	}
+}
+
+// TestWalkerStaysInWindow: the walker's energy must never leave its window.
+func TestWalkerStaysInWindow(t *testing.T) {
+	m, exact := smallSystem(t)
+	src := rng.New(4)
+	cfg := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	// Restrict to the lower half of the spectrum.
+	win := Window{EMin: exact.EMin, EMax: exact.EMin + (exact.EMax()-exact.EMin)/2, Bins: exact.Bins() / 2}
+	e, err := PrepareInWindow(m, cfg, win, src, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e < win.EMin || e >= win.EMax {
+		t.Fatalf("PrepareInWindow left energy at %g", e)
+	}
+	w, err := NewWalker(m, cfg, mc.NewSwapProposal(m), src, win, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		w.Sweep()
+		if w.Energy() < win.EMin || w.Energy() >= win.EMax {
+			t.Fatalf("walker escaped window: E = %g", w.Energy())
+		}
+	}
+	if w.Sweeps() != 200 {
+		t.Errorf("Sweeps = %d", w.Sweeps())
+	}
+}
+
+func TestPrepareInWindowFailsGracefully(t *testing.T) {
+	m, exact := smallSystem(t)
+	src := rng.New(5)
+	cfg := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	win := Window{EMin: exact.EMax() + 100, EMax: exact.EMax() + 101, Bins: 4}
+	if _, err := PrepareInWindow(m, cfg, win, src, 5); err == nil {
+		t.Fatal("unreachable window reported success")
+	}
+}
+
+func TestMaxSweepsCutoff(t *testing.T) {
+	m, exact := smallSystem(t)
+	src := rng.New(6)
+	cfg := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	w, err := NewWalker(m, cfg, mc.NewSwapProposal(m), src,
+		Window{EMin: exact.EMin, EMax: exact.EMax(), Bins: exact.Bins()},
+		Options{LnFFinal: 1e-30, MaxTotalSweeps: 100, MaxSweepsPerStage: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	if res.Converged {
+		t.Error("impossible convergence reported")
+	}
+	if res.TotalSweeps > 200 {
+		t.Errorf("cutoff ignored: %d sweeps", res.TotalSweeps)
+	}
+}
+
+func TestWLWithDLProposalStaysExact(t *testing.T) {
+	// Wang-Landau driven by a mixture with the (untrained) DL proposal
+	// must converge to the same exact DOS: acceptance rule and proposal
+	// correction compose.
+	m, exact := smallSystem(t)
+	src := rng.New(7)
+	cfg := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+
+	// Import cycle avoidance: build the DL proposal inline via mc helpers.
+	prop := newTestDLMixture(t, m, src)
+	w, err := NewWalker(m, cfg, prop, src,
+		Window{EMin: exact.EMin, EMax: exact.EMax(), Bins: exact.Bins()},
+		Options{LnFFinal: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	if !res.Converged {
+		t.Fatal("WL with DL mixture did not converge")
+	}
+	rms, _, err := dos.RMSLogError(res.DOS, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms > 0.2 {
+		t.Errorf("WL+DL RMS error %g", rms)
+	}
+}
+
+// TestOneOverTConvergesToExactDOS: the 1/t schedule must reach the same
+// exact DOS as the halving schedule (experiment ablation A4).
+func TestOneOverTConvergesToExactDOS(t *testing.T) {
+	m, exact := smallSystem(t)
+	src := rng.New(21)
+	cfg := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	w, err := NewWalker(m, cfg, mc.NewSwapProposal(m), src,
+		Window{EMin: exact.EMin, EMax: exact.EMax(), Bins: exact.Bins()},
+		Options{LnFFinal: 5e-5, OneOverT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	if !res.Converged {
+		t.Fatal("1/t WL did not converge")
+	}
+	rms, _, err := dos.RMSLogError(res.DOS, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rms > 0.15 {
+		t.Errorf("1/t WL RMS error %g", rms)
+	}
+	if w.LnF() >= 5e-5 {
+		t.Error("final ln f not below target")
+	}
+}
+
+func TestStageStatAcceptRateBounded(t *testing.T) {
+	m, exact := smallSystem(t)
+	src := rng.New(8)
+	cfg := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	w, err := NewWalker(m, cfg, mc.NewSwapProposal(m), src,
+		Window{EMin: exact.EMin, EMax: exact.EMax(), Bins: exact.Bins()},
+		Options{LnFFinal: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run()
+	for _, st := range res.Stages {
+		if st.AcceptRate < 0 || st.AcceptRate > 1 {
+			t.Fatalf("acceptance rate %g out of range", st.AcceptRate)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package wham implements the weighted histogram analysis method: the
+// maximum-likelihood estimate of the density of states from canonical
+// energy histograms collected at several temperatures (e.g. by parallel
+// tempering).
+//
+// WHAM is the classical route to g(E) that DeepThermo's direct
+// flat-histogram sampling replaces: it only resolves g where some ladder
+// temperature puts weight, whereas Wang-Landau covers the window by
+// construction. Implementing both makes the trade-off measurable and
+// gives the test suite a third independent estimator of the same
+// thermodynamics (alongside exact enumeration and REWL).
+//
+// The self-consistent equations, solved in log domain:
+//
+//	ln g(E) = ln Σ_i H_i(E) − lse_i[ ln N_i + f_i − β_i E ]
+//	f_i     = −lse_E[ ln g(E) − β_i E ]
+//
+// where H_i is run i's energy histogram, N_i its sample count, and lse is
+// log-sum-exp.
+package wham
+
+import (
+	"fmt"
+	"math"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/dos"
+)
+
+// Run is one canonical run's input: its temperature and its energy
+// histogram over the common bin grid.
+type Run struct {
+	T      float64 // kelvin
+	Counts []int64 // histogram over the shared energy bins
+}
+
+// Options controls the self-consistent iteration.
+type Options struct {
+	MaxIter int     // default 10000
+	Tol     float64 // max |Δf| convergence threshold in nats (default 1e-10)
+}
+
+// Result is a converged WHAM solution.
+type Result struct {
+	DOS        *dos.LogDOS
+	FreeEnergy []float64 // f_i = −ln Z_i (up to the common gauge), per run
+	Iterations int
+	Converged  bool
+}
+
+// Solve estimates ln g(E) from histograms on the bin grid defined by eMin
+// and binWidth. At least one run and one populated bin are required.
+func Solve(eMin, binWidth float64, bins int, runs []Run, opts Options) (*Result, error) {
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("wham: no runs")
+	}
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 10000
+	}
+	if opts.Tol == 0 {
+		opts.Tol = 1e-10
+	}
+	d, err := dos.New(eMin, eMin+binWidth*float64(bins), bins)
+	if err != nil {
+		return nil, err
+	}
+
+	// Precompute per-run totals and the pooled histogram.
+	nRuns := len(runs)
+	logN := make([]float64, nRuns)
+	beta := make([]float64, nRuns)
+	for i, r := range runs {
+		if len(r.Counts) != bins {
+			return nil, fmt.Errorf("wham: run %d has %d bins, want %d", i, len(r.Counts), bins)
+		}
+		if r.T <= 0 {
+			return nil, fmt.Errorf("wham: run %d has non-positive temperature", i)
+		}
+		var total int64
+		for _, c := range r.Counts {
+			if c < 0 {
+				return nil, fmt.Errorf("wham: negative count in run %d", i)
+			}
+			total += c
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("wham: run %d has an empty histogram", i)
+		}
+		logN[i] = math.Log(float64(total))
+		beta[i] = 1 / (alloy.KB * r.T)
+	}
+	logPooled := make([]float64, bins)
+	anyBin := false
+	for b := 0; b < bins; b++ {
+		var pooled int64
+		for _, r := range runs {
+			pooled += r.Counts[b]
+		}
+		if pooled > 0 {
+			logPooled[b] = math.Log(float64(pooled))
+			anyBin = true
+		} else {
+			logPooled[b] = math.Inf(-1)
+		}
+	}
+	if !anyBin {
+		return nil, fmt.Errorf("wham: all histograms empty")
+	}
+
+	f := make([]float64, nRuns) // −ln Z_i, gauge-fixed to f[0] = 0
+	fNew := make([]float64, nRuns)
+	res := &Result{}
+	den := make([]float64, nRuns)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		// ln g from the current f.
+		for b := 0; b < bins; b++ {
+			if math.IsInf(logPooled[b], -1) {
+				d.LogG[b] = math.Inf(-1)
+				continue
+			}
+			e := d.BinEnergy(b)
+			for i := range runs {
+				den[i] = logN[i] + f[i] - beta[i]*e
+			}
+			d.LogG[b] = logPooled[b] - dos.LogSumExp(den)
+		}
+		// f from the current ln g.
+		maxDelta := 0.0
+		for i := range runs {
+			var lse float64 = math.Inf(-1)
+			for b := 0; b < bins; b++ {
+				if math.IsInf(d.LogG[b], -1) {
+					continue
+				}
+				v := d.LogG[b] - beta[i]*d.BinEnergy(b)
+				if math.IsInf(lse, -1) {
+					lse = v
+				} else if v > lse {
+					lse = v + math.Log1p(math.Exp(lse-v))
+				} else {
+					lse = lse + math.Log1p(math.Exp(v-lse))
+				}
+			}
+			fNew[i] = -lse
+		}
+		// Gauge: fix f[0] = 0 so the iteration cannot drift.
+		f0 := fNew[0]
+		for i := range fNew {
+			fNew[i] -= f0
+			if delta := math.Abs(fNew[i] - f[i]); delta > maxDelta {
+				maxDelta = delta
+			}
+			f[i] = fNew[i]
+		}
+		if maxDelta < opts.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.DOS = d
+	res.FreeEnergy = f
+	return res, nil
+}
+
+// HistogramEnergies bins a run's energy samples onto the common grid,
+// returning the counts (samples outside the grid are dropped and counted
+// in the second return).
+func HistogramEnergies(eMin, binWidth float64, bins int, energies []float64) (counts []int64, dropped int) {
+	counts = make([]int64, bins)
+	for _, e := range energies {
+		if e < eMin { // int() truncates toward zero, so guard explicitly
+			dropped++
+			continue
+		}
+		b := int((e - eMin) / binWidth)
+		if b >= bins {
+			dropped++
+			continue
+		}
+		counts[b]++
+	}
+	return counts, dropped
+}

@@ -1,0 +1,169 @@
+package wham
+
+import (
+	"math"
+	"testing"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/dos"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/mc"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/tempering"
+)
+
+// collect runs canonical MC at each temperature and histograms energies.
+func collect(t *testing.T, m *alloy.Model, temps []float64, eMin, binW float64, bins, samples int) []Run {
+	t.Helper()
+	runs := make([]Run, len(temps))
+	for i, tk := range temps {
+		src := rng.New(uint64(100 + i))
+		cfg := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+		s := mc.NewSampler(m, cfg, mc.NewSwapProposal(m), src)
+		for k := 0; k < 400; k++ {
+			s.Sweep(tk)
+		}
+		energies := make([]float64, 0, samples)
+		for k := 0; k < samples; k++ {
+			for g := 0; g < 3; g++ {
+				s.Sweep(tk)
+			}
+			energies = append(energies, s.E)
+		}
+		counts, _ := HistogramEnergies(eMin, binW, bins, energies)
+		runs[i] = Run{T: tk, Counts: counts}
+	}
+	return runs
+}
+
+// TestWHAMMatchesExactDOS: WHAM from canonical histograms must reproduce
+// the exactly enumerated ln g over the well-sampled bins.
+func TestWHAMMatchesExactDOS(t *testing.T) {
+	lat := lattice.MustNew(lattice.SC, 2, 2, 2)
+	m := alloy.BinaryOrdering(lat, 0.05)
+	exact, err := dos.EnumerateFixedComposition(m, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exDOS, err := exact.ToLogDOS(0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := tempering.GeometricLadder(300, 6000, 8)
+	runs := collect(t, m, temps, exDOS.EMin, exDOS.BinWidth, exDOS.Bins(), 8000)
+	res, err := Solve(exDOS.EMin, exDOS.BinWidth, exDOS.Bins(), runs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("WHAM did not converge")
+	}
+	rms, n, err := dos.RMSLogError(res.DOS, exDOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 {
+		t.Fatalf("only %d bins compared", n)
+	}
+	if rms > 0.1 {
+		t.Errorf("WHAM RMS ln g error %g over %d bins", rms, n)
+	}
+}
+
+// TestWHAMFreeEnergiesMatchExact: the converged f_i = −ln Z_i (gauge
+// f_0 = 0) must reproduce the exact partition-function ratios of the
+// enumerated spectrum: f_i − f_0 = ln Z_0 − ln Z_i.
+func TestWHAMFreeEnergiesMatchExact(t *testing.T) {
+	lat := lattice.MustNew(lattice.SC, 2, 2, 2)
+	m := alloy.BinaryOrdering(lat, 0.05)
+	exact, err := dos.EnumerateFixedComposition(m, []int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exDOS, err := exact.ToLogDOS(0.025)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := []float64{400, 1000, 3000}
+	runs := collect(t, m, temps, exDOS.EMin, exDOS.BinWidth, exDOS.Bins(), 8000)
+	res, err := Solve(exDOS.EMin, exDOS.BinWidth, exDOS.Bins(), runs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FreeEnergy[0] != 0 {
+		t.Errorf("gauge not fixed: f[0] = %g", res.FreeEnergy[0])
+	}
+	// Exact ln Z at each temperature from the binned exact DOS (the same
+	// discretization WHAM works on).
+	lnZ := func(tk float64) float64 {
+		beta := 1 / (alloy.KB * tk)
+		terms := make([]float64, 0, exDOS.Bins())
+		for b := 0; b < exDOS.Bins(); b++ {
+			if !exDOS.Visited(b) {
+				continue
+			}
+			terms = append(terms, exDOS.LogG[b]-beta*exDOS.BinEnergy(b))
+		}
+		return dos.LogSumExp(terms)
+	}
+	z0 := lnZ(temps[0])
+	for i, tk := range temps {
+		want := z0 - lnZ(tk)
+		if math.Abs(res.FreeEnergy[i]-want) > 0.05 {
+			t.Errorf("T=%g: f = %g, exact %g", tk, res.FreeEnergy[i], want)
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(0, 0.1, 4, nil, Options{}); err == nil {
+		t.Error("no runs accepted")
+	}
+	if _, err := Solve(0, 0.1, 4, []Run{{T: 300, Counts: []int64{1}}}, Options{}); err == nil {
+		t.Error("wrong bin count accepted")
+	}
+	if _, err := Solve(0, 0.1, 4, []Run{{T: -1, Counts: make([]int64, 4)}}, Options{}); err == nil {
+		t.Error("negative temperature accepted")
+	}
+	if _, err := Solve(0, 0.1, 4, []Run{{T: 300, Counts: make([]int64, 4)}}, Options{}); err == nil {
+		t.Error("empty histogram accepted")
+	}
+	if _, err := Solve(0, 0.1, 4, []Run{{T: 300, Counts: []int64{1, -2, 0, 0}}}, Options{}); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestHistogramEnergies(t *testing.T) {
+	counts, dropped := HistogramEnergies(0, 0.5, 4, []float64{0.1, 0.6, 1.9, -0.2, 2.5})
+	if counts[0] != 1 || counts[1] != 1 || counts[3] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if dropped != 2 {
+		t.Errorf("dropped = %d", dropped)
+	}
+}
+
+// TestWHAMSingleRun: one histogram at one temperature still yields a DOS
+// (the reweighted histogram itself).
+func TestWHAMSingleRun(t *testing.T) {
+	lat := lattice.MustNew(lattice.SC, 2, 2, 2)
+	m := alloy.BinaryOrdering(lat, 0.05)
+	runs := collect(t, m, []float64{2000}, -1.25, 0.025, 40, 3000)
+	res, err := Solve(-1.25, 0.025, 40, runs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("single-run WHAM should converge immediately")
+	}
+	lo, hi, ok := res.DOS.VisitedRange()
+	if !ok || hi <= lo {
+		t.Error("empty single-run DOS")
+	}
+	// ln g must not be NaN anywhere.
+	for _, lg := range res.DOS.LogG {
+		if math.IsNaN(lg) {
+			t.Fatal("NaN in DOS")
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package deepthermo
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"deepthermo/internal/dos"
+	"deepthermo/internal/vae"
+)
+
+// SaveProposalModel writes the trained proposal model to w.
+func (s *System) SaveProposalModel(w io.Writer) error {
+	if s.Model == nil {
+		return fmt.Errorf("deepthermo: no trained model to save")
+	}
+	return s.Model.Save(w)
+}
+
+// LoadProposalModel reads a proposal model saved by SaveProposalModel and
+// installs it, replacing any trained model. The model must match the
+// system's lattice size and species count.
+func (s *System) LoadProposalModel(r io.Reader) error {
+	m, err := vae.Load(r)
+	if err != nil {
+		return err
+	}
+	cfg := m.Config()
+	if cfg.Sites != s.Lat.NumSites() || cfg.Species != s.Ham.NumSpecies() {
+		return fmt.Errorf("deepthermo: model is for %d sites × %d species, system has %d × %d",
+			cfg.Sites, cfg.Species, s.Lat.NumSites(), s.Ham.NumSpecies())
+	}
+	s.Model = m
+	return nil
+}
+
+// SaveModelFile and LoadModelFile are path-based conveniences.
+func (s *System) SaveModelFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.SaveProposalModel(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModelFile loads a proposal model from path.
+func (s *System) LoadModelFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.LoadProposalModel(f)
+}
+
+// SaveDOS writes a density of states to w.
+func SaveDOS(d *LogDOS, w io.Writer) error { return d.Save(w) }
+
+// LoadDOS reads a density of states saved by SaveDOS.
+func LoadDOS(r io.Reader) (*LogDOS, error) { return dos.Load(r) }

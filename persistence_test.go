@@ -1,0 +1,105 @@
+package deepthermo
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestModelFileRoundTrip(t *testing.T) {
+	sys := newTestSystem(t)
+	if err := sys.TrainProposal(&TrainOptions{Epochs: 2, BatchSize: 32, LR: 1e-3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.bin")
+	if err := sys.SaveModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh system of the same shape loads it and decodes identically.
+	sys2, err := NewSystem(SystemConfig{Cells: 2, Seed: 99, Latent: 4, Hidden: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys2.LoadModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	z := make([]float64, 4)
+	a := sys.Model.DecodeProbs(z, 0.5)
+	b := sys2.Model.DecodeProbs(z, 0.5)
+	for site := range a {
+		for k := range a[site] {
+			if a[site][k] != b[site][k] {
+				t.Fatal("loaded model decodes differently")
+			}
+		}
+	}
+}
+
+func TestLoadModelShapeMismatch(t *testing.T) {
+	small := newTestSystem(t)
+	if err := small.TrainProposal(&TrainOptions{Epochs: 1, BatchSize: 32, LR: 1e-3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := small.SaveProposalModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewSystem(SystemConfig{Cells: 3, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := big.LoadProposalModel(&buf); err == nil {
+		t.Fatal("size-mismatched model accepted")
+	}
+}
+
+func TestSaveModelWithoutTraining(t *testing.T) {
+	sys := newTestSystem(t)
+	var buf bytes.Buffer
+	if err := sys.SaveProposalModel(&buf); err == nil {
+		t.Fatal("untrained save accepted")
+	}
+	if err := sys.SaveModelFile(filepath.Join(t.TempDir(), "m.bin")); err == nil {
+		t.Fatal("untrained file save accepted")
+	}
+}
+
+func TestModelFilePathErrors(t *testing.T) {
+	sys := newTestSystem(t)
+	if err := sys.LoadModelFile("/nonexistent/path/model.bin"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := sys.TrainProposal(&TrainOptions{Epochs: 1, BatchSize: 32, LR: 1e-3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveModelFile("/nonexistent/dir/model.bin"); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}
+
+func TestDOSSaveLoadFacade(t *testing.T) {
+	sys := newTestSystem(t)
+	res, err := sys.SampleDOS(DOSConfig{Windows: 2, Bins: 16, LnFFinal: 1e-2, NoDL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveDOS(res.DOS, &buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDOS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Bins() != res.DOS.Bins() || loaded.Span() != res.DOS.Span() {
+		t.Fatal("DOS round trip changed content")
+	}
+	// Thermodynamics from the reloaded DOS works.
+	if _, err := sys.Thermodynamics(loaded, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDOS(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Fatal("garbage DOS accepted")
+	}
+}
