@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"deepthermo"
 	"deepthermo/internal/experiments"
@@ -37,9 +41,15 @@ func main() {
 	dosOut := flag.String("dos-out", "", "save the converged density of states to this path (pipeline stage)")
 	flag.Parse()
 
+	// Ctrl-C cancels the pipeline cooperatively: the sampling loops drain
+	// within a sweep and partial results (trained model, partial DOS) are
+	// still saved on the way out instead of being lost to a hard exit.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	switch *stage {
 	case "pipeline":
-		runPipeline(*cells, *seed, *alloyName, *modelIn, *modelOut, *dosOut)
+		runPipeline(ctx, *cells, *seed, *alloyName, *modelIn, *modelOut, *dosOut)
 	case "acceptance", "convergence", "sro", "training":
 		tb, err := experiments.NewTestbed(experiments.TestbedOptions{
 			Cells:          *cells,
@@ -86,8 +96,9 @@ func main() {
 }
 
 // runPipeline exercises the public facade end to end, printing progress
-// and the final thermodynamics table.
-func runPipeline(cells int, seed uint64, alloyName, modelIn, modelOut, dosOut string) {
+// and the final thermodynamics table. Cancelling ctx (Ctrl-C) stops the
+// expensive phases cooperatively; partial results are saved and reported.
+func runPipeline(ctx context.Context, cells int, seed uint64, alloyName, modelIn, modelOut, dosOut string) {
 	sys, err := deepthermo.NewSystem(deepthermo.SystemConfig{Cells: cells, Seed: seed, Alloy: alloyName})
 	if err != nil {
 		log.Fatal(err)
@@ -101,14 +112,19 @@ func runPipeline(cells int, seed uint64, alloyName, modelIn, modelOut, dosOut st
 		fmt.Printf("loaded proposal model from %s (%d parameters)\n", modelIn, sys.Model.NumParams())
 	} else {
 		fmt.Println("generating training data (temperature-ladder MC)...")
-		ds, err := sys.GenerateData(nil)
+		ds, err := sys.GenerateDataContext(ctx, nil)
+		if errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted during data generation; nothing to save")
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %d labelled configurations\n", ds.Len())
 
 		fmt.Println("training the conditional-VAE proposal model...")
-		if err := sys.TrainProposal(nil); err != nil {
+		if err := sys.TrainProposalContext(ctx, nil); errors.Is(err, context.Canceled) {
+			log.Fatal("interrupted during training; nothing to save")
+		} else if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %d parameters\n", sys.Model.NumParams())
@@ -121,21 +137,21 @@ func runPipeline(cells int, seed uint64, alloyName, modelIn, modelOut, dosOut st
 	}
 
 	fmt.Println("sampling the density of states (REWL with DL mixture)...")
-	res, err := sys.SampleDOS(deepthermo.DOSConfig{})
-	if err != nil {
+	res, err := sys.SampleDOSContext(ctx, deepthermo.DOSConfig{})
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		log.Fatal(err)
+	}
+	if res == nil {
+		log.Fatal("interrupted before any density of states was sampled")
+	}
+	if interrupted {
+		fmt.Println("interrupted — continuing with the partial density of states")
 	}
 	fmt.Printf("  converged=%v sweeps=%d rounds=%d span(ln g)=%.1f\n",
 		res.Converged, res.Sweeps, res.Rounds, res.DOS.Span())
 	if dosOut != "" {
-		f, err := os.Create(dosOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := deepthermo.SaveDOS(res.DOS, f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := deepthermo.SaveDOSFile(res.DOS, dosOut); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("saved density of states to %s\n", dosOut)

@@ -1,0 +1,82 @@
+// Command dtserve runs the DeepThermo thermodynamics-serving subsystem:
+// an HTTP/JSON server that executes sampling/training runs as async jobs
+// on a bounded worker pool, keeps a registry of trained proposal models
+// and converged densities of states, and answers canonical-thermodynamics
+// queries against cached DOS artifacts.
+//
+//	dtserve -addr :8080 -workers 2 -data-dir ./artifacts
+//
+// Endpoints (see the README "Serving" section for a curl walkthrough):
+//
+//	POST   /v1/jobs                submit a job (sample | train | pipeline)
+//	GET    /v1/jobs                list jobs
+//	GET    /v1/jobs/{id}           poll one job
+//	DELETE /v1/jobs/{id}           cancel a pending or running job
+//	GET    /v1/artifacts           list artifacts
+//	POST   /v1/artifacts?kind=dos  upload a serialized artifact
+//	GET    /v1/artifacts/{id}      artifact metadata
+//	GET    /v1/artifacts/{id}/data artifact bytes (model/DOS file format)
+//	GET    /v1/thermo              reweight a DOS: ?artifact=X&T=300 or &sweep=100:3500:50
+//	GET    /healthz                liveness
+//	GET    /metrics                Prometheus text metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"deepthermo/internal/server"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("dtserve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "sampling/training worker-pool size")
+	queue := flag.Int("queue", 64, "maximum pending jobs")
+	cacheSize := flag.Int("cache", 256, "reweighted-curve LRU capacity")
+	dataDir := flag.String("data-dir", "", "artifact persistence directory (empty = in-memory only)")
+	flag.Parse()
+
+	srv, err := server.New(server.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		DataDir:    *dataDir,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("listening on %s (%d workers, data-dir=%q)", *addr, *workers, *dataDir)
+
+	select {
+	case <-ctx.Done():
+		log.Printf("shutting down: draining HTTP, cancelling running jobs")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("http shutdown: %v", err)
+		}
+		srv.Close() // cancels running jobs; partial DOS artifacts are kept
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			srv.Close()
+			log.Fatal(err)
+		}
+	}
+}

@@ -21,6 +21,7 @@
 package deepthermo
 
 import (
+	"context"
 	"fmt"
 
 	"deepthermo/internal/alloy"
@@ -139,6 +140,13 @@ type DataConfig struct {
 // GenerateData runs the temperature-ladder baseline MC and stores the
 // labelled dataset on the system (it is also returned).
 func (s *System) GenerateData(cfg *DataConfig) (*Dataset, error) {
+	return s.GenerateDataContext(context.Background(), cfg)
+}
+
+// GenerateDataContext is GenerateData with cooperative cancellation: the
+// ladder chains poll ctx between sweeps. On cancellation the partial
+// dataset is returned with ctx's error and is not stored on the system.
+func (s *System) GenerateDataContext(ctx context.Context, cfg *DataConfig) (*Dataset, error) {
 	c := DataConfig{TempLo: 300, TempHi: 3000, LadderLen: 8, SamplesPerTemp: 250}
 	if cfg != nil {
 		if cfg.TempLo > 0 {
@@ -154,7 +162,7 @@ func (s *System) GenerateData(cfg *DataConfig) (*Dataset, error) {
 			c.SamplesPerTemp = cfg.SamplesPerTemp
 		}
 	}
-	ds, err := workload.Generate(s.Ham, workload.GenOptions{
+	ds, err := workload.GenerateContext(ctx, s.Ham, workload.GenOptions{
 		Temps:          workload.TempLadder(c.TempLo, c.TempHi, c.LadderLen),
 		SamplesPerTemp: c.SamplesPerTemp,
 		EquilSweeps:    150,
@@ -163,7 +171,7 @@ func (s *System) GenerateData(cfg *DataConfig) (*Dataset, error) {
 		Quota:          s.Quota,
 	})
 	if err != nil {
-		return nil, err
+		return ds, err
 	}
 	s.data = ds
 	return ds, nil
@@ -173,8 +181,15 @@ func (s *System) GenerateData(cfg *DataConfig) (*Dataset, error) {
 // standard recipe (Adam, KL warmup). A nil opts selects the defaults; if
 // no dataset has been generated yet, GenerateData runs with defaults.
 func (s *System) TrainProposal(opts *TrainOptions) error {
+	return s.TrainProposalContext(context.Background(), opts)
+}
+
+// TrainProposalContext is TrainProposal with cooperative cancellation,
+// polled once per training batch (and between sweeps of the implicit data
+// generation). On cancellation no model is installed on the system.
+func (s *System) TrainProposalContext(ctx context.Context, opts *TrainOptions) error {
 	if s.data == nil {
-		if _, err := s.GenerateData(nil); err != nil {
+		if _, err := s.GenerateDataContext(ctx, nil); err != nil {
 			return err
 		}
 	}
@@ -192,7 +207,7 @@ func (s *System) TrainProposal(opts *TrainOptions) error {
 	if err != nil {
 		return err
 	}
-	if _, err := train.Fit(model, s.data, o); err != nil {
+	if _, err := train.FitContext(ctx, model, s.data, o); err != nil {
 		return err
 	}
 	s.Model = model
@@ -221,6 +236,15 @@ type DOSResult struct {
 // SampleDOS runs REWL over the system's reachable energy range, using the
 // DL-accelerated proposal mixture when a trained model is available.
 func (s *System) SampleDOS(cfg DOSConfig) (*DOSResult, error) {
+	return s.SampleDOSContext(context.Background(), cfg)
+}
+
+// SampleDOSContext is SampleDOS with cooperative cancellation: the REWL
+// walkers poll ctx once per sweep. On cancellation a partial DOSResult
+// (Converged=false, normalized over whatever was merged) is returned
+// alongside ctx's error when the sampled windows can still be stitched,
+// so callers may persist partial progress.
+func (s *System) SampleDOSContext(ctx context.Context, cfg DOSConfig) (*DOSResult, error) {
 	if cfg.Windows == 0 {
 		cfg.Windows = 4
 	}
@@ -240,6 +264,9 @@ func (s *System) SampleDOS(cfg DOSConfig) (*DOSResult, error) {
 		cfg.DLWeight = 0.15
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	src := rng.New(s.cfg.Seed + 23)
 	lo, hi, seedCfg := s.sampleEnergyRange(src)
 	binW := (hi - lo) / float64(cfg.Bins)
@@ -258,21 +285,22 @@ func (s *System) SampleDOS(cfg DOSConfig) (*DOSResult, error) {
 			[]float64{1 - cfg.DLWeight, cfg.DLWeight},
 		)
 	}
-	run, err := rewl.Run(s.Ham, seedCfg, wins, factory, rewl.Options{
+	run, runErr := rewl.RunContext(ctx, s.Ham, seedCfg, wins, factory, rewl.Options{
 		Seed:             s.cfg.Seed + 29,
 		WalkersPerWindow: cfg.Walkers,
 		WL:               wanglandau.Options{LnFFinal: cfg.LnFFinal},
 		PrepareSweeps:    20000,
 	})
-	if err != nil {
-		return nil, err
+	if run == nil {
+		return nil, runErr
 	}
 	logStates, err := dos.LogMultinomial(s.Lat.NumSites(), s.Quota)
 	if err != nil {
 		return nil, err
 	}
 	run.DOS.NormalizeTo(logStates)
-	return &DOSResult{DOS: run.DOS, Converged: run.AllConverged, Sweeps: run.TotalSweeps, Rounds: run.Rounds}, nil
+	res := &DOSResult{DOS: run.DOS, Converged: run.AllConverged, Sweeps: run.TotalSweeps, Rounds: run.Rounds}
+	return res, runErr
 }
 
 // Thermodynamics reweights a density of states into canonical observables

@@ -16,6 +16,7 @@
 package rewl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -127,6 +128,15 @@ type ProposalFactory func(win, widx int, src *rng.Source) mc.Proposal
 // Run executes REWL over the given windows. seedCfg provides the starting
 // configuration (it is cloned per walker and steered into each window).
 func Run(m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, newProposal ProposalFactory, opts Options) (*Result, error) {
+	return RunContext(context.Background(), m, seedCfg, windows, newProposal, opts)
+}
+
+// RunContext is Run with cooperative cancellation. Walkers poll ctx once
+// per sweep, so cancellation takes effect within one sweep rather than one
+// exchange round. On cancellation the windows sampled so far are still
+// merged and returned alongside ctx's error, so callers can persist the
+// partial density of states.
+func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, newProposal ProposalFactory, opts Options) (*Result, error) {
 	opts.setDefaults()
 	if len(windows) == 0 {
 		return nil, fmt.Errorf("rewl: no windows")
@@ -172,10 +182,15 @@ func Run(m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, ne
 	// lastExtreme[r] = 0 untouched, 1 bottom window, 2 top window.
 	lastExtreme := make([]uint8, id)
 
+	done := ctx.Done()
 	for round := 0; round < opts.MaxRounds; round++ {
+		if ctx.Err() != nil {
+			break
+		}
 		res.Rounds = round + 1
 
-		// Parallel sweep phase: every walker advances independently.
+		// Parallel sweep phase: every walker advances independently,
+		// polling for cancellation between sweeps.
 		var wg sync.WaitGroup
 		for wi := range walkers {
 			for _, w := range walkers[wi] {
@@ -186,6 +201,11 @@ func Run(m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, ne
 				go func(w *wanglandau.Walker) {
 					defer wg.Done()
 					for s := 0; s < opts.ExchangeInterval; s++ {
+						select {
+						case <-done:
+							return
+						default:
+						}
 						w.Sweep()
 					}
 				}(w)
@@ -281,9 +301,18 @@ func Run(m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, ne
 	}
 	merged, err := dos.Merge(perWindow)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Cancelled before the windows overlapped; there is no
+			// meaningful partial result to return.
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("rewl: merging windows: %w", err)
 	}
 	res.DOS = merged
+	if err := ctx.Err(); err != nil {
+		res.AllConverged = false
+		return res, err
+	}
 	return res, nil
 }
 

@@ -1,8 +1,11 @@
 package rewl
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"deepthermo/internal/alloy"
 	"deepthermo/internal/dos"
@@ -235,5 +238,57 @@ func TestREWLDeterministic(t *testing.T) {
 		if av != bv {
 			t.Fatalf("bin %d differs between identical runs: %g vs %g", i, av, bv)
 		}
+	}
+}
+
+// TestRunContextCancel: cancelling mid-run must stop within a round and
+// return the partial merged DOS alongside the context error.
+func TestRunContextCancel(t *testing.T) {
+	m, exact := exact8(t)
+	wins, _ := SplitWindows(exact.EMin, exact.EMax(), 2, 0.5, exact.BinWidth)
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	factory := func(win, widx int, s *rng.Source) mc.Proposal {
+		select {
+		case <-started:
+		default:
+			close(started)
+		}
+		return mc.NewSwapProposal(m)
+	}
+	go func() {
+		<-started
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	src := rng.New(3)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	// An unreachable LnFFinal would keep this running for a long time.
+	res, err := RunContext(ctx, m, seed, wins,
+		factory, Options{Seed: 4, WL: wanglandau.Options{LnFFinal: 1e-300}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.DOS == nil {
+		t.Fatal("no partial result after cancellation")
+	}
+	if res.AllConverged {
+		t.Error("cancelled run claims convergence")
+	}
+}
+
+// TestRunContextPreCancelled: a cancelled context returns promptly.
+func TestRunContextPreCancelled(t *testing.T) {
+	m, exact := exact8(t)
+	wins, _ := SplitWindows(exact.EMin, exact.EMax(), 2, 0.5, exact.BinWidth)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := rng.New(5)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	_, err := RunContext(ctx, m, seed, wins,
+		func(win, widx int, s *rng.Source) mc.Proposal { return mc.NewSwapProposal(m) },
+		Options{Seed: 6, WL: wanglandau.Options{LnFFinal: 1e-300}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"deepthermo/internal/thermo"
+)
+
+// curveCache is an LRU of reweighted thermodynamic curves keyed by
+// (artifact, temperature grid). Reweighting a DOS is cheap but not free —
+// O(bins × temps) exp/log work — while the serving workload is
+// read-heavy with repeated grids (dashboards polling the same Cv sweep),
+// so repeat queries should be O(1) map hits.
+type curveCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key string
+	pts []thermo.Point
+}
+
+func newCurveCache(capacity int) *curveCache {
+	if capacity < 1 {
+		capacity = 128
+	}
+	return &curveCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached curve for key, marking it most recently used.
+func (c *curveCache) Get(key string) ([]thermo.Point, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).pts, true
+}
+
+// Put stores a curve, evicting the least recently used entry at capacity.
+// The caller must not mutate pts afterwards.
+func (c *curveCache) Put(key string, pts []thermo.Point) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).pts = pts
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, pts: pts})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*cacheEntry).key)
+	}
+}
+
+// InvalidateArtifact drops every entry whose key belongs to the given
+// artifact (keys are "<artifact>|<grid>").
+func (c *curveCache) InvalidateArtifact(artifactID string) {
+	prefix := artifactID + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, el := range c.items {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			c.ll.Remove(el)
+			delete(c.items, key)
+		}
+	}
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *curveCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached curves.
+func (c *curveCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

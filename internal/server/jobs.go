@@ -1,0 +1,358 @@
+// Package server implements the dtserve HTTP subsystem: asynchronous
+// sampling/training jobs on a bounded worker pool, an artifact registry of
+// trained proposal models and converged densities of states, and a cached
+// thermodynamics query path.
+//
+// The split mirrors the paper's economics: converging ln g(E) is the
+// expensive, hours-long phase, while answering a canonical-thermodynamics
+// query against a converged DOS is a cheap log-domain reweighting. Jobs
+// produce artifacts once; the query path serves them arbitrarily often.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobType selects what a job computes.
+type JobType string
+
+const (
+	// JobSample runs REWL density-of-states sampling, optionally seeded
+	// with a trained proposal model artifact.
+	JobSample JobType = "sample"
+	// JobTrain generates ladder data and trains a proposal model.
+	JobTrain JobType = "train"
+	// JobPipeline trains a proposal model, then samples the DOS with it.
+	JobPipeline JobType = "pipeline"
+)
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	JobPending   JobState = "pending"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// States lists every job state, in lifecycle order.
+var States = []JobState{JobPending, JobRunning, JobDone, JobFailed, JobCancelled}
+
+// SystemSpec selects the alloy system a job operates on. Zero values take
+// the deepthermo.NewSystem defaults.
+type SystemSpec struct {
+	Cells  int    `json:"cells,omitempty"`
+	Seed   uint64 `json:"seed,omitempty"`
+	Alloy  string `json:"alloy,omitempty"`
+	Latent int    `json:"latent,omitempty"`
+	Hidden int    `json:"hidden,omitempty"`
+}
+
+// DataSpec controls training-set generation (JobTrain/JobPipeline).
+type DataSpec struct {
+	TempLo         float64 `json:"temp_lo,omitempty"`
+	TempHi         float64 `json:"temp_hi,omitempty"`
+	LadderLen      int     `json:"ladder_len,omitempty"`
+	SamplesPerTemp int     `json:"samples_per_temp,omitempty"`
+}
+
+// TrainSpec controls proposal-model training (JobTrain/JobPipeline).
+type TrainSpec struct {
+	Epochs         int     `json:"epochs,omitempty"`
+	BatchSize      int     `json:"batch_size,omitempty"`
+	LR             float64 `json:"lr,omitempty"`
+	Seed           uint64  `json:"seed,omitempty"`
+	KLWarmupEpochs int     `json:"kl_warmup_epochs,omitempty"`
+}
+
+// DOSSpec controls REWL sampling (JobSample/JobPipeline). Zero values take
+// the deepthermo.DOSConfig defaults.
+type DOSSpec struct {
+	Windows  int     `json:"windows,omitempty"`
+	Walkers  int     `json:"walkers,omitempty"`
+	Bins     int     `json:"bins,omitempty"`
+	Overlap  float64 `json:"overlap,omitempty"`
+	LnFFinal float64 `json:"lnf_final,omitempty"`
+	DLWeight float64 `json:"dl_weight,omitempty"`
+	NoDL     bool    `json:"no_dl,omitempty"`
+}
+
+// JobSpec is the client-submitted description of a job.
+type JobSpec struct {
+	Type   JobType    `json:"type"`
+	Name   string     `json:"name,omitempty"`
+	System SystemSpec `json:"system"`
+	Data   *DataSpec  `json:"data,omitempty"`
+	Train  *TrainSpec `json:"train,omitempty"`
+	DOS    DOSSpec    `json:"dos"`
+	// ModelArtifact names a registry artifact holding a trained proposal
+	// model to drive JobSample's DL proposal mixture.
+	ModelArtifact string `json:"model_artifact,omitempty"`
+}
+
+// Validate checks the spec's job type.
+func (s *JobSpec) Validate() error {
+	switch s.Type {
+	case JobSample, JobTrain, JobPipeline:
+		return nil
+	case "":
+		s.Type = JobSample
+		return nil
+	default:
+		return fmt.Errorf("unknown job type %q (want sample, train, or pipeline)", s.Type)
+	}
+}
+
+// Job is the externally visible job record. Snapshots returned by the
+// manager are value copies and safe to serialize concurrently with the
+// job's progress.
+type Job struct {
+	ID        string         `json:"id"`
+	Name      string         `json:"name,omitempty"`
+	Spec      JobSpec        `json:"spec"`
+	State     JobState       `json:"state"`
+	Error     string         `json:"error,omitempty"`
+	Submitted time.Time      `json:"submitted"`
+	Started   *time.Time     `json:"started,omitempty"`
+	Finished  *time.Time     `json:"finished,omitempty"`
+	Artifacts []string       `json:"artifacts,omitempty"`
+	Result    map[string]any `json:"result,omitempty"`
+}
+
+// Runner executes one job. It must honor ctx (jobs are cancelled by
+// cancelling it) and may return artifacts and a result summary even when
+// it also returns an error — partial progress is recorded on the job.
+type Runner func(ctx context.Context, job Job) (result map[string]any, artifacts []string, err error)
+
+// Errors reported by the manager.
+var (
+	ErrQueueFull   = errors.New("server: job queue full")
+	ErrClosed      = errors.New("server: job manager closed")
+	ErrJobFinished = errors.New("server: job already finished")
+)
+
+// JobManager runs submitted jobs on a bounded pool of worker goroutines.
+type JobManager struct {
+	run     Runner
+	workers int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*jobRec
+	order  []string
+	queue  chan *jobRec
+	busy   int
+	nextID int
+	closed bool
+}
+
+type jobRec struct {
+	Job
+	cancelJob context.CancelFunc // non-nil while running
+}
+
+// NewJobManager starts `workers` workers draining a queue of at most
+// `queueDepth` pending jobs.
+func NewJobManager(workers, queueDepth int, run Runner) *JobManager {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	jm := &JobManager{
+		run:     run,
+		workers: workers,
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*jobRec),
+		queue:   make(chan *jobRec, queueDepth),
+	}
+	for i := 0; i < workers; i++ {
+		jm.wg.Add(1)
+		go jm.worker()
+	}
+	return jm
+}
+
+func (jm *JobManager) worker() {
+	defer jm.wg.Done()
+	for {
+		select {
+		case <-jm.ctx.Done():
+			return
+		case rec := <-jm.queue:
+			jm.execute(rec)
+		}
+	}
+}
+
+func (jm *JobManager) execute(rec *jobRec) {
+	jm.mu.Lock()
+	if rec.State != JobPending { // cancelled while queued
+		jm.mu.Unlock()
+		return
+	}
+	now := time.Now()
+	rec.State = JobRunning
+	rec.Started = &now
+	ctx, cancel := context.WithCancel(jm.ctx)
+	rec.cancelJob = cancel
+	jm.busy++
+	snap := rec.Job
+	jm.mu.Unlock()
+
+	result, artifacts, err := jm.run(ctx, snap)
+	cancel()
+
+	jm.mu.Lock()
+	fin := time.Now()
+	rec.Finished = &fin
+	rec.cancelJob = nil
+	rec.Result = result
+	rec.Artifacts = artifacts
+	switch {
+	case err == nil:
+		rec.State = JobDone
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		rec.State = JobCancelled
+		rec.Error = err.Error()
+	default:
+		rec.State = JobFailed
+		rec.Error = err.Error()
+	}
+	jm.busy--
+	jm.mu.Unlock()
+}
+
+// Submit validates and enqueues a job, returning its initial snapshot.
+func (jm *JobManager) Submit(spec JobSpec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.closed {
+		return Job{}, ErrClosed
+	}
+	jm.nextID++
+	rec := &jobRec{Job: Job{
+		ID:        fmt.Sprintf("job-%d", jm.nextID),
+		Name:      spec.Name,
+		Spec:      spec,
+		State:     JobPending,
+		Submitted: time.Now(),
+	}}
+	select {
+	case jm.queue <- rec:
+	default:
+		jm.nextID--
+		return Job{}, ErrQueueFull
+	}
+	jm.jobs[rec.ID] = rec
+	jm.order = append(jm.order, rec.ID)
+	return rec.Job, nil
+}
+
+// Get returns a snapshot of the job with the given id.
+func (jm *JobManager) Get(id string) (Job, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	rec, ok := jm.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return rec.Job, true
+}
+
+// List returns snapshots of all jobs in submission order.
+func (jm *JobManager) List() []Job {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	out := make([]Job, 0, len(jm.order))
+	for _, id := range jm.order {
+		out = append(out, jm.jobs[id].Job)
+	}
+	return out
+}
+
+// Cancel requests cancellation. A pending job is cancelled immediately; a
+// running job has its context cancelled and transitions to cancelled once
+// its sampler observes the signal (within one Wang-Landau sweep). The
+// returned snapshot reflects the state at return time.
+func (jm *JobManager) Cancel(id string) (Job, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	rec, ok := jm.jobs[id]
+	if !ok {
+		return Job{}, fmt.Errorf("server: no such job %q", id)
+	}
+	switch rec.State {
+	case JobPending:
+		now := time.Now()
+		rec.State = JobCancelled
+		rec.Error = "cancelled before start"
+		rec.Finished = &now
+	case JobRunning:
+		rec.cancelJob()
+	default:
+		return rec.Job, ErrJobFinished
+	}
+	return rec.Job, nil
+}
+
+// QueueDepth counts jobs waiting to start.
+func (jm *JobManager) QueueDepth() int {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	n := 0
+	for _, rec := range jm.jobs {
+		if rec.State == JobPending {
+			n++
+		}
+	}
+	return n
+}
+
+// Busy returns the number of workers currently executing a job.
+func (jm *JobManager) Busy() int {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.busy
+}
+
+// Workers returns the pool size.
+func (jm *JobManager) Workers() int { return jm.workers }
+
+// CountByState returns the number of jobs in the given state.
+func (jm *JobManager) CountByState(s JobState) int {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	n := 0
+	for _, rec := range jm.jobs {
+		if rec.State == s {
+			n++
+		}
+	}
+	return n
+}
+
+// Close cancels every running job, rejects further submissions, and waits
+// for the workers to exit.
+func (jm *JobManager) Close() {
+	jm.mu.Lock()
+	jm.closed = true
+	jm.mu.Unlock()
+	jm.cancel()
+	jm.wg.Wait()
+}

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-latency
+// histogram, following the Prometheus cumulative-bucket convention.
+var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+
+// Metrics is a dependency-free Prometheus text-format exporter. HTTP
+// traffic is recorded directly (request counts by route and status code,
+// one latency histogram over all routes); everything else — job states,
+// queue depth, worker utilisation, cache hit ratio — is sampled at scrape
+// time from callbacks registered by the owning component.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[reqKey]int64
+	buckets  []int64 // one per latencyBuckets entry, +Inf implicit in count
+	sum      float64
+	count    int64
+	series   []series
+}
+
+type reqKey struct {
+	route string
+	code  int
+}
+
+// series is one registered scrape-time metric: name{labels} = fn().
+type series struct {
+	name   string
+	labels string // rendered label set without braces, may be empty
+	typ    string // "gauge" or "counter"
+	help   string
+	fn     func() float64
+}
+
+// NewMetrics returns an empty exporter.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests: make(map[reqKey]int64),
+		buckets:  make([]int64, len(latencyBuckets)),
+	}
+}
+
+// ObserveRequest records one served HTTP request for the given route
+// pattern (not the raw URL, to bound cardinality).
+func (m *Metrics) ObserveRequest(route string, code int, d time.Duration) {
+	sec := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[reqKey{route, code}]++
+	m.sum += sec
+	m.count++
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			m.buckets[i]++
+		}
+	}
+}
+
+// Register adds a scrape-time series. Series sharing a name must be
+// registered consecutively and with the same type so the HELP/TYPE headers
+// are emitted once per metric family.
+func (m *Metrics) Register(name, labels, typ, help string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.series = append(m.series, series{name: name, labels: labels, typ: typ, help: help, fn: fn})
+}
+
+// WriteTo renders the Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cw := &countingWriter{w: w}
+
+	fmt.Fprintf(cw, "# HELP dtserve_http_requests_total HTTP requests served, by route pattern and status code.\n")
+	fmt.Fprintf(cw, "# TYPE dtserve_http_requests_total counter\n")
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].route != keys[j].route {
+			return keys[i].route < keys[j].route
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(cw, "dtserve_http_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, m.requests[k])
+	}
+
+	fmt.Fprintf(cw, "# HELP dtserve_http_request_duration_seconds HTTP request latency.\n")
+	fmt.Fprintf(cw, "# TYPE dtserve_http_request_duration_seconds histogram\n")
+	for i, ub := range latencyBuckets {
+		fmt.Fprintf(cw, "dtserve_http_request_duration_seconds_bucket{le=%q} %d\n", formatFloat(ub), m.buckets[i])
+	}
+	fmt.Fprintf(cw, "dtserve_http_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
+	fmt.Fprintf(cw, "dtserve_http_request_duration_seconds_sum %g\n", m.sum)
+	fmt.Fprintf(cw, "dtserve_http_request_duration_seconds_count %d\n", m.count)
+
+	prevName := ""
+	for _, s := range m.series {
+		if s.name != prevName {
+			fmt.Fprintf(cw, "# HELP %s %s\n", s.name, s.help)
+			fmt.Fprintf(cw, "# TYPE %s %s\n", s.name, s.typ)
+			prevName = s.name
+		}
+		if s.labels == "" {
+			fmt.Fprintf(cw, "%s %g\n", s.name, s.fn())
+		} else {
+			fmt.Fprintf(cw, "%s{%s} %g\n", s.name, s.labels, s.fn())
+		}
+	}
+	return cw.n, cw.err
+}
+
+func formatFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

@@ -1,0 +1,267 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"deepthermo"
+	"deepthermo/internal/dos"
+	"deepthermo/internal/vae"
+)
+
+// ArtifactKind distinguishes the two serialized artifact types the
+// pipeline produces.
+type ArtifactKind string
+
+const (
+	// KindModel is a trained conditional-VAE proposal model
+	// (vae.Model.Save format).
+	KindModel ArtifactKind = "model"
+	// KindDOS is a converged (or partial) density of states
+	// (dos.LogDOS.Save format).
+	KindDOS ArtifactKind = "dos"
+)
+
+// Artifact is the metadata record of one stored artifact.
+type Artifact struct {
+	ID      string            `json:"id"`
+	Kind    ArtifactKind      `json:"kind"`
+	Name    string            `json:"name,omitempty"`
+	Created time.Time         `json:"created"`
+	Size    int               `json:"size"`
+	Meta    map[string]string `json:"meta,omitempty"`
+}
+
+// Registry stores serialized artifacts in memory, optionally mirrored to a
+// directory for durability across restarts. Uploads are validated through
+// the same serializers that produced them (vae.Load / dos.Load), so a
+// registered artifact is always loadable. DOS artifacts additionally keep
+// their decoded LogDOS resident: the hot thermodynamics query path reads
+// it concurrently without re-decoding (LogDOS is never mutated after
+// load).
+type Registry struct {
+	mu     sync.Mutex
+	byID   map[string]*regEntry
+	order  []string
+	dir    string
+	nextID int
+}
+
+type regEntry struct {
+	info Artifact
+	data []byte
+	dos  *dos.LogDOS // decoded, KindDOS only
+}
+
+// NewRegistry creates a registry. A non-empty dir enables persistence:
+// existing artifacts in dir are loaded, and new ones are written through
+// atomic temp-file-and-rename (the data file first, then the metadata
+// sidecar that marks the artifact committed).
+func NewRegistry(dir string) (*Registry, error) {
+	r := &Registry{byID: make(map[string]*regEntry), dir: dir}
+	if dir == "" {
+		return r, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: artifact dir: %w", err)
+	}
+	if err := r.loadDir(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *Registry) loadDir() error {
+	metas, err := filepath.Glob(filepath.Join(r.dir, "*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(metas)
+	for _, mp := range metas {
+		raw, err := os.ReadFile(mp)
+		if err != nil {
+			return err
+		}
+		var info Artifact
+		if err := json.Unmarshal(raw, &info); err != nil {
+			return fmt.Errorf("server: corrupt artifact metadata %s: %w", mp, err)
+		}
+		data, err := os.ReadFile(filepath.Join(r.dir, info.ID+".bin"))
+		if err != nil {
+			return fmt.Errorf("server: artifact %s: %w", info.ID, err)
+		}
+		ent := &regEntry{info: info, data: data}
+		if info.Kind == KindDOS {
+			d, err := dos.Load(bytes.NewReader(data))
+			if err != nil {
+				return fmt.Errorf("server: artifact %s: %w", info.ID, err)
+			}
+			ent.dos = d
+		}
+		r.byID[info.ID] = ent
+		r.order = append(r.order, info.ID)
+		// Keep new IDs monotonic past everything already on disk.
+		if i := strings.LastIndexByte(info.ID, '-'); i >= 0 {
+			if n, err := strconv.Atoi(info.ID[i+1:]); err == nil && n > r.nextID {
+				r.nextID = n
+			}
+		}
+	}
+	sort.Slice(r.order, func(i, j int) bool {
+		return r.byID[r.order[i]].info.Created.Before(r.byID[r.order[j]].info.Created)
+	})
+	return nil
+}
+
+// Put validates, stores, and (when persistence is enabled) durably writes
+// a new artifact, returning its metadata record.
+func (r *Registry) Put(kind ArtifactKind, name string, data []byte, meta map[string]string) (Artifact, error) {
+	var decoded *dos.LogDOS
+	switch kind {
+	case KindModel:
+		if _, err := vae.Load(bytes.NewReader(data)); err != nil {
+			return Artifact{}, fmt.Errorf("server: invalid model artifact: %w", err)
+		}
+	case KindDOS:
+		d, err := dos.Load(bytes.NewReader(data))
+		if err != nil {
+			return Artifact{}, fmt.Errorf("server: invalid dos artifact: %w", err)
+		}
+		decoded = d
+	default:
+		return Artifact{}, fmt.Errorf("server: unknown artifact kind %q (want model or dos)", kind)
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextID++
+	info := Artifact{
+		ID:      fmt.Sprintf("%s-%d", kind, r.nextID),
+		Kind:    kind,
+		Name:    name,
+		Created: time.Now().UTC(),
+		Size:    len(data),
+		Meta:    meta,
+	}
+	if r.dir != "" {
+		if err := r.persist(info, data); err != nil {
+			r.nextID--
+			return Artifact{}, err
+		}
+	}
+	r.byID[info.ID] = &regEntry{info: info, data: data, dos: decoded}
+	r.order = append(r.order, info.ID)
+	return info, nil
+}
+
+// persist writes data then metadata, both atomically; the metadata sidecar
+// is the commit marker loadDir keys on.
+func (r *Registry) persist(info Artifact, data []byte) error {
+	bin := filepath.Join(r.dir, info.ID+".bin")
+	if err := deepthermo.WriteFileAtomic(bin, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	}); err != nil {
+		return fmt.Errorf("server: persisting artifact %s: %w", info.ID, err)
+	}
+	metaPath := filepath.Join(r.dir, info.ID+".json")
+	if err := deepthermo.WriteFileAtomic(metaPath, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(info)
+	}); err != nil {
+		os.Remove(bin)
+		return fmt.Errorf("server: persisting artifact %s: %w", info.ID, err)
+	}
+	return nil
+}
+
+// Get returns the metadata of artifact id.
+func (r *Registry) Get(id string) (Artifact, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ent, ok := r.byID[id]
+	if !ok {
+		return Artifact{}, false
+	}
+	return ent.info, true
+}
+
+// Data returns the serialized bytes of artifact id.
+func (r *Registry) Data(id string) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ent, ok := r.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("server: no such artifact %q", id)
+	}
+	return ent.data, nil
+}
+
+// DOS returns the resident decoded density of states of a KindDOS
+// artifact. The returned LogDOS is shared and must be treated as
+// read-only.
+func (r *Registry) DOS(id string) (*dos.LogDOS, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ent, ok := r.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("server: no such artifact %q", id)
+	}
+	if ent.info.Kind != KindDOS {
+		return nil, fmt.Errorf("server: artifact %q is a %s, not a dos", id, ent.info.Kind)
+	}
+	return ent.dos, nil
+}
+
+// List returns metadata for all artifacts in creation order.
+func (r *Registry) List() []Artifact {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Artifact, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.byID[id].info)
+	}
+	return out
+}
+
+// Delete removes an artifact from memory and disk.
+func (r *Registry) Delete(id string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; !ok {
+		return fmt.Errorf("server: no such artifact %q", id)
+	}
+	delete(r.byID, id)
+	for i, oid := range r.order {
+		if oid == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	if r.dir != "" {
+		// Metadata first: without its commit marker the data file is
+		// invisible to loadDir even if the second remove is lost.
+		if err := os.Remove(filepath.Join(r.dir, id+".json")); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		if err := os.Remove(filepath.Join(r.dir, id+".bin")); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of stored artifacts.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}

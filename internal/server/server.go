@@ -1,0 +1,518 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"deepthermo"
+	"deepthermo/internal/thermo"
+)
+
+// maxTempsPerQuery bounds one /v1/thermo request's temperature grid.
+const maxTempsPerQuery = 10000
+
+// maxArtifactBytes bounds an artifact upload body.
+const maxArtifactBytes = 64 << 20
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the sampling/training worker-pool size (default 2).
+	Workers int
+	// QueueDepth bounds pending jobs (default 64).
+	QueueDepth int
+	// CacheSize bounds the reweighted-curve LRU (default 128 curves).
+	CacheSize int
+	// DataDir enables artifact persistence when non-empty.
+	DataDir string
+	// Logf receives one line per job state transition; nil disables.
+	Logf func(format string, args ...any)
+}
+
+// Server is the dtserve HTTP subsystem: job manager + artifact registry +
+// cached thermodynamics query path + observability endpoints.
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	jobs    *JobManager
+	cache   *curveCache
+	metrics *Metrics
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New wires a Server. Call Close to stop the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 128
+	}
+	reg, err := NewRegistry(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     reg,
+		cache:   newCurveCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	s.jobs = NewJobManager(cfg.Workers, cfg.QueueDepth, s.runJob)
+	s.registerMetrics()
+	s.routes()
+	return s, nil
+}
+
+// Close stops the worker pool, cancelling running jobs.
+func (s *Server) Close() { s.jobs.Close() }
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the artifact registry (used by cmd/dtserve preloading).
+func (s *Server) Registry() *Registry { return s.reg }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+func (s *Server) registerMetrics() {
+	for _, st := range States {
+		st := st
+		s.metrics.Register("dtserve_jobs", fmt.Sprintf("state=%q", st), "gauge",
+			"Jobs by lifecycle state.", func() float64 { return float64(s.jobs.CountByState(st)) })
+	}
+	s.metrics.Register("dtserve_job_queue_depth", "", "gauge",
+		"Jobs waiting for a worker.", func() float64 { return float64(s.jobs.QueueDepth()) })
+	s.metrics.Register("dtserve_workers", "", "gauge",
+		"Worker-pool size.", func() float64 { return float64(s.jobs.Workers()) })
+	s.metrics.Register("dtserve_workers_busy", "", "gauge",
+		"Workers currently executing a job.", func() float64 { return float64(s.jobs.Busy()) })
+	s.metrics.Register("dtserve_artifacts", "", "gauge",
+		"Artifacts in the registry.", func() float64 { return float64(s.reg.Len()) })
+	s.metrics.Register("dtserve_curve_cache_entries", "", "gauge",
+		"Reweighted curves resident in the LRU.", func() float64 { return float64(s.cache.Len()) })
+	s.metrics.Register("dtserve_curve_cache_hits_total", "", "counter",
+		"Thermo queries answered from the curve cache.", func() float64 { h, _ := s.cache.Stats(); return float64(h) })
+	s.metrics.Register("dtserve_curve_cache_misses_total", "", "counter",
+		"Thermo queries that reweighted the DOS.", func() float64 { _, m := s.cache.Stats(); return float64(m) })
+	s.metrics.Register("dtserve_uptime_seconds", "", "gauge",
+		"Seconds since server start.", func() float64 { return time.Since(s.started).Seconds() })
+}
+
+func (s *Server) routes() {
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("POST /v1/jobs", s.handleSubmitJob)
+	s.route("GET /v1/jobs", s.handleListJobs)
+	s.route("GET /v1/jobs/{id}", s.handleGetJob)
+	s.route("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.route("GET /v1/artifacts", s.handleListArtifacts)
+	s.route("POST /v1/artifacts", s.handleUploadArtifact)
+	s.route("GET /v1/artifacts/{id}", s.handleGetArtifact)
+	s.route("GET /v1/artifacts/{id}/data", s.handleArtifactData)
+	s.route("DELETE /v1/artifacts/{id}", s.handleDeleteArtifact)
+	s.route("GET /v1/thermo", s.handleThermo)
+}
+
+// route registers pattern with latency/status instrumentation, labelling
+// the metrics with the route pattern (bounded cardinality, not raw URLs).
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	label := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		label = pattern[i+1:]
+	}
+	s.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.metrics.ObserveRequest(label, sw.code, time.Since(start))
+	}))
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  "ok",
+		"uptime":  time.Since(s.started).String(),
+		"workers": s.jobs.Workers(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w)
+}
+
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	job, err := s.jobs.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.logf("job %s submitted (type=%s)", job.ID, job.Spec.Type)
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.jobs.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrJobFinished):
+		writeJSON(w, http.StatusConflict, job)
+		return
+	case err != nil:
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.logf("job %s cancellation requested", job.ID)
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleListArtifacts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"artifacts": s.reg.List()})
+}
+
+func (s *Server) handleUploadArtifact(w http.ResponseWriter, r *http.Request) {
+	kind := ArtifactKind(r.URL.Query().Get("kind"))
+	name := r.URL.Query().Get("name")
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxArtifactBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(data) > maxArtifactBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "artifact exceeds %d bytes", maxArtifactBytes)
+		return
+	}
+	info, err := s.reg.Put(kind, name, data, map[string]string{"source": "upload"})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleGetArtifact(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such artifact %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleArtifactData(w http.ResponseWriter, r *http.Request) {
+	data, err := s.reg.Data(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+func (s *Server) handleDeleteArtifact(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.reg.Delete(id); err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	s.cache.InvalidateArtifact(id)
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": id})
+}
+
+// handleThermo is the hot query path: reweight a registered DOS artifact
+// into canonical observables at the requested temperatures. Accepts
+// repeated T params and/or sweep=lo:hi:n; repeat queries on the same grid
+// are served from the curve LRU.
+func (s *Server) handleThermo(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	artID := q.Get("artifact")
+	if artID == "" {
+		writeError(w, http.StatusBadRequest, "missing artifact parameter")
+		return
+	}
+	temps, err := parseTemps(q["T"], q.Get("sweep"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := curveKey(artID, temps)
+	if pts, ok := s.cache.Get(key); ok {
+		writeJSON(w, http.StatusOK, thermoResponse(artID, pts, true))
+		return
+	}
+	d, err := s.reg.DOS(artID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	pts, err := thermo.Curve(d, temps)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.cache.Put(key, pts)
+	writeJSON(w, http.StatusOK, thermoResponse(artID, pts, false))
+}
+
+func thermoResponse(artID string, pts []thermo.Point, cached bool) map[string]any {
+	return map[string]any{"artifact": artID, "cached": cached, "points": pts}
+}
+
+// parseTemps merges explicit T params with an optional lo:hi:n sweep.
+func parseTemps(ts []string, sweep string) ([]float64, error) {
+	var temps []float64
+	for _, tv := range ts {
+		t, err := strconv.ParseFloat(tv, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad temperature %q", tv)
+		}
+		temps = append(temps, t)
+	}
+	if sweep != "" {
+		parts := strings.Split(sweep, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad sweep %q (want lo:hi:n)", sweep)
+		}
+		lo, err1 := strconv.ParseFloat(parts[0], 64)
+		hi, err2 := strconv.ParseFloat(parts[1], 64)
+		n, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil || n < 1 {
+			return nil, fmt.Errorf("bad sweep %q (want lo:hi:n)", sweep)
+		}
+		if n > maxTempsPerQuery {
+			return nil, fmt.Errorf("sweep of %d points exceeds limit %d", n, maxTempsPerQuery)
+		}
+		temps = append(temps, thermo.TempRange(lo, hi, n)...)
+	}
+	if len(temps) == 0 {
+		return nil, fmt.Errorf("no temperatures: pass T=<kelvin> (repeatable) or sweep=lo:hi:n")
+	}
+	if len(temps) > maxTempsPerQuery {
+		return nil, fmt.Errorf("%d temperatures exceeds limit %d", len(temps), maxTempsPerQuery)
+	}
+	for _, t := range temps {
+		if t <= 0 {
+			return nil, fmt.Errorf("non-positive temperature %g", t)
+		}
+	}
+	return temps, nil
+}
+
+// curveKey canonicalizes (artifact, grid) into the cache key.
+func curveKey(artID string, temps []float64) string {
+	var b strings.Builder
+	b.WriteString(artID)
+	b.WriteByte('|')
+	for i, t := range temps {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(t, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// runJob executes one job against the deepthermo facade. Artifacts
+// produced before a failure or cancellation are still attached to the job
+// — a cancelled REWL run persists its partial density of states (marked
+// partial=true) so the sampling already spent is not lost.
+func (s *Server) runJob(ctx context.Context, jb Job) (map[string]any, []string, error) {
+	spec := jb.Spec
+	sys, err := deepthermo.NewSystem(deepthermo.SystemConfig{
+		Cells:  spec.System.Cells,
+		Seed:   spec.System.Seed,
+		Alloy:  spec.System.Alloy,
+		Latent: spec.System.Latent,
+		Hidden: spec.System.Hidden,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	result := map[string]any{}
+	var artifacts []string
+	baseMeta := func() map[string]string {
+		return map[string]string{
+			"job":   jb.ID,
+			"alloy": orDefault(spec.System.Alloy, "NbMoTaW"),
+			"cells": strconv.Itoa(sysCells(spec.System.Cells)),
+			"seed":  strconv.FormatUint(spec.System.Seed, 10),
+		}
+	}
+
+	needTrain := spec.Type == JobTrain || spec.Type == JobPipeline
+	needSample := spec.Type == JobSample || spec.Type == JobPipeline
+
+	if spec.Type == JobSample && spec.ModelArtifact != "" {
+		data, err := s.reg.Data(spec.ModelArtifact)
+		if err != nil {
+			return result, artifacts, err
+		}
+		if err := sys.LoadProposalModel(bytes.NewReader(data)); err != nil {
+			return result, artifacts, fmt.Errorf("loading model artifact %s: %w", spec.ModelArtifact, err)
+		}
+	}
+
+	if needTrain {
+		var dc *deepthermo.DataConfig
+		if spec.Data != nil {
+			dc = &deepthermo.DataConfig{
+				TempLo:         spec.Data.TempLo,
+				TempHi:         spec.Data.TempHi,
+				LadderLen:      spec.Data.LadderLen,
+				SamplesPerTemp: spec.Data.SamplesPerTemp,
+			}
+		}
+		if _, err := sys.GenerateDataContext(ctx, dc); err != nil {
+			return result, artifacts, err
+		}
+		var topts *deepthermo.TrainOptions
+		if spec.Train != nil {
+			topts = &deepthermo.TrainOptions{
+				Epochs:         spec.Train.Epochs,
+				BatchSize:      spec.Train.BatchSize,
+				LR:             spec.Train.LR,
+				Seed:           spec.Train.Seed,
+				KLWarmupEpochs: spec.Train.KLWarmupEpochs,
+			}
+		}
+		if err := sys.TrainProposalContext(ctx, topts); err != nil {
+			return result, artifacts, err
+		}
+		var buf bytes.Buffer
+		if err := sys.SaveProposalModel(&buf); err != nil {
+			return result, artifacts, err
+		}
+		info, err := s.reg.Put(KindModel, jobArtifactName(jb, "model"), buf.Bytes(), baseMeta())
+		if err != nil {
+			return result, artifacts, err
+		}
+		artifacts = append(artifacts, info.ID)
+		result["model_artifact"] = info.ID
+		s.logf("job %s produced %s", jb.ID, info.ID)
+	}
+
+	if needSample {
+		res, runErr := sys.SampleDOSContext(ctx, deepthermo.DOSConfig{
+			Windows:  spec.DOS.Windows,
+			Walkers:  spec.DOS.Walkers,
+			Bins:     spec.DOS.Bins,
+			Overlap:  spec.DOS.Overlap,
+			LnFFinal: spec.DOS.LnFFinal,
+			DLWeight: spec.DOS.DLWeight,
+			NoDL:     spec.DOS.NoDL,
+		})
+		if res == nil {
+			return result, artifacts, runErr
+		}
+		var buf bytes.Buffer
+		if err := res.DOS.Save(&buf); err != nil {
+			return result, artifacts, err
+		}
+		meta := baseMeta()
+		meta["converged"] = strconv.FormatBool(res.Converged)
+		meta["sweeps"] = strconv.FormatInt(res.Sweeps, 10)
+		meta["rounds"] = strconv.Itoa(res.Rounds)
+		if runErr != nil {
+			meta["partial"] = "true"
+		}
+		info, err := s.reg.Put(KindDOS, jobArtifactName(jb, "dos"), buf.Bytes(), meta)
+		if err != nil {
+			return result, artifacts, err
+		}
+		artifacts = append(artifacts, info.ID)
+		result["dos_artifact"] = info.ID
+		result["converged"] = res.Converged
+		result["sweeps"] = res.Sweeps
+		result["rounds"] = res.Rounds
+		s.logf("job %s produced %s (converged=%v sweeps=%d)", jb.ID, info.ID, res.Converged, res.Sweeps)
+		if runErr != nil {
+			return result, artifacts, runErr
+		}
+	}
+	return result, artifacts, nil
+}
+
+func jobArtifactName(jb Job, suffix string) string {
+	if jb.Name != "" {
+		return jb.Name + "-" + suffix
+	}
+	return jb.ID + "-" + suffix
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func sysCells(c int) int {
+	if c == 0 {
+		return 3
+	}
+	return c
+}

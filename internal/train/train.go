@@ -10,6 +10,7 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -73,6 +74,14 @@ func batch(model *vae.Model, ds *workload.Dataset, lo, hi int) (*tensor.Matrix, 
 
 // Fit trains model on ds with Adam and returns per-epoch statistics.
 func Fit(model *vae.Model, ds *workload.Dataset, opts Options) ([]EpochStats, error) {
+	return FitContext(context.Background(), model, ds, opts)
+}
+
+// FitContext is Fit with cooperative cancellation, polled once per batch.
+// On cancellation the statistics of the epochs completed so far are
+// returned alongside ctx's error; the model keeps the weights of the last
+// optimizer step, so a partially trained model remains usable.
+func FitContext(ctx context.Context, model *vae.Model, ds *workload.Dataset, opts Options) ([]EpochStats, error) {
 	opts.setDefaults()
 	if ds.Len() == 0 {
 		return nil, fmt.Errorf("train: empty dataset")
@@ -95,6 +104,9 @@ func Fit(model *vae.Model, ds *workload.Dataset, opts Options) ([]EpochStats, er
 		var agg vae.Losses
 		steps := 0
 		for lo := 0; lo < ds.Len(); lo += opts.BatchSize {
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
 			hi := lo + opts.BatchSize
 			if hi > ds.Len() {
 				hi = ds.Len()

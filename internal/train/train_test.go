@@ -1,6 +1,8 @@
 package train
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -197,6 +199,34 @@ func TestActiveLoop(t *testing.T) {
 	for r, stats := range history {
 		if len(stats) != 4 {
 			t.Fatalf("round %d has %d epochs", r, len(stats))
+		}
+	}
+}
+
+// TestFitContextCancel: cancellation mid-training returns the context
+// error without corrupting the partially trained model.
+func TestFitContextCancel(t *testing.T) {
+	_, ds, cfg := testSetup(t)
+	model, err := vae.New(cfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats, err := FitContext(ctx, model, ds, Options{Epochs: 50, BatchSize: 8, Seed: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(stats) >= 50 {
+		t.Fatalf("cancelled training ran all %d epochs", len(stats))
+	}
+	// The model still produces finite decode probabilities.
+	probs := model.DecodeProbs(make([]float64, cfg.Latent), 0.5)
+	for _, row := range probs {
+		for _, p := range row {
+			if math.IsNaN(p) {
+				t.Fatal("NaN probability after cancelled training")
+			}
 		}
 	}
 }

@@ -6,6 +6,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -117,6 +118,13 @@ func CondForT(t float64) float64 { return mc.CondForT(t) }
 // parallel) and collects decorrelated configurations labelled with their
 // normalized temperature.
 func Generate(m *alloy.Model, opts GenOptions) (*Dataset, error) {
+	return GenerateContext(context.Background(), m, opts)
+}
+
+// GenerateContext is Generate with cooperative cancellation. The chains
+// poll ctx between sweeps; on cancellation the partial dataset collected so
+// far is returned alongside ctx's error.
+func GenerateContext(ctx context.Context, m *alloy.Model, opts GenOptions) (*Dataset, error) {
 	if len(opts.Temps) == 0 || opts.SamplesPerTemp <= 0 {
 		return nil, fmt.Errorf("workload: need temperatures and a positive sample count")
 	}
@@ -131,6 +139,7 @@ func Generate(m *alloy.Model, opts GenOptions) (*Dataset, error) {
 
 	streams := rng.NewStreams(opts.Seed, len(opts.Temps))
 	perTemp := make([]*Dataset, len(opts.Temps))
+	done := ctx.Done()
 	var wg sync.WaitGroup
 	for ti, t := range opts.Temps {
 		wg.Add(1)
@@ -140,10 +149,16 @@ func Generate(m *alloy.Model, opts GenOptions) (*Dataset, error) {
 			cfg := quotaConfig(m.Lattice().NumSites(), opts.Quota)
 			src.Shuffle(len(cfg), func(i, j int) { cfg[i], cfg[j] = cfg[j], cfg[i] })
 			s := mc.NewSampler(m, cfg, mc.NewSwapProposal(m), src)
+			ds := &Dataset{}
+			perTemp[ti] = ds
 			for i := 0; i < opts.EquilSweeps; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				s.Sweep(t)
 			}
-			ds := &Dataset{}
 			cond := CondForT(t)
 			for i := 0; i < opts.SamplesPerTemp; i++ {
 				for g := 0; g < opts.GapSweeps; g++ {
@@ -153,8 +168,12 @@ func Generate(m *alloy.Model, opts GenOptions) (*Dataset, error) {
 					cond = mc.CondForEnergy(s.E, len(s.Cfg))
 				}
 				ds.Append(s.Cfg.Clone(), cond, s.E)
+				select {
+				case <-done:
+					return
+				default:
+				}
 			}
-			perTemp[ti] = ds
 		}(ti, t)
 	}
 	wg.Wait()
@@ -166,6 +185,9 @@ func Generate(m *alloy.Model, opts GenOptions) (*Dataset, error) {
 		all.Energies = append(all.Energies, ds.Energies...)
 	}
 	all.Shuffle(rng.New(opts.Seed ^ 0xa5a5a5a5))
+	if err := ctx.Err(); err != nil {
+		return all, err
+	}
 	return all, nil
 }
 

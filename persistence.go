@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"deepthermo/internal/dos"
 	"deepthermo/internal/vae"
@@ -34,17 +35,12 @@ func (s *System) LoadProposalModel(r io.Reader) error {
 	return nil
 }
 
-// SaveModelFile and LoadModelFile are path-based conveniences.
+// SaveModelFile and LoadModelFile are path-based conveniences. The write
+// is atomic: the model is serialized to a temporary file in the target's
+// directory and renamed into place, so a crash or error mid-write never
+// leaves a truncated artifact at path.
 func (s *System) SaveModelFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := s.SaveProposalModel(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return WriteFileAtomic(path, s.SaveProposalModel)
 }
 
 // LoadModelFile loads a proposal model from path.
@@ -62,3 +58,51 @@ func SaveDOS(d *LogDOS, w io.Writer) error { return d.Save(w) }
 
 // LoadDOS reads a density of states saved by SaveDOS.
 func LoadDOS(r io.Reader) (*LogDOS, error) { return dos.Load(r) }
+
+// SaveDOSFile atomically writes a density of states to path (see
+// SaveModelFile for the temp-file-and-rename contract).
+func SaveDOSFile(d *LogDOS, path string) error {
+	return WriteFileAtomic(path, d.Save)
+}
+
+// LoadDOSFile reads a density of states from path.
+func LoadDOSFile(path string) (*LogDOS, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dos.Load(f)
+}
+
+// WriteFileAtomic streams write's output into a temporary file in path's
+// directory and renames it over path on success. On any error the
+// temporary file is removed and path is left untouched — readers (and the
+// artifact registry in internal/server) never observe a torn write.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	tmp = nil
+	return nil
+}

@@ -2,6 +2,10 @@ package deepthermo
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -101,5 +105,78 @@ func TestDOSSaveLoadFacade(t *testing.T) {
 	}
 	if _, err := LoadDOS(bytes.NewReader([]byte("junk"))); err == nil {
 		t.Fatal("garbage DOS accepted")
+	}
+}
+
+// TestSaveModelFileAtomic: a failing save must leave an existing artifact
+// at the target path untouched (temp-file-and-rename contract).
+func TestSaveModelFileAtomic(t *testing.T) {
+	sys := newTestSystem(t) // no trained model: SaveProposalModel errors
+	path := filepath.Join(t.TempDir(), "model.bin")
+	sentinel := []byte("previously converged artifact")
+	if err := os.WriteFile(path, sentinel, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveModelFile(path); err == nil {
+		t.Fatal("save without a model succeeded")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, sentinel) {
+		t.Fatal("failed save clobbered the existing file")
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d files in dir after failed save, want 1", len(entries))
+	}
+}
+
+// TestSaveDOSFileRoundTrip exercises the path-based DOS conveniences.
+func TestSaveDOSFileRoundTrip(t *testing.T) {
+	sys := newTestSystem(t)
+	res, err := sys.SampleDOS(DOSConfig{Windows: 2, Bins: 16, LnFFinal: 1e-2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dos.bin")
+	if err := SaveDOSFile(res.DOS, path); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadDOSFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.DOS.LogG {
+		if res.DOS.Visited(i) && d.LogG[i] != res.DOS.LogG[i] {
+			t.Fatalf("bin %d: %g vs %g", i, d.LogG[i], res.DOS.LogG[i])
+		}
+	}
+}
+
+// TestWriteFileAtomicErrorCleanup: the writer callback failing must remove
+// the temporary file and leave no target.
+func TestWriteFileAtomicErrorCleanup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	sentinelErr := fmt.Errorf("mid-write failure")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		w.Write([]byte("partial"))
+		return sentinelErr
+	})
+	if !errors.Is(err, sentinelErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("target exists after failed atomic write")
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 0 {
+		t.Fatalf("%d leftover files after failed atomic write", len(entries))
 	}
 }
