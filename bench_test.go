@@ -246,3 +246,19 @@ func BenchmarkE11Validation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkE13ChaosResilience regenerates the fault-tolerance table: REWL
+// accuracy under sampled walker-crash plans vs the fault-free seed spread.
+func BenchmarkE13ChaosResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ChaosResilience(experiments.E13Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, res.Format())
+		if i == 0 && len(res.Rows) > 0 {
+			b.ReportMetric(res.Rows[len(res.Rows)-1].RMS, "faulted-rms-lng")
+			b.ReportMetric(res.SpreadMax, "spread-max-rms-lng")
+		}
+	}
+}

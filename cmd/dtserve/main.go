@@ -6,6 +6,11 @@
 //
 //	dtserve -addr :8080 -workers 2 -data-dir ./artifacts
 //
+// With a data dir the server is crash-safe: job transitions are journalled,
+// sampling runs checkpoint periodically, and on restart jobs that were
+// running are requeued and resume from their last checkpoint (see the
+// README "Surviving kill -9" walkthrough).
+//
 // Endpoints (see the README "Serving" section for a curl walkthrough):
 //
 //	POST   /v1/jobs                submit a job (sample | train | pipeline)
@@ -42,15 +47,20 @@ func main() {
 	workers := flag.Int("workers", 2, "sampling/training worker-pool size")
 	queue := flag.Int("queue", 64, "maximum pending jobs")
 	cacheSize := flag.Int("cache", 256, "reweighted-curve LRU capacity")
-	dataDir := flag.String("data-dir", "", "artifact persistence directory (empty = in-memory only)")
+	dataDir := flag.String("data-dir", "",
+		"persistence directory: artifacts, job journal, and REWL checkpoints (empty = in-memory only)")
+	retryMax := flag.Int("retry-max", 1, "max runs per failing job (1 = no automatic retries)")
+	retryBackoff := flag.Duration("retry-backoff", time.Second, "initial exponential retry delay")
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cacheSize,
-		DataDir:    *dataDir,
-		Logf:       log.Printf,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cacheSize,
+		DataDir:      *dataDir,
+		RetryMax:     *retryMax,
+		RetryBackoff: *retryBackoff,
+		Logf:         log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -23,8 +23,10 @@ package deepthermo
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"deepthermo/internal/alloy"
+	"deepthermo/internal/chaos"
 	"deepthermo/internal/dos"
 	"deepthermo/internal/lattice"
 	"deepthermo/internal/mc"
@@ -223,7 +225,27 @@ type DOSConfig struct {
 	LnFFinal float64 // convergence target (default 1e-4)
 	DLWeight float64 // DL share of the proposal mixture (default 0.15; 0 disables DL even with a trained model)
 	NoDL     bool    // force the pure local-swap baseline
+
+	// CheckpointDir enables crash-safe checkpoint/restart: the full REWL
+	// run state is written atomically to this directory every
+	// CheckpointEvery rounds (default 10 when a dir is set). With Resume,
+	// a run continues bit-identically from the directory's checkpoint if
+	// one exists, so restart loops can set Resume unconditionally.
+	CheckpointDir   string
+	CheckpointEvery int
+	Resume          bool
+	// Faults injects a deterministic walker-failure schedule (package
+	// chaos) for fault-tolerance tests and chaos experiments; nil means no
+	// faults. Ranks are wi·Walkers+k, steps are walker sweep counts.
+	Faults *FaultPlan
+	// WalkerTimeout bounds each walker's sweep round; stragglers are
+	// declared dead and the run continues without them (0 disables).
+	WalkerTimeout time.Duration
 }
+
+// FaultPlan aliases chaos.Plan, the deterministic fault schedule consumed
+// by DOSConfig.Faults.
+type FaultPlan = chaos.Plan
 
 // DOSResult is a converged (or cut-off) density-of-states run.
 type DOSResult struct {
@@ -231,6 +253,13 @@ type DOSResult struct {
 	Converged bool
 	Sweeps    int64
 	Rounds    int
+	// Resumed reports whether the run continued from a checkpoint.
+	Resumed bool
+	// FailedWalkers counts walkers lost to crashes, panics, or straggler
+	// timeouts; DegradedWindows counts windows that lost every walker and
+	// contributed only their last consensus (Converged is then false).
+	FailedWalkers   int
+	DegradedWindows int
 }
 
 // SampleDOS runs REWL over the system's reachable energy range, using the
@@ -290,6 +319,11 @@ func (s *System) SampleDOSContext(ctx context.Context, cfg DOSConfig) (*DOSResul
 		WalkersPerWindow: cfg.Walkers,
 		WL:               wanglandau.Options{LnFFinal: cfg.LnFFinal},
 		PrepareSweeps:    20000,
+		CheckpointDir:    cfg.CheckpointDir,
+		CheckpointEvery:  cfg.CheckpointEvery,
+		Resume:           cfg.Resume,
+		Faults:           cfg.Faults,
+		WalkerTimeout:    cfg.WalkerTimeout,
 	})
 	if run == nil {
 		return nil, runErr
@@ -299,7 +333,15 @@ func (s *System) SampleDOSContext(ctx context.Context, cfg DOSConfig) (*DOSResul
 		return nil, err
 	}
 	run.DOS.NormalizeTo(logStates)
-	res := &DOSResult{DOS: run.DOS, Converged: run.AllConverged, Sweeps: run.TotalSweeps, Rounds: run.Rounds}
+	res := &DOSResult{
+		DOS:             run.DOS,
+		Converged:       run.AllConverged,
+		Sweeps:          run.TotalSweeps,
+		Rounds:          run.Rounds,
+		Resumed:         run.Resumed,
+		FailedWalkers:   run.FailedWalkers,
+		DegradedWindows: run.DegradedWindows,
+	}
 	return res, runErr
 }
 

@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilPlanIsEmpty(t *testing.T) {
+	var p *Plan
+	if p.NumCrashes() != 0 || len(p.Faults()) != 0 {
+		t.Fatalf("nil plan not empty: %v", p.Faults())
+	}
+	if p.ShouldCrash(0, 100) {
+		t.Fatal("nil plan should never crash")
+	}
+	if drop, delay := p.SendFault(0, 0); drop || delay != 0 {
+		t.Fatal("nil plan should not fault sends")
+	}
+	if p.SweepDelay(0, 0) != 0 {
+		t.Fatal("nil plan should not delay sweeps")
+	}
+	if p.String() != "no faults" {
+		t.Fatalf("nil plan string = %q", p.String())
+	}
+}
+
+func TestNewPlanQueries(t *testing.T) {
+	p := NewPlan(
+		Fault{Rank: 2, Step: 50, Kind: Crash},
+		Fault{Rank: 2, Step: 30, Kind: Crash}, // earlier crash wins
+		Fault{Rank: 1, Step: 7, Kind: DropSend},
+		Fault{Rank: 1, Step: 9, Kind: DelaySend, Delay: 5 * time.Millisecond},
+		Fault{Rank: 0, Step: 4, Kind: DelaySweep, Delay: time.Millisecond},
+	)
+	if s, ok := p.CrashStep(2); !ok || s != 30 {
+		t.Fatalf("CrashStep(2) = %d, %v; want 30, true", s, ok)
+	}
+	if p.ShouldCrash(2, 29) {
+		t.Fatal("rank 2 crashed before its step")
+	}
+	if !p.ShouldCrash(2, 30) || !p.ShouldCrash(2, 1000) {
+		t.Fatal("rank 2 should stay crashed from step 30 on")
+	}
+	if drop, _ := p.SendFault(1, 7); !drop {
+		t.Fatal("rank 1 send 7 should drop")
+	}
+	if drop, delay := p.SendFault(1, 9); drop || delay != 5*time.Millisecond {
+		t.Fatalf("rank 1 send 9: drop=%v delay=%v", drop, delay)
+	}
+	if d := p.SweepDelay(0, 4); d != time.Millisecond {
+		t.Fatalf("rank 0 sweep 4 delay = %v", d)
+	}
+	if p.NumCrashes() != 1 {
+		t.Fatalf("NumCrashes = %d, want 1", p.NumCrashes())
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	opts := SampleOptions{Ranks: 64, CrashProb: 0.2, DropProb: 0.3}
+	a := Sample(42, opts)
+	b := Sample(42, opts)
+	fa, fb := a.Faults(), b.Faults()
+	if len(fa) != len(fb) {
+		t.Fatalf("same seed, different fault counts: %d vs %d", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("fault %d differs: %+v vs %+v", i, fa[i], fb[i])
+		}
+	}
+	c := Sample(43, opts)
+	if a.String() == c.String() {
+		t.Fatal("different seeds produced identical plans (vanishingly unlikely)")
+	}
+	if a.NumCrashes() == 0 {
+		t.Fatal("expected some crashes at 20% over 64 ranks")
+	}
+}
+
+func TestSampleRespectsBounds(t *testing.T) {
+	p := Sample(7, SampleOptions{
+		Ranks: 200, CrashProb: 1, CrashMinStep: 100, CrashMaxStep: 110,
+		DropProb: 1, DropMaxSeq: 5,
+	})
+	for _, f := range p.Faults() {
+		switch f.Kind {
+		case Crash:
+			if f.Step < 100 || f.Step >= 110 {
+				t.Fatalf("crash step %d outside [100,110)", f.Step)
+			}
+		case DropSend:
+			if f.Step < 0 || f.Step >= 5 {
+				t.Fatalf("drop seq %d outside [0,5)", f.Step)
+			}
+		}
+	}
+	if p.NumCrashes() != 200 {
+		t.Fatalf("CrashProb=1 over 200 ranks gave %d crashes", p.NumCrashes())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // World is a communication universe of Size ranks. Create one World per
@@ -23,7 +24,15 @@ type World struct {
 	size      int
 	ch        [][]chan []float64 // ch[dst][src]
 	barrier   *reusableBarrier
+	ctxBar    *ctxBarrier
 	bytesSent atomic.Int64
+
+	// Fault machinery (see faults.go). inject and timeout are configured
+	// before the ranks start; failure flags flip at most once per rank.
+	inject  FaultInjector
+	timeout time.Duration
+	failed  []atomic.Bool
+	failCh  []chan struct{} // closed when the rank fails permanently
 }
 
 // NewWorld creates a world with n ranks.
@@ -31,7 +40,16 @@ func NewWorld(n int) *World {
 	if n < 1 {
 		panic("comm: world size must be positive")
 	}
-	w := &World{size: n, barrier: newReusableBarrier(n)}
+	w := &World{
+		size:    n,
+		barrier: newReusableBarrier(n),
+		ctxBar:  newCtxBarrier(n),
+		failed:  make([]atomic.Bool, n),
+		failCh:  make([]chan struct{}, n),
+	}
+	for i := range w.failCh {
+		w.failCh[i] = make(chan struct{})
+	}
 	w.ch = make([][]chan []float64, n)
 	for d := range w.ch {
 		w.ch[d] = make([]chan []float64, n)
@@ -59,10 +77,13 @@ func (w *World) Rank(r int) *Comm {
 
 // Comm is one rank's endpoint. It is not safe for concurrent use by
 // multiple goroutines (like an MPI rank, it belongs to one thread of
-// execution).
+// execution). For fault injection by operation sequence the endpoint
+// counts its sends and recvs, so obtain one Comm per rank and reuse it.
 type Comm struct {
-	world *World
-	rank  int
+	world   *World
+	rank    int
+	sendSeq int64
+	recvSeq int64
 }
 
 // Rank returns this endpoint's rank.

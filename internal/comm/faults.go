@@ -1,0 +1,342 @@
+package comm
+
+// Fault-aware communication: context-aware, error-returning variants of
+// Send/Recv and the collectives, plus deterministic fault injection.
+//
+// The blocking operations in comm.go mirror a healthy MPI job: they assume
+// every rank stays alive and the BSP schedule never deadlocks. At the
+// scale the paper targets (thousands of GPUs), ranks die and links stall,
+// and a blocked MPI call then hangs forever. The *Ctx variants below
+// return errors instead: a configurable timeout bounds every operation, a
+// permanently failed rank is observable by its peers (ErrPeerFailed
+// rather than a hang), and an installed FaultInjector (package chaos)
+// drops, delays, or kills operations deterministically for tests and
+// chaos experiments.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Errors reported by the fault-aware operations.
+var (
+	// ErrRankFailed is returned by a rank's own operations after it has
+	// permanently failed (fault-injected crash or FailRank).
+	ErrRankFailed = errors.New("comm: rank permanently failed")
+	// ErrPeerFailed is returned when the operation's peer rank has
+	// permanently failed and no buffered message remains.
+	ErrPeerFailed = errors.New("comm: peer rank failed")
+	// ErrTimeout is returned when an operation exceeds the world timeout.
+	ErrTimeout = errors.New("comm: operation timed out")
+)
+
+// FaultInjector supplies per-operation fault verdicts. Implementations
+// must be safe for concurrent use by all ranks; chaos.Plan satisfies
+// that (it is immutable after construction). Step numbers are the rank's
+// cumulative operation count (sends + recvs).
+type FaultInjector interface {
+	// ShouldCrash reports whether rank must fail permanently at step.
+	ShouldCrash(rank int, step int64) bool
+	// SendFault returns the drop/delay verdict for rank's seq-th send.
+	SendFault(rank int, seq int64) (drop bool, delay time.Duration)
+}
+
+// SetFaultInjector installs a fault plan. Call before the ranks start
+// communicating; a nil injector disables injection.
+func (w *World) SetFaultInjector(fi FaultInjector) { w.inject = fi }
+
+// SetTimeout bounds every *Ctx operation (0 = no timeout, rely on the
+// caller's context alone). Call before the ranks start communicating.
+func (w *World) SetTimeout(d time.Duration) { w.timeout = d }
+
+// FailRank marks rank permanently failed: its own operations return
+// ErrRankFailed and peers blocked on it observe ErrPeerFailed. Failing is
+// idempotent and irreversible, like a dead MPI process.
+func (w *World) FailRank(r int) {
+	if w.failed[r].CompareAndSwap(false, true) {
+		close(w.failCh[r])
+	}
+}
+
+// RankFailed reports whether rank r has permanently failed.
+func (w *World) RankFailed(r int) bool { return w.failed[r].Load() }
+
+// FailedRanks returns the failed ranks in ascending order.
+func (w *World) FailedRanks() []int {
+	var out []int
+	for r := range w.failed {
+		if w.failed[r].Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// opCtx applies the world timeout to ctx.
+func (w *World) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if w.timeout > 0 {
+		return context.WithTimeout(ctx, w.timeout)
+	}
+	return ctx, func() {}
+}
+
+// mapCtxErr converts a context cancellation caused by the world timeout
+// into ErrTimeout; caller-initiated cancellation passes through.
+func mapCtxErr(outer, inner context.Context, op string, peer int) error {
+	if outer.Err() != nil {
+		return outer.Err()
+	}
+	return fmt.Errorf("%w: %s involving rank %d", ErrTimeout, op, peer)
+}
+
+// checkFaults consumes one operation step: it advances the rank's op
+// counter, applies a scheduled crash, and reports self-failure.
+func (c *Comm) checkFaults() error {
+	w := c.world
+	if w.failed[c.rank].Load() {
+		return fmt.Errorf("%w: rank %d", ErrRankFailed, c.rank)
+	}
+	if w.inject != nil && w.inject.ShouldCrash(c.rank, c.sendSeq+c.recvSeq) {
+		w.FailRank(c.rank)
+		return fmt.Errorf("%w: rank %d (injected crash)", ErrRankFailed, c.rank)
+	}
+	return nil
+}
+
+// sleepCtx waits for d respecting cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SendCtx is Send with cancellation, timeout, and fault injection: it
+// delivers a copy of data to dst or returns an error. A fault-injected
+// dropped send returns nil (the loss is silent, like a lost packet); a
+// send to a failed rank returns ErrPeerFailed instead of blocking.
+func (c *Comm) SendCtx(ctx context.Context, dst int, data []float64) error {
+	if err := c.checkFaults(); err != nil {
+		return err
+	}
+	seq := c.sendSeq
+	c.sendSeq++
+	w := c.world
+	if w.inject != nil {
+		drop, delay := w.inject.SendFault(c.rank, seq)
+		if delay > 0 {
+			if err := sleepCtx(ctx, delay); err != nil {
+				return err
+			}
+		}
+		if drop {
+			w.bytesSent.Add(int64(8 * len(data))) // sent, then lost in the network
+			return nil
+		}
+	}
+	if w.failed[dst].Load() {
+		return fmt.Errorf("%w: send to rank %d", ErrPeerFailed, dst)
+	}
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	opCtx, cancel := w.opCtx(ctx)
+	defer cancel()
+	select {
+	case w.ch[dst][c.rank] <- cp:
+		w.bytesSent.Add(int64(8 * len(data)))
+		return nil
+	case <-w.failCh[dst]:
+		return fmt.Errorf("%w: send to rank %d", ErrPeerFailed, dst)
+	case <-opCtx.Done():
+		return mapCtxErr(ctx, opCtx, "send", dst)
+	}
+}
+
+// RecvCtx is Recv with cancellation, timeout, and failure observation:
+// it returns the next message from src, or ErrPeerFailed once src has
+// failed and its in-flight messages are drained.
+func (c *Comm) RecvCtx(ctx context.Context, src int) ([]float64, error) {
+	if err := c.checkFaults(); err != nil {
+		return nil, err
+	}
+	c.recvSeq++
+	w := c.world
+	// Drain messages sent before a peer failure first.
+	select {
+	case msg := <-w.ch[c.rank][src]:
+		return msg, nil
+	default:
+	}
+	opCtx, cancel := w.opCtx(ctx)
+	defer cancel()
+	select {
+	case msg := <-w.ch[c.rank][src]:
+		return msg, nil
+	case <-w.failCh[src]:
+		return nil, fmt.Errorf("%w: recv from rank %d", ErrPeerFailed, src)
+	case <-opCtx.Done():
+		return nil, mapCtxErr(ctx, opCtx, "recv", src)
+	}
+}
+
+// BarrierCtx blocks until every rank enters it, the context is cancelled,
+// or the world timeout fires. A rank that aborts (error return) withdraws
+// from the barrier generation, so the survivors' own timeouts — not a
+// permanent deadlock — decide the outcome, mirroring how a real MPI job
+// detects a dead rank at the next collective.
+func (c *Comm) BarrierCtx(ctx context.Context) error {
+	if err := c.checkFaults(); err != nil {
+		return err
+	}
+	opCtx, cancel := c.world.opCtx(ctx)
+	defer cancel()
+	if err := c.world.ctxBar.wait(opCtx); err != nil {
+		return mapCtxErr(ctx, opCtx, "barrier", -1)
+	}
+	return nil
+}
+
+// BroadcastCtx is Broadcast with cancellation, timeout, and fault
+// injection, using the same binomial tree as the blocking version.
+func (c *Comm) BroadcastCtx(ctx context.Context, root int, buf []float64) error {
+	n, me := c.Size(), c.rank
+	vr := (me - root + n) % n
+	mask := 1
+	for mask < n {
+		if vr < mask {
+			partner := vr | mask
+			if partner < n {
+				if err := c.SendCtx(ctx, (partner+root)%n, buf); err != nil {
+					return err
+				}
+			}
+		} else if vr < mask<<1 {
+			msg, err := c.RecvCtx(ctx, (vr-mask+root)%n)
+			if err != nil {
+				return err
+			}
+			copy(buf, msg)
+		}
+		mask <<= 1
+	}
+	return nil
+}
+
+// AllreduceCtx is Allreduce with cancellation, timeout, and fault
+// injection, using the same ring schedule as the blocking version. Note
+// that a dropped send inside a ring collective poisons the result for
+// every rank — exactly the all-or-nothing failure mode of a real ring
+// allreduce, which is why the REWL layer treats collectives as fatal for
+// the round and falls back to checkpoint recovery.
+func (c *Comm) AllreduceCtx(ctx context.Context, buf []float64, op Op) error {
+	n, me := c.Size(), c.rank
+	if n == 1 {
+		return nil
+	}
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	off := make([]int, n+1)
+	for k := 0; k <= n; k++ {
+		off[k] = k * len(buf) / n
+	}
+	chunk := func(k int) []float64 {
+		k = ((k % n) + n) % n
+		return buf[off[k]:off[k+1]]
+	}
+	for s := 0; s < n-1; s++ {
+		if err := c.SendCtx(ctx, right, chunk(me-s)); err != nil {
+			return err
+		}
+		in, err := c.RecvCtx(ctx, left)
+		if err != nil {
+			return err
+		}
+		op.apply(chunk(me-s-1), in)
+	}
+	for s := 0; s < n-1; s++ {
+		if err := c.SendCtx(ctx, right, chunk(me+1-s)); err != nil {
+			return err
+		}
+		in, err := c.RecvCtx(ctx, left)
+		if err != nil {
+			return err
+		}
+		copy(chunk(me-s), in)
+	}
+	return nil
+}
+
+// AllgatherCtx is Allgather with cancellation, timeout, and fault
+// injection, using the same ring schedule as the blocking version.
+func (c *Comm) AllgatherCtx(ctx context.Context, contrib, dst []float64) error {
+	n, me := c.Size(), c.rank
+	if len(dst) != len(contrib)*n {
+		return fmt.Errorf("comm: Allgather dst %d != contrib %d × %d ranks", len(dst), len(contrib), n)
+	}
+	copy(dst[me*len(contrib):], contrib)
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	cur := me
+	for s := 0; s < n-1; s++ {
+		if err := c.SendCtx(ctx, right, dst[cur*len(contrib):(cur+1)*len(contrib)]); err != nil {
+			return err
+		}
+		cur = (cur - 1 + n) % n
+		in, err := c.RecvCtx(ctx, left)
+		if err != nil {
+			return err
+		}
+		copy(dst[cur*len(contrib):(cur+1)*len(contrib)], in)
+	}
+	return nil
+}
+
+// ctxBarrier is a generation-based barrier whose waiters can abort on
+// context cancellation; an aborted waiter withdraws its arrival so the
+// generation's count stays consistent for the survivors.
+type ctxBarrier struct {
+	mu      sync.Mutex
+	n       int
+	count   int
+	release chan struct{}
+}
+
+func newCtxBarrier(n int) *ctxBarrier {
+	return &ctxBarrier{n: n, release: make(chan struct{})}
+}
+
+func (b *ctxBarrier) wait(ctx context.Context) error {
+	b.mu.Lock()
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		close(b.release)
+		b.release = make(chan struct{})
+		b.mu.Unlock()
+		return nil
+	}
+	ch := b.release
+	b.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		select {
+		case <-ch: // released while aborting: the barrier completed
+			b.mu.Unlock()
+			return nil
+		default:
+		}
+		b.count--
+		b.mu.Unlock()
+		return ctx.Err()
+	}
+}

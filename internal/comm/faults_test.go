@@ -1,0 +1,255 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"deepthermo/internal/chaos"
+)
+
+func TestSendRecvCtxBasic(t *testing.T) {
+	w := NewWorld(2)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		c := w.Rank(0)
+		if err := c.SendCtx(ctx, 1, []float64{1, 2, 3}); err != nil {
+			t.Errorf("send: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		c := w.Rank(1)
+		msg, err := c.RecvCtx(ctx, 0)
+		if err != nil {
+			t.Errorf("recv: %v", err)
+			return
+		}
+		if len(msg) != 3 || msg[0] != 1 || msg[2] != 3 {
+			t.Errorf("recv payload %v", msg)
+		}
+	}()
+	wg.Wait()
+}
+
+func TestRecvCtxTimeout(t *testing.T) {
+	w := NewWorld(2)
+	w.SetTimeout(20 * time.Millisecond)
+	_, err := w.Rank(1).RecvCtx(context.Background(), 0)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+}
+
+func TestRecvCtxCallerCancel(t *testing.T) {
+	w := NewWorld(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := w.Rank(1).RecvCtx(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestFailedRankObservedByPeers(t *testing.T) {
+	w := NewWorld(2)
+	w.SetTimeout(time.Second)
+	ctx := context.Background()
+
+	// Buffered message from rank 0 survives its failure and is drained first.
+	if err := w.Rank(0).SendCtx(ctx, 1, []float64{7}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	w.FailRank(0)
+
+	c1 := w.Rank(1)
+	msg, err := c1.RecvCtx(ctx, 0)
+	if err != nil || msg[0] != 7 {
+		t.Fatalf("drain before failure: %v %v", msg, err)
+	}
+	if _, err := c1.RecvCtx(ctx, 0); !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("want ErrPeerFailed after drain, got %v", err)
+	}
+	if err := c1.SendCtx(ctx, 0, []float64{1}); !errors.Is(err, ErrPeerFailed) {
+		t.Fatalf("send to failed rank: want ErrPeerFailed, got %v", err)
+	}
+	if err := w.Rank(0).SendCtx(ctx, 1, nil); !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("failed rank's own op: want ErrRankFailed, got %v", err)
+	}
+	if got := w.FailedRanks(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("FailedRanks = %v", got)
+	}
+}
+
+func TestInjectedCrash(t *testing.T) {
+	w := NewWorld(2)
+	w.SetTimeout(time.Second)
+	// Rank 0 crashes at its 2nd operation (step counter is sends+recvs).
+	w.SetFaultInjector(chaos.NewPlan(chaos.Fault{Rank: 0, Step: 2, Kind: chaos.Crash}))
+	ctx := context.Background()
+	c0 := w.Rank(0)
+	if err := c0.SendCtx(ctx, 1, []float64{1}); err != nil {
+		t.Fatalf("op 0: %v", err)
+	}
+	if err := c0.SendCtx(ctx, 1, []float64{2}); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if err := c0.SendCtx(ctx, 1, []float64{3}); !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("op 2: want ErrRankFailed, got %v", err)
+	}
+	if !w.RankFailed(0) {
+		t.Fatal("rank 0 should be marked failed")
+	}
+}
+
+func TestInjectedDropAndDelay(t *testing.T) {
+	w := NewWorld(2)
+	w.SetTimeout(50 * time.Millisecond)
+	w.SetFaultInjector(chaos.NewPlan(
+		chaos.Fault{Rank: 0, Step: 0, Kind: chaos.DropSend},
+		chaos.Fault{Rank: 0, Step: 1, Kind: chaos.DelaySend, Delay: 10 * time.Millisecond},
+	))
+	ctx := context.Background()
+	c0, c1 := w.Rank(0), w.Rank(1)
+	if err := c0.SendCtx(ctx, 1, []float64{1}); err != nil {
+		t.Fatalf("dropped send should report success: %v", err)
+	}
+	start := time.Now()
+	if err := c0.SendCtx(ctx, 1, []float64{2}); err != nil {
+		t.Fatalf("delayed send: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("delayed send completed in %v, want ≥10ms", elapsed)
+	}
+	// Only the second (delayed, not dropped) message arrives.
+	msg, err := c1.RecvCtx(ctx, 0)
+	if err != nil || msg[0] != 2 {
+		t.Fatalf("recv after drop: %v %v", msg, err)
+	}
+	if _, err := c1.RecvCtx(ctx, 0); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("dropped message should never arrive: got %v", err)
+	}
+}
+
+func TestBarrierCtx(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	ctx := context.Background()
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		wg.Add(n)
+		for r := 0; r < n; r++ {
+			go func(r int) {
+				defer wg.Done()
+				if err := w.Rank(r).BarrierCtx(ctx); err != nil {
+					t.Errorf("rank %d round %d: %v", r, round, err)
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+func TestBarrierCtxTimeoutThenRecovers(t *testing.T) {
+	w := NewWorld(2)
+	w.SetTimeout(20 * time.Millisecond)
+	ctx := context.Background()
+	// Rank 0 waits alone and times out...
+	if err := w.Rank(0).BarrierCtx(ctx); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("lone barrier: want ErrTimeout, got %v", err)
+	}
+	// ...and having withdrawn, a later full barrier still completes.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			defer wg.Done()
+			if err := w.Rank(r).BarrierCtx(ctx); err != nil {
+				t.Errorf("rank %d: %v", r, err)
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestCollectivesCtxMatchBlocking(t *testing.T) {
+	const n = 5
+	w := NewWorld(n)
+	w.SetTimeout(time.Second)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(r int) {
+			defer wg.Done()
+			c := w.Rank(r)
+
+			buf := []float64{float64(r), float64(2 * r), 1}
+			if err := c.BroadcastCtx(ctx, 2, buf); err != nil {
+				t.Errorf("broadcast rank %d: %v", r, err)
+				return
+			}
+			if buf[0] != 2 || buf[1] != 4 {
+				t.Errorf("broadcast rank %d got %v", r, buf)
+			}
+
+			red := []float64{float64(r + 1), 1, float64(-r)}
+			if err := c.AllreduceCtx(ctx, red, Sum); err != nil {
+				t.Errorf("allreduce rank %d: %v", r, err)
+				return
+			}
+			// sum(r+1) = 15, sum(1) = 5, sum(-r) = -10 for n=5.
+			if red[0] != 15 || red[1] != 5 || red[2] != -10 {
+				t.Errorf("allreduce rank %d got %v", r, red)
+			}
+
+			contrib := []float64{float64(10 * r), float64(10*r + 1)}
+			dst := make([]float64, 2*n)
+			if err := c.AllgatherCtx(ctx, contrib, dst); err != nil {
+				t.Errorf("allgather rank %d: %v", r, err)
+				return
+			}
+			for k := 0; k < n; k++ {
+				if dst[2*k] != float64(10*k) || dst[2*k+1] != float64(10*k+1) {
+					t.Errorf("allgather rank %d got %v", r, dst)
+					break
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestCollectiveSurvivorsErrorOnDeadRank(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	w.SetTimeout(100 * time.Millisecond)
+	// Rank 2 crashes on its first operation; the ring allreduce cannot
+	// complete, and every survivor gets an error instead of hanging.
+	w.SetFaultInjector(chaos.NewPlan(chaos.Fault{Rank: 2, Step: 0, Kind: chaos.Crash}))
+	ctx := context.Background()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(r int) {
+			defer wg.Done()
+			buf := []float64{1, 2, 3, 4}
+			errs[r] = w.Rank(r).AllreduceCtx(ctx, buf, Sum)
+		}(r)
+	}
+	wg.Wait()
+	if !errors.Is(errs[2], ErrRankFailed) {
+		t.Fatalf("crashed rank: want ErrRankFailed, got %v", errs[2])
+	}
+	for r := 0; r < n; r++ {
+		if r != 2 && errs[r] == nil {
+			t.Fatalf("survivor rank %d completed a broken collective", r)
+		}
+	}
+}

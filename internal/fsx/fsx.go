@@ -1,0 +1,68 @@
+// Package fsx provides crash-safe filesystem primitives shared by the
+// checkpoint writers (package rewl), the job journal and artifact registry
+// (package server), and the public persistence helpers (package
+// deepthermo).
+//
+// Durability contract. WriteFileAtomic guarantees that after it returns
+// nil, a reader opening path sees exactly the new contents even if the
+// process is killed or the machine loses power immediately afterwards:
+// the data is fsynced before the rename, and the parent directory is
+// fsynced after it so the rename itself is on stable storage. On any
+// error path is left untouched and the temporary file is removed.
+package fsx
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFileAtomic streams write's output into a temporary file in path's
+// directory, fsyncs it, renames it over path, and fsyncs the parent
+// directory. Readers never observe a torn or truncated file, and a
+// committed write survives power loss, not just process crash.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err := write(tmp); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	tmp = nil
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a preceding rename in it is durable. Some
+// filesystems reject fsync on directories; that is reported as-is on
+// Linux (the platform the paper's deployment targets) where it works.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	return d.Close()
+}

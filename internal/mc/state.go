@@ -1,0 +1,53 @@
+package mc
+
+import (
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/rng"
+)
+
+// SamplerState is the serializable chain state of a Sampler: everything
+// that influences future Metropolis decisions. Restoring it and replaying
+// the same proposal sequence reproduces the chain bit-identically, which
+// is the invariant the REWL checkpoint/restart machinery (package rewl)
+// tests for. All fields are exported, gob-friendly value types.
+type SamplerState struct {
+	Cfg      lattice.Config
+	E        float64
+	RNG      rng.State
+	Accepted int64
+	Proposed int64
+	// StepsSinceResync counts incremental energy updates since the last
+	// full recomputation; it matters because the periodic resync at
+	// resyncInterval steps rounds away accumulated floating-point drift
+	// and therefore changes subsequent accept/reject decisions.
+	StepsSinceResync int
+}
+
+// State snapshots the sampler's chain state. The configuration is copied,
+// so the snapshot stays valid while the sampler keeps running.
+func (s *Sampler) State() SamplerState {
+	cfg := make(lattice.Config, len(s.Cfg))
+	copy(cfg, s.Cfg)
+	return SamplerState{
+		Cfg:              cfg,
+		E:                s.E,
+		RNG:              s.Src.State(),
+		Accepted:         s.Accepted,
+		Proposed:         s.Proposed,
+		StepsSinceResync: s.stepsSinceResync,
+	}
+}
+
+// RestoreState overwrites the sampler's chain state from a snapshot,
+// including its RNG stream position. The sampler's existing Src is
+// rewound in place (callers typically construct the sampler with a
+// throwaway stream and then restore the checkpointed one).
+func (s *Sampler) RestoreState(st SamplerState) {
+	s.Cfg = make(lattice.Config, len(st.Cfg))
+	copy(s.Cfg, st.Cfg)
+	s.E = st.E
+	s.Src.Restore(st.RNG)
+	s.Accepted = st.Accepted
+	s.Proposed = st.Proposed
+	s.stepsSinceResync = st.StepsSinceResync
+}

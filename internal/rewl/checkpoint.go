@@ -1,0 +1,284 @@
+package rewl
+
+// Run checkpointing. A checkpoint captures everything RunContext needs to
+// continue a run bit-identically after a process restart: every surviving
+// walker's chain state (package wanglandau, including RNG stream
+// positions), the coordinator stream driving exchange decisions, the
+// replica-flow bookkeeping, and the frozen consensus of degraded windows.
+// Files are written with fsx.WriteFileAtomic, so a crash mid-write leaves
+// the previous checkpoint intact and a committed one survives power loss.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/fsx"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/wanglandau"
+)
+
+// CheckpointFile is the file name RunContext writes inside CheckpointDir.
+const CheckpointFile = "rewl.ckpt"
+
+// CheckpointPath returns the checkpoint file path for a checkpoint dir.
+func CheckpointPath(dir string) string { return filepath.Join(dir, CheckpointFile) }
+
+// HasCheckpoint reports whether dir holds a checkpoint to resume from.
+func HasCheckpoint(dir string) bool {
+	if dir == "" {
+		return false
+	}
+	_, err := os.Stat(CheckpointPath(dir))
+	return err == nil
+}
+
+// checkpointVersion guards against format drift across releases.
+const checkpointVersion = 1
+
+// checkpoint is the serialized run state. Dead walker slots hold the zero
+// WalkerState (gob cannot encode nil pointers) and are skipped on restore
+// via the Alive mask.
+type checkpoint struct {
+	Version int
+	Seed    uint64
+	Windows []wanglandau.Window
+	NWalk   int
+
+	Round       int // next round index to execute
+	Coord       rng.State
+	Alive       [][]bool
+	Walkers     [][]wanglandau.WalkerState
+	FrozenLogG  [][]float64
+	LastLnF     []float64
+	Stages      []int
+	ReplicaID   [][]int
+	LastExtreme []uint8
+
+	ExchangeTried  int64
+	ExchangeAccept int64
+	RoundTrips     int64
+	FailedWalkers  int
+}
+
+func (ck *checkpoint) validate(windows []wanglandau.Window, nWalk int) error {
+	if ck.Version != checkpointVersion {
+		return fmt.Errorf("rewl: checkpoint version %d, want %d", ck.Version, checkpointVersion)
+	}
+	if len(ck.Windows) != len(windows) || ck.NWalk != nWalk {
+		return fmt.Errorf("rewl: checkpoint is for %d windows × %d walkers, run has %d × %d",
+			len(ck.Windows), ck.NWalk, len(windows), nWalk)
+	}
+	for i := range windows {
+		if ck.Windows[i] != windows[i] {
+			return fmt.Errorf("rewl: checkpoint window %d is [%g,%g)×%d, run has [%g,%g)×%d",
+				i, ck.Windows[i].EMin, ck.Windows[i].EMax, ck.Windows[i].Bins,
+				windows[i].EMin, windows[i].EMax, windows[i].Bins)
+		}
+	}
+	nWin := len(windows)
+	if len(ck.Alive) != nWin || len(ck.Walkers) != nWin || len(ck.FrozenLogG) != nWin ||
+		len(ck.LastLnF) != nWin || len(ck.Stages) != nWin || len(ck.ReplicaID) != nWin {
+		return fmt.Errorf("rewl: checkpoint arrays inconsistent with %d windows", nWin)
+	}
+	for wi := 0; wi < nWin; wi++ {
+		if len(ck.Alive[wi]) != nWalk || len(ck.Walkers[wi]) != nWalk || len(ck.ReplicaID[wi]) != nWalk {
+			return fmt.Errorf("rewl: checkpoint window %d arrays inconsistent with %d walkers", wi, nWalk)
+		}
+	}
+	return nil
+}
+
+func saveCheckpoint(path string, ck *checkpoint) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(ck)
+	})
+}
+
+func loadCheckpoint(path string) (*checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ck := new(checkpoint)
+	if err := gob.NewDecoder(f).Decode(ck); err != nil {
+		return nil, fmt.Errorf("rewl: corrupt checkpoint %s: %w", path, err)
+	}
+	return ck, nil
+}
+
+func snapshotCheckpoint(opts Options, windows []wanglandau.Window, nextRound int,
+	coord *rng.Source, walkers [][]*wanglandau.Walker, alive [][]bool,
+	frozen [][]float64, lastLnF []float64, stages []int,
+	replicaID [][]int, lastExtreme []uint8, res *Result) *checkpoint {
+	nWin := len(windows)
+	nWalk := opts.WalkersPerWindow
+	ck := &checkpoint{
+		Version:        checkpointVersion,
+		Seed:           opts.Seed,
+		Windows:        append([]wanglandau.Window(nil), windows...),
+		NWalk:          nWalk,
+		Round:          nextRound,
+		Coord:          coord.State(),
+		Alive:          make([][]bool, nWin),
+		Walkers:        make([][]wanglandau.WalkerState, nWin),
+		FrozenLogG:     make([][]float64, nWin),
+		LastLnF:        append([]float64(nil), lastLnF...),
+		Stages:         append([]int(nil), stages...),
+		ReplicaID:      make([][]int, nWin),
+		LastExtreme:    append([]uint8(nil), lastExtreme...),
+		ExchangeTried:  res.ExchangeTried,
+		ExchangeAccept: res.ExchangeAccept,
+		RoundTrips:     res.RoundTrips,
+		FailedWalkers:  res.FailedWalkers,
+	}
+	for wi := 0; wi < nWin; wi++ {
+		ck.Alive[wi] = append([]bool(nil), alive[wi]...)
+		ck.ReplicaID[wi] = append([]int(nil), replicaID[wi]...)
+		ck.FrozenLogG[wi] = append([]float64(nil), frozen[wi]...)
+		ck.Walkers[wi] = make([]wanglandau.WalkerState, nWalk)
+		for k := 0; k < nWalk; k++ {
+			if alive[wi][k] && walkers[wi][k] != nil {
+				ck.Walkers[wi][k] = walkers[wi][k].State()
+			}
+		}
+	}
+	return ck
+}
+
+// runState is the in-memory state RunContext's round loop operates on,
+// built either fresh or from a checkpoint.
+type runState struct {
+	walkers     [][]*wanglandau.Walker
+	alive       [][]bool
+	coord       *rng.Source
+	stages      []int
+	replicaID   [][]int
+	lastExtreme []uint8
+	frozen      [][]float64
+	lastLnF     []float64
+	startRound  int
+	resumed     bool
+
+	exchangeTried  int64
+	exchangeAccept int64
+	roundTrips     int64
+	failedWalkers  int
+}
+
+func buildRunState(m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, newProposal ProposalFactory, opts Options) (*runState, error) {
+	nWin := len(windows)
+	nWalk := opts.WalkersPerWindow
+
+	if opts.Resume && opts.CheckpointDir != "" {
+		ck, err := loadCheckpoint(CheckpointPath(opts.CheckpointDir))
+		switch {
+		case err == nil:
+			return resumeRunState(m, windows, newProposal, opts, ck)
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet: first attempt of a restart loop.
+		default:
+			return nil, err
+		}
+	}
+
+	st := &runState{
+		coord:   nil,
+		alive:   make([][]bool, nWin),
+		walkers: make([][]*wanglandau.Walker, nWin),
+		stages:  make([]int, nWin),
+		frozen:  make([][]float64, nWin),
+		lastLnF: make([]float64, nWin),
+	}
+	streams := rng.NewStreams(opts.Seed, nWin*nWalk+1)
+	st.coord = streams[nWin*nWalk] // coordinator stream for exchange decisions
+
+	// Build walkers. Low-energy windows are reached by annealed steering
+	// from the seed configuration.
+	for wi, win := range windows {
+		st.walkers[wi] = make([]*wanglandau.Walker, nWalk)
+		st.alive[wi] = make([]bool, nWalk)
+		for k := 0; k < nWalk; k++ {
+			src := streams[wi*nWalk+k]
+			cfg := seedCfg.Clone()
+			if _, err := wanglandau.PrepareInWindow(m, cfg, win, src, opts.PrepareSweeps); err != nil {
+				return nil, fmt.Errorf("rewl: window %d walker %d: %w", wi, k, err)
+			}
+			walker, err := wanglandau.NewWalker(m, cfg, newProposal(wi, k, src), src, win, opts.WL)
+			if err != nil {
+				return nil, fmt.Errorf("rewl: window %d walker %d: %w", wi, k, err)
+			}
+			st.walkers[wi][k] = walker
+			st.alive[wi][k] = true
+		}
+		st.lastLnF[wi] = st.walkers[wi][0].LnF()
+	}
+
+	// Replica-flow bookkeeping: each configuration carries a replica id
+	// that travels with it through exchanges.
+	st.replicaID = make([][]int, nWin)
+	id := 0
+	for wi := range st.replicaID {
+		st.replicaID[wi] = make([]int, nWalk)
+		for k := range st.replicaID[wi] {
+			st.replicaID[wi][k] = id
+			id++
+		}
+	}
+	// lastExtreme[r] = 0 untouched, 1 bottom window, 2 top window.
+	st.lastExtreme = make([]uint8, id)
+	return st, nil
+}
+
+func resumeRunState(m *alloy.Model, windows []wanglandau.Window, newProposal ProposalFactory, opts Options, ck *checkpoint) (*runState, error) {
+	nWin := len(windows)
+	nWalk := opts.WalkersPerWindow
+	if err := ck.validate(windows, nWalk); err != nil {
+		return nil, err
+	}
+	st := &runState{
+		coord:          rng.FromState(ck.Coord),
+		alive:          ck.Alive,
+		walkers:        make([][]*wanglandau.Walker, nWin),
+		stages:         ck.Stages,
+		replicaID:      ck.ReplicaID,
+		lastExtreme:    ck.LastExtreme,
+		frozen:         ck.FrozenLogG,
+		lastLnF:        ck.LastLnF,
+		startRound:     ck.Round,
+		resumed:        true,
+		exchangeTried:  ck.ExchangeTried,
+		exchangeAccept: ck.ExchangeAccept,
+		roundTrips:     ck.RoundTrips,
+		failedWalkers:  ck.FailedWalkers,
+	}
+	// Proposal factories may consume RNG draws at construction (the VAE
+	// global proposal clones network weights, re-running initialization);
+	// feed them a throwaway stream, then RestoreWalker rewinds each
+	// walker's real stream to its checkpointed position, so the resumed
+	// chains are bit-identical regardless of what the factory drew.
+	throwaway := rng.New(ck.Seed ^ 0x5ca1ab1edeadbeef)
+	for wi := range st.walkers {
+		st.walkers[wi] = make([]*wanglandau.Walker, nWalk)
+		for k := 0; k < nWalk; k++ {
+			if !st.alive[wi][k] {
+				continue
+			}
+			w, err := wanglandau.RestoreWalker(m, newProposal(wi, k, throwaway), rng.New(1), ck.Walkers[wi][k], opts.WL)
+			if err != nil {
+				return nil, fmt.Errorf("rewl: restoring window %d walker %d: %w", wi, k, err)
+			}
+			st.walkers[wi][k] = w
+		}
+	}
+	return st, nil
+}

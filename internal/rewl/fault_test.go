@@ -1,0 +1,234 @@
+package rewl
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"deepthermo/internal/chaos"
+	"deepthermo/internal/dos"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/mc"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/wanglandau"
+)
+
+// runWithOpts runs the 8-site validation system with the given options.
+func runWithOpts(t *testing.T, opts Options) (*Result, error) {
+	t.Helper()
+	m, exact := exact8(t)
+	wins, err := SplitWindows(exact.EMin, exact.EMax(), 2, 0.5, exact.BinWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(9)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	return Run(m, seed, wins,
+		func(win, widx int, s *rng.Source) mc.Proposal { return mc.NewSwapProposal(m) },
+		opts)
+}
+
+func requireBitIdentical(t *testing.T, a, b *dos.LogDOS) {
+	t.Helper()
+	if len(a.LogG) != len(b.LogG) {
+		t.Fatalf("bin counts differ: %d vs %d", len(a.LogG), len(b.LogG))
+	}
+	for i := range a.LogG {
+		av, bv := a.LogG[i], b.LogG[i]
+		if math.IsInf(av, -1) && math.IsInf(bv, -1) {
+			continue
+		}
+		// The acceptance bar is 1e-12; the implementation achieves exact
+		// bitwise equality, which this asserts.
+		if diff := math.Abs(av - bv); !(diff <= 1e-12) {
+			t.Fatalf("bin %d differs: %v vs %v (|Δ|=%g)", i, av, bv, diff)
+		}
+	}
+}
+
+// TestCheckpointResumeMatchesUninterrupted is the PR's core acceptance
+// test: a run interrupted at round k and resumed from its checkpoint must
+// produce a final ln g(E) identical to the uninterrupted run with the
+// same seeds.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	wl := wanglandau.Options{LnFFinal: 1e-3}
+
+	// Reference: uninterrupted, checkpointing on (checkpoint writes must
+	// not perturb the chain).
+	ref, err := runWithOpts(t, Options{
+		Seed: 10, WL: wl,
+		CheckpointDir: t.TempDir(), CheckpointEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.AllConverged {
+		t.Fatal("reference run did not converge")
+	}
+
+	// Interrupted: stop after 4 rounds (a checkpoint boundary)...
+	dir := t.TempDir()
+	partial, err := runWithOpts(t, Options{
+		Seed: 10, WL: wl,
+		CheckpointDir: dir, CheckpointEvery: 2, MaxRounds: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.AllConverged {
+		t.Fatal("4 rounds should not converge; test premise broken")
+	}
+	if !HasCheckpoint(dir) {
+		t.Fatal("no checkpoint written")
+	}
+
+	// ...and resume to completion.
+	resumed, err := runWithOpts(t, Options{
+		Seed: 10, WL: wl,
+		CheckpointDir: dir, CheckpointEvery: 2, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed.Resumed {
+		t.Fatal("run did not report resuming")
+	}
+	if !resumed.AllConverged {
+		t.Fatal("resumed run did not converge")
+	}
+
+	requireBitIdentical(t, ref.DOS, resumed.DOS)
+	if ref.Rounds != resumed.Rounds {
+		t.Errorf("rounds differ: %d vs %d", ref.Rounds, resumed.Rounds)
+	}
+	if ref.ExchangeTried != resumed.ExchangeTried || ref.ExchangeAccept != resumed.ExchangeAccept {
+		t.Errorf("exchange counters differ: %d/%d vs %d/%d",
+			ref.ExchangeAccept, ref.ExchangeTried, resumed.ExchangeAccept, resumed.ExchangeTried)
+	}
+	if ref.RoundTrips != resumed.RoundTrips {
+		t.Errorf("round trips differ: %d vs %d", ref.RoundTrips, resumed.RoundTrips)
+	}
+}
+
+// TestResumeWithoutCheckpointStartsFresh: Resume on an empty dir must
+// behave exactly like a fresh run, so restart loops can set it always.
+func TestResumeWithoutCheckpointStartsFresh(t *testing.T) {
+	wl := wanglandau.Options{LnFFinal: 1e-2}
+	a, err := runWithOpts(t, Options{Seed: 10, WL: wl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runWithOpts(t, Options{Seed: 10, WL: wl, CheckpointDir: t.TempDir(), Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Resumed {
+		t.Fatal("fresh run reported resuming")
+	}
+	requireBitIdentical(t, a.DOS, b.DOS)
+}
+
+// TestResumeRejectsMismatchedGeometry: a checkpoint from a different
+// window layout must be refused, not silently misapplied.
+func TestResumeRejectsMismatchedGeometry(t *testing.T) {
+	wl := wanglandau.Options{LnFFinal: 1e-2}
+	dir := t.TempDir()
+	if _, err := runWithOpts(t, Options{Seed: 10, WL: wl, CheckpointDir: dir, CheckpointEvery: 1, MaxRounds: 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, exact := exact8(t)
+	wins, err := SplitWindows(exact.EMin, exact.EMax(), 3, 0.5, exact.BinWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(9)
+	seed := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+	_, err = Run(m, seed, wins,
+		func(win, widx int, s *rng.Source) mc.Proposal { return mc.NewSwapProposal(m) },
+		Options{Seed: 10, WL: wl, CheckpointDir: dir, Resume: true})
+	if err == nil {
+		t.Fatal("mismatched checkpoint accepted")
+	}
+}
+
+// TestCrashedWalkerWindowSurvives: with two walkers per window, a crashed
+// walker's window continues on the survivor and the run still converges.
+func TestCrashedWalkerWindowSurvives(t *testing.T) {
+	_, exact := exact8(t)
+	res, err := runWithOpts(t, Options{
+		Seed: 10, WalkersPerWindow: 2,
+		WL: wanglandau.Options{LnFFinal: 1e-4},
+		// Slot 1 = walker 1 of window 0; dies once it has done 120 sweeps.
+		Faults: chaos.NewPlan(chaos.Fault{Rank: 1, Step: 120, Kind: chaos.Crash}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllConverged {
+		t.Fatal("run with one crashed walker did not converge")
+	}
+	if res.FailedWalkers != 1 {
+		t.Fatalf("FailedWalkers = %d, want 1", res.FailedWalkers)
+	}
+	if res.Windows[0].FailedWalkers != 1 || res.Windows[0].Degraded {
+		t.Fatalf("window 0 stat wrong: %+v", res.Windows[0])
+	}
+	if res.DegradedWindows != 0 {
+		t.Fatalf("DegradedWindows = %d, want 0", res.DegradedWindows)
+	}
+	rms, n, err := dos.RMSLogError(res.DOS, exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 4 || rms > 0.3 {
+		t.Errorf("degraded-free DOS way off: RMS %g over %d bins", rms, n)
+	}
+}
+
+// TestWindowDegradesWhenAllWalkersDie: losing every walker of a window
+// freezes its last consensus and flags it instead of aborting the run.
+func TestWindowDegradesWhenAllWalkersDie(t *testing.T) {
+	res, err := runWithOpts(t, Options{
+		Seed: 10,
+		WL:   wanglandau.Options{LnFFinal: 1e-3},
+		// Slot 1 = the single walker of window 1; dies after 200 sweeps.
+		Faults: chaos.NewPlan(chaos.Fault{Rank: 1, Step: 200, Kind: chaos.Crash}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AllConverged {
+		t.Fatal("a degraded run must not report full convergence")
+	}
+	if res.DegradedWindows != 1 || !res.Windows[1].Degraded {
+		t.Fatalf("degraded accounting wrong: %d degraded, window1=%+v", res.DegradedWindows, res.Windows[1])
+	}
+	if res.Windows[0].Degraded || !res.Windows[0].Converged {
+		t.Fatalf("surviving window 0 should converge: %+v", res.Windows[0])
+	}
+	if res.DOS == nil {
+		t.Fatal("merged DOS missing despite frozen window consensus")
+	}
+}
+
+// TestStragglerTimeout: a walker stalled by an injected delay is declared
+// dead by the walker timeout and the run completes without it.
+func TestStragglerTimeout(t *testing.T) {
+	res, err := runWithOpts(t, Options{
+		Seed: 10, WalkersPerWindow: 2,
+		WL: wanglandau.Options{LnFFinal: 1e-3},
+		Faults: chaos.NewPlan(
+			chaos.Fault{Rank: 0, Step: 60, Kind: chaos.DelaySweep, Delay: time.Hour},
+		),
+		WalkerTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllConverged {
+		t.Fatal("run with one straggler did not converge")
+	}
+	if res.FailedWalkers != 1 || res.Windows[0].FailedWalkers != 1 {
+		t.Fatalf("straggler not recorded: %+v", res)
+	}
+}

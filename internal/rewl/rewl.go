@@ -13,6 +13,27 @@
 // by a serial exchange/merge phase. This mirrors the paper's MPI
 // implementation, where the exchange phase is a nearest-neighbor
 // communication step between window communicators.
+//
+// # Fault tolerance
+//
+// At deployment scale walkers die (node failures, preempted jobs) and
+// stall (stragglers). The driver therefore supports:
+//
+//   - deterministic fault injection (Options.Faults, package chaos):
+//     walkers crash or stall at configured sweep counts of their own
+//     clock, so every failure scenario replays bit-identically;
+//   - straggler detection (Options.WalkerTimeout): a walker that does not
+//     finish its round in time is declared dead and abandoned, and the
+//     survivors continue;
+//   - panic isolation: a panicking walker kills itself, not the run;
+//   - degraded windows: when every walker of a window has died, the
+//     window's last merged ln g consensus is frozen and carried into the
+//     final merge, flagged in WindowStat.Degraded, instead of aborting;
+//   - checkpoint/restart (Options.CheckpointDir): the full run state —
+//     every walker's chain including its RNG stream position, the
+//     coordinator stream, replica-flow bookkeeping — is written
+//     atomically every CheckpointEvery rounds, and Options.Resume
+//     continues a run bit-identically to the uninterrupted one.
 package rewl
 
 import (
@@ -20,8 +41,11 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"deepthermo/internal/alloy"
+	"deepthermo/internal/chaos"
 	"deepthermo/internal/dos"
 	"deepthermo/internal/lattice"
 	"deepthermo/internal/mc"
@@ -37,6 +61,23 @@ type Options struct {
 	Seed             uint64 // master RNG seed
 	WL               wanglandau.Options
 	PrepareSweeps    int // sweeps allowed to steer a config into its window (default 2000)
+
+	// CheckpointDir enables checkpoint/restart: the run state is written
+	// atomically to CheckpointDir/rewl.ckpt every CheckpointEvery rounds
+	// (default 10 when a dir is set). Empty disables checkpointing.
+	CheckpointDir   string
+	CheckpointEvery int
+	// Resume continues from CheckpointDir's checkpoint if one exists
+	// (bit-identically to the uninterrupted run); absent a checkpoint the
+	// run starts fresh, so restart loops can set it unconditionally.
+	Resume bool
+	// Faults injects deterministic walker failures: rank wi·WalkersPerWindow+k
+	// is walker k of window wi, and steps are the walker's own sweep count.
+	// nil means no faults.
+	Faults *chaos.Plan
+	// WalkerTimeout bounds a walker's sweep round; a slower walker is
+	// declared dead and abandoned (0 disables straggler detection).
+	WalkerTimeout time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -51,6 +92,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.PrepareSweeps == 0 {
 		o.PrepareSweeps = 2000
+	}
+	if o.CheckpointDir != "" && o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 10
 	}
 }
 
@@ -99,9 +143,15 @@ type WindowStat struct {
 	Window      wanglandau.Window
 	Converged   bool
 	Stages      int
-	Sweeps      int64 // summed over the window's walkers
+	Sweeps      int64 // summed over the window's surviving walkers
 	FinalLnF    float64
 	AcceptRatio float64
+	// Degraded marks a window all of whose walkers died; its contribution
+	// to the merged DOS is the last ln g consensus reached while at least
+	// one walker lived.
+	Degraded bool
+	// FailedWalkers counts this window's dead walkers.
+	FailedWalkers int
 }
 
 // Result is a completed REWL run.
@@ -118,6 +168,12 @@ type Result struct {
 	// exchanges) — the standard REWL mixing diagnostic: zero round trips
 	// means the windows are effectively decoupled.
 	RoundTrips int64
+	// FailedWalkers counts walkers lost to crashes, panics, or straggler
+	// timeouts; DegradedWindows counts windows that lost all walkers.
+	FailedWalkers   int
+	DegradedWindows int
+	// Resumed reports whether the run continued from a checkpoint.
+	Resumed bool
 }
 
 // ProposalFactory builds a fresh proposal for walker widx of window win.
@@ -143,86 +199,143 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 	}
 	nWin := len(windows)
 	nWalk := opts.WalkersPerWindow
-	streams := rng.NewStreams(opts.Seed, nWin*nWalk+1)
-	coord := streams[nWin*nWalk] // coordinator stream for exchange decisions
 
-	// Build walkers. Low-energy windows are reached by annealed steering
-	// from the seed configuration.
-	walkers := make([][]*wanglandau.Walker, nWin)
-	for wi, win := range windows {
-		walkers[wi] = make([]*wanglandau.Walker, nWalk)
-		for k := 0; k < nWalk; k++ {
-			src := streams[wi*nWalk+k]
-			cfg := seedCfg.Clone()
-			if _, err := wanglandau.PrepareInWindow(m, cfg, win, src, opts.PrepareSweeps); err != nil {
-				return nil, fmt.Errorf("rewl: window %d walker %d: %w", wi, k, err)
-			}
-			walker, err := wanglandau.NewWalker(m, cfg, newProposal(wi, k, src), src, win, opts.WL)
-			if err != nil {
-				return nil, fmt.Errorf("rewl: window %d walker %d: %w", wi, k, err)
-			}
-			walkers[wi][k] = walker
-		}
+	st, err := buildRunState(m, seedCfg, windows, newProposal, opts)
+	if err != nil {
+		return nil, err
 	}
+	walkers, alive, coord := st.walkers, st.alive, st.coord
+	stages, replicaID, lastExtreme := st.stages, st.replicaID, st.lastExtreme
+	frozen, lastLnF := st.frozen, st.lastLnF
 
-	res := &Result{Windows: make([]WindowStat, nWin)}
-	stages := make([]int, nWin)
-
-	// Replica-flow bookkeeping: each configuration carries a replica id
-	// that travels with it through exchanges.
-	replicaID := make([][]int, nWin)
-	id := 0
-	for wi := range replicaID {
-		replicaID[wi] = make([]int, nWalk)
-		for k := range replicaID[wi] {
-			replicaID[wi][k] = id
-			id++
-		}
-	}
-	// lastExtreme[r] = 0 untouched, 1 bottom window, 2 top window.
-	lastExtreme := make([]uint8, id)
+	res := &Result{Windows: make([]WindowStat, nWin), Rounds: st.startRound, Resumed: st.resumed}
+	res.ExchangeTried = st.exchangeTried
+	res.ExchangeAccept = st.exchangeAccept
+	res.RoundTrips = st.roundTrips
+	res.FailedWalkers = st.failedWalkers
 
 	done := ctx.Done()
-	for round := 0; round < opts.MaxRounds; round++ {
+	slots := nWin * nWalk
+	doneFlags := make([]atomic.Bool, slots)
+	deadFlags := make([]atomic.Bool, slots)
+
+	for round := st.startRound; round < opts.MaxRounds; round++ {
 		if ctx.Err() != nil {
 			break
 		}
 		res.Rounds = round + 1
 
-		// Parallel sweep phase: every walker advances independently,
-		// polling for cancellation between sweeps.
+		// Parallel sweep phase: every live, unconverged walker advances
+		// independently, polling for cancellation and abandonment between
+		// sweeps. Fault injection is keyed on the walker's own sweep count,
+		// so it is independent of goroutine scheduling and survives
+		// checkpoint/restart.
+		abandon := make(chan struct{})
+		var participants []int
 		var wg sync.WaitGroup
 		for wi := range walkers {
-			for _, w := range walkers[wi] {
-				if w.Converged() {
+			for k, w := range walkers[wi] {
+				if w == nil || !alive[wi][k] || w.Converged() {
 					continue
 				}
+				slot := wi*nWalk + k
+				doneFlags[slot].Store(false)
+				deadFlags[slot].Store(false)
+				participants = append(participants, slot)
 				wg.Add(1)
-				go func(w *wanglandau.Walker) {
+				go func(w *wanglandau.Walker, slot int) {
 					defer wg.Done()
+					defer doneFlags[slot].Store(true)
+					defer func() {
+						if r := recover(); r != nil {
+							deadFlags[slot].Store(true)
+						}
+					}()
 					for s := 0; s < opts.ExchangeInterval; s++ {
 						select {
 						case <-done:
 							return
+						case <-abandon:
+							return
 						default:
+						}
+						if opts.Faults.ShouldCrash(slot, w.Sweeps()) {
+							deadFlags[slot].Store(true)
+							return
+						}
+						if d := opts.Faults.SweepDelay(slot, w.Sweeps()); d > 0 {
+							t := time.NewTimer(d)
+							select {
+							case <-t.C:
+							case <-done:
+								t.Stop()
+								return
+							case <-abandon:
+								t.Stop()
+								return
+							}
 						}
 						w.Sweep()
 					}
-				}(w)
+				}(w, slot)
 			}
 		}
-		wg.Wait()
+		roundDone := make(chan struct{})
+		go func() { wg.Wait(); close(roundDone) }()
+		if opts.WalkerTimeout > 0 {
+			timer := time.NewTimer(opts.WalkerTimeout)
+			select {
+			case <-roundDone:
+				timer.Stop()
+			case <-timer.C:
+				// Stragglers are declared dead and abandoned: the driver
+				// never reads their state again, and their goroutines exit
+				// at the next sweep boundary (injected stalls are
+				// interruptible, so chaos tests converge promptly).
+				for _, slot := range participants {
+					if !doneFlags[slot].Load() {
+						deadFlags[slot].Store(true)
+					}
+				}
+				close(abandon)
+			}
+		} else {
+			<-roundDone
+		}
+		for _, slot := range participants {
+			if deadFlags[slot].Load() {
+				wi, k := slot/nWalk, slot%nWalk
+				if alive[wi][k] {
+					alive[wi][k] = false
+					res.FailedWalkers++
+				}
+			}
+		}
 
-		// Serial coordination phase.
-		// 1. Within-window ln g averaging across walkers.
+		// Serial coordination phase, over surviving walkers only.
+		// 1. Within-window ln g averaging across walkers, then freeze the
+		// consensus so a window losing its last walker later still
+		// contributes its progress to the final merge.
 		for wi := range walkers {
-			mergeWindowDOS(walkers[wi])
+			mergeWindowDOS(aliveIn(walkers[wi], alive[wi]))
+		}
+		for wi := range walkers {
+			if k := firstAlive(alive[wi]); k >= 0 {
+				frozen[wi] = append(frozen[wi][:0], walkers[wi][k].DOS().LogG...)
+				lastLnF[wi] = walkers[wi][k].LnF()
+			}
 		}
 		// 2. Replica exchange between adjacent windows; alternate pairing
 		// parity so every boundary is exercised. Replica ids travel with
-		// the configurations.
+		// the configurations. Partners are drawn among each window's live
+		// walkers — with no faults this consumes the exact draw sequence
+		// of the fault-free driver.
 		for wi := round % 2; wi+1 < nWin; wi += 2 {
-			ka, kb := coord.Intn(nWalk), coord.Intn(nWalk)
+			ia, ib := aliveIdx(alive[wi]), aliveIdx(alive[wi+1])
+			if len(ia) == 0 || len(ib) == 0 {
+				continue
+			}
+			ka, kb := ia[coord.Intn(len(ia))], ib[coord.Intn(len(ib))]
 			a := walkers[wi][ka]
 			b := walkers[wi+1][kb]
 			res.ExchangeTried++
@@ -233,54 +346,87 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 		}
 		// Round-trip accounting at the ladder's ends.
 		if nWin > 1 {
-			for _, r := range replicaID[0] {
+			for _, k := range aliveIdx(alive[0]) {
+				r := replicaID[0][k]
 				if lastExtreme[r] == 2 {
 					res.RoundTrips++
 				}
 				lastExtreme[r] = 1
 			}
-			for _, r := range replicaID[nWin-1] {
-				if lastExtreme[r] == 1 {
+			for _, k := range aliveIdx(alive[nWin-1]) {
+				if r := replicaID[nWin-1][k]; lastExtreme[r] == 1 {
 					lastExtreme[r] = 2
 				}
 			}
 		}
-		// 3. Stage transitions: a window advances when all its walkers are
-		// flat.
+		// 3. Stage transitions: a window advances when all its surviving
+		// walkers are flat. A degraded window (no survivors) is frozen and
+		// no longer gates completion.
 		allDone := true
 		for wi := range walkers {
-			if windowConverged(walkers[wi]) {
+			aw := aliveIn(walkers[wi], alive[wi])
+			if len(aw) == 0 {
+				continue
+			}
+			if windowConverged(aw) {
 				continue
 			}
 			allDone = false
 			flat := true
-			for _, w := range walkers[wi] {
+			for _, w := range aw {
 				if !w.Flat() {
 					flat = false
 					break
 				}
 			}
 			if flat {
-				for _, w := range walkers[wi] {
+				for _, w := range aw {
 					w.EndStage()
 				}
 				stages[wi]++
 			}
 		}
+
+		if opts.CheckpointDir != "" && (round+1)%opts.CheckpointEvery == 0 {
+			ck := snapshotCheckpoint(opts, windows, round+1, coord, walkers, alive,
+				frozen, lastLnF, stages, replicaID, lastExtreme, res)
+			if err := saveCheckpoint(CheckpointPath(opts.CheckpointDir), ck); err != nil {
+				return nil, fmt.Errorf("rewl: writing checkpoint: %w", err)
+			}
+		}
+
 		if allDone {
 			res.AllConverged = true
 			break
 		}
 	}
 
-	// Collect per-window results and merge.
-	perWindow := make([]*dos.LogDOS, nWin)
+	// Collect per-window results and merge. A degraded window contributes
+	// its frozen consensus; a window lost before any consensus existed
+	// contributes nothing (and the merge fails if that leaves a gap).
+	var perWindow []*dos.LogDOS
 	for wi := range walkers {
-		w0 := walkers[wi][0]
-		perWindow[wi] = w0.DOS().Clone()
-		var sweeps int64
-		var acc, prop int64
-		for _, w := range walkers[wi] {
+		aw := aliveIn(walkers[wi], alive[wi])
+		idx := firstAlive(alive[wi])
+		var d *dos.LogDOS
+		switch {
+		case idx >= 0:
+			d = walkers[wi][idx].DOS().Clone()
+		case len(frozen[wi]) > 0:
+			win := windows[wi]
+			d = &dos.LogDOS{
+				EMin:     win.EMin,
+				BinWidth: (win.EMax - win.EMin) / float64(win.Bins),
+				LogG:     append([]float64(nil), frozen[wi]...),
+			}
+		}
+		degraded := idx < 0
+		if degraded {
+			res.DegradedWindows++
+			res.AllConverged = false
+		}
+		var sweeps, acc, prop int64
+		for _, w := range aw {
 			sweeps += w.Sweeps()
 			acc += w.Sampler().Accepted
 			prop += w.Sampler().Proposed
@@ -289,15 +435,26 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 		if prop > 0 {
 			ratio = float64(acc) / float64(prop)
 		}
+		failed := 0
+		for _, a := range alive[wi] {
+			if !a {
+				failed++
+			}
+		}
 		res.Windows[wi] = WindowStat{
-			Window:      windows[wi],
-			Converged:   windowConverged(walkers[wi]),
-			Stages:      stages[wi],
-			Sweeps:      sweeps,
-			FinalLnF:    w0.LnF(),
-			AcceptRatio: ratio,
+			Window:        windows[wi],
+			Converged:     idx >= 0 && windowConverged(aw),
+			Stages:        stages[wi],
+			Sweeps:        sweeps,
+			FinalLnF:      lastLnFOr(lastLnF[wi], aw),
+			AcceptRatio:   ratio,
+			Degraded:      degraded,
+			FailedWalkers: failed,
 		}
 		res.TotalSweeps += sweeps
+		if d != nil {
+			perWindow = append(perWindow, d)
+		}
 	}
 	merged, err := dos.Merge(perWindow)
 	if err != nil {
@@ -323,6 +480,46 @@ func windowConverged(ws []*wanglandau.Walker) bool {
 		}
 	}
 	return true
+}
+
+// aliveIn returns the window's surviving walkers.
+func aliveIn(ws []*wanglandau.Walker, alive []bool) []*wanglandau.Walker {
+	out := make([]*wanglandau.Walker, 0, len(ws))
+	for k, w := range ws {
+		if w != nil && alive[k] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// aliveIdx returns the indices of a window's surviving walkers.
+func aliveIdx(alive []bool) []int {
+	out := make([]int, 0, len(alive))
+	for k, a := range alive {
+		if a {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// firstAlive returns the first surviving walker index, or -1.
+func firstAlive(alive []bool) int {
+	for k, a := range alive {
+		if a {
+			return k
+		}
+	}
+	return -1
+}
+
+// lastLnFOr prefers a live walker's ln f over the frozen value.
+func lastLnFOr(frozen float64, aw []*wanglandau.Walker) float64 {
+	if len(aw) > 0 {
+		return aw[0].LnF()
+	}
+	return frozen
 }
 
 // mergeWindowDOS averages ln g over the walkers of one window (over bins

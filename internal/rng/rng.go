@@ -133,6 +133,36 @@ func (src *Source) Shuffle(n int, swap func(i, j int)) {
 	}
 }
 
+// State is the full serializable state of a Source. It is the unit of
+// RNG persistence in walker checkpoints (package wanglandau / rewl): a
+// restored Source continues the stream bit-identically, including the
+// cached Marsaglia spare deviate, so a checkpointed run replays exactly.
+type State struct {
+	S         [4]uint64
+	HaveSpare bool
+	Spare     float64
+}
+
+// State captures the generator's current state.
+func (src *Source) State() State {
+	return State{S: src.s, HaveSpare: src.haveSpare, Spare: src.spare}
+}
+
+// Restore sets the generator to a previously captured state in place, so
+// holders of the *Source pointer observe the restored stream.
+func (src *Source) Restore(st State) {
+	src.s = st.S
+	src.haveSpare = st.HaveSpare
+	src.spare = st.Spare
+}
+
+// FromState reconstructs a Source from a captured state.
+func FromState(st State) *Source {
+	src := &Source{}
+	src.Restore(st)
+	return src
+}
+
 // Jump advances the stream by 2^128 steps. 2^128 non-overlapping
 // subsequences of length 2^128 each can be generated from one seed by
 // repeated jumps; NewStreams uses this to hand each parallel walker a

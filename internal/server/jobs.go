@@ -34,15 +34,20 @@ const (
 type JobState string
 
 const (
-	JobPending   JobState = "pending"
-	JobRunning   JobState = "running"
-	JobDone      JobState = "done"
-	JobFailed    JobState = "failed"
-	JobCancelled JobState = "cancelled"
+	JobPending JobState = "pending"
+	JobRunning JobState = "running"
+	// JobInterrupted marks a job whose run was cut short without a verdict:
+	// it was `running` when the server died, or it failed and awaits a
+	// bounded-backoff retry. Interrupted jobs are requeued with Resume set
+	// and continue from their last checkpoint.
+	JobInterrupted JobState = "interrupted"
+	JobDone        JobState = "done"
+	JobFailed      JobState = "failed"
+	JobCancelled   JobState = "cancelled"
 )
 
 // States lists every job state, in lifecycle order.
-var States = []JobState{JobPending, JobRunning, JobDone, JobFailed, JobCancelled}
+var States = []JobState{JobPending, JobRunning, JobInterrupted, JobDone, JobFailed, JobCancelled}
 
 // SystemSpec selects the alloy system a job operates on. Zero values take
 // the deepthermo.NewSystem defaults.
@@ -81,6 +86,9 @@ type DOSSpec struct {
 	LnFFinal float64 `json:"lnf_final,omitempty"`
 	DLWeight float64 `json:"dl_weight,omitempty"`
 	NoDL     bool    `json:"no_dl,omitempty"`
+	// CheckpointEvery overrides how often (in REWL rounds) the run
+	// checkpoints when the server has a DataDir; 0 takes the default.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
 // JobSpec is the client-submitted description of a job.
@@ -123,6 +131,11 @@ type Job struct {
 	Finished  *time.Time     `json:"finished,omitempty"`
 	Artifacts []string       `json:"artifacts,omitempty"`
 	Result    map[string]any `json:"result,omitempty"`
+	// Attempts counts how many times the job has started running
+	// (crash-recovery resumes and retries included); Resume tells the
+	// runner to continue from the job's checkpoint if one exists.
+	Attempts int  `json:"attempts,omitempty"`
+	Resume   bool `json:"resume,omitempty"`
 }
 
 // Runner executes one job. It must honor ctx (jobs are cancelled by
@@ -146,13 +159,18 @@ type JobManager struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	mu     sync.Mutex
-	jobs   map[string]*jobRec
-	order  []string
-	queue  chan *jobRec
-	busy   int
-	nextID int
-	closed bool
+	mu      sync.Mutex
+	jobs    map[string]*jobRec
+	order   []string
+	queue   chan *jobRec
+	busy    int
+	nextID  int
+	closed  bool
+	crashed bool
+
+	journal   *journal
+	retryMax  int
+	retryBase time.Duration
 }
 
 type jobRec struct {
@@ -199,23 +217,32 @@ func (jm *JobManager) worker() {
 
 func (jm *JobManager) execute(rec *jobRec) {
 	jm.mu.Lock()
-	if rec.State != JobPending { // cancelled while queued
+	if rec.State != JobPending && rec.State != JobInterrupted { // cancelled while queued
 		jm.mu.Unlock()
 		return
 	}
 	now := time.Now()
 	rec.State = JobRunning
 	rec.Started = &now
+	rec.Attempts++
 	ctx, cancel := context.WithCancel(jm.ctx)
 	rec.cancelJob = cancel
 	jm.busy++
 	snap := rec.Job
+	jm.logJournal(rec)
 	jm.mu.Unlock()
 
-	result, artifacts, err := jm.run(ctx, snap)
+	result, artifacts, err := jm.safeRun(ctx, snap)
 	cancel()
 
 	jm.mu.Lock()
+	if jm.crashed {
+		// Simulated kill -9 (see Crash): the process "died" before it
+		// could record a verdict, so the journal's last word stays
+		// `running` and restart-time recovery takes over.
+		jm.mu.Unlock()
+		return
+	}
 	fin := time.Now()
 	rec.Finished = &fin
 	rec.cancelJob = nil
@@ -227,12 +254,164 @@ func (jm *JobManager) execute(rec *jobRec) {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		rec.State = JobCancelled
 		rec.Error = err.Error()
+	case rec.Attempts < jm.retryMax:
+		// Transient failure with retry budget left: park the job as
+		// interrupted and requeue it after an exponential backoff, resuming
+		// from its checkpoint.
+		rec.State = JobInterrupted
+		rec.Error = err.Error()
+		rec.Finished = nil
+		rec.Resume = true
+		delay := jm.backoff(rec.Attempts)
+		jm.logJournal(rec)
+		jm.busy--
+		jm.mu.Unlock()
+		time.AfterFunc(delay, func() { jm.requeue(rec) })
+		return
 	default:
 		rec.State = JobFailed
 		rec.Error = err.Error()
 	}
+	jm.logJournal(rec)
 	jm.busy--
 	jm.mu.Unlock()
+}
+
+// safeRun isolates Runner panics: a panicking walker or trainer fails its
+// own job (message captured) instead of killing the worker pool.
+func (jm *JobManager) safeRun(ctx context.Context, jb Job) (result map[string]any, artifacts []string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: job panicked: %v", r)
+		}
+	}()
+	return jm.run(ctx, jb)
+}
+
+// backoff returns the exponential retry delay for the given attempt
+// count, capped at one minute.
+func (jm *JobManager) backoff(attempts int) time.Duration {
+	base := jm.retryBase
+	if base <= 0 {
+		base = time.Second
+	}
+	d := base
+	for i := 1; i < attempts && d < time.Minute; i++ {
+		d *= 2
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// requeue re-enqueues an interrupted job after its backoff, unless it was
+// cancelled in the meantime or the manager is shutting down.
+func (jm *JobManager) requeue(rec *jobRec) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.closed || rec.State != JobInterrupted {
+		return
+	}
+	select {
+	case jm.queue <- rec:
+	default:
+		now := time.Now()
+		rec.State = JobFailed
+		rec.Error = "queue full on retry"
+		rec.Finished = &now
+		jm.logJournal(rec)
+	}
+}
+
+// logJournal appends rec's snapshot to the journal (if enabled). Called
+// with jm.mu held.
+func (jm *JobManager) logJournal(rec *jobRec) {
+	if jm.journal != nil {
+		// A failed journal write must not fail the job: the record is the
+		// recovery breadcrumb, not the source of truth for a live server.
+		_ = jm.journal.record(rec.Job)
+	}
+}
+
+// EnableJournal turns on write-ahead journalling at path, first replaying
+// any existing journal: finished jobs are restored as history, and jobs
+// that were pending or running when the previous process died are requeued
+// — `running` ones as `interrupted` with Resume set, so the runner
+// continues from its last checkpoint. Call once, before any Submit; the
+// returned slice holds the requeued jobs.
+func (jm *JobManager) EnableJournal(path string) ([]Job, error) {
+	jobs, jr, err := openJournal(path)
+	if err != nil {
+		return nil, err
+	}
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	jm.journal = jr
+	var recovered []Job
+	for _, jb := range jobs {
+		if _, exists := jm.jobs[jb.ID]; exists {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(jb.ID, "job-%d", &n); err == nil && n > jm.nextID {
+			jm.nextID = n
+		}
+		rec := &jobRec{Job: jb}
+		switch rec.State {
+		case JobRunning, JobInterrupted:
+			rec.State = JobInterrupted
+			rec.Error = "interrupted by server restart"
+			rec.Resume = true
+			rec.Finished = nil
+		case JobPending:
+		default:
+			jm.jobs[rec.ID] = rec
+			jm.order = append(jm.order, rec.ID)
+			continue
+		}
+		jm.jobs[rec.ID] = rec
+		jm.order = append(jm.order, rec.ID)
+		jm.logJournal(rec)
+		select {
+		case jm.queue <- rec:
+			recovered = append(recovered, rec.Job)
+		default:
+			now := time.Now()
+			rec.State = JobFailed
+			rec.Error = "queue full on recovery"
+			rec.Finished = &now
+			jm.logJournal(rec)
+		}
+	}
+	return recovered, nil
+}
+
+// SetRetryPolicy bounds automatic retries of failed jobs: a job may run at
+// most maxAttempts times in this process (0 or 1 disables retries), with
+// exponential backoff starting at base (default 1s) capped at one minute.
+func (jm *JobManager) SetRetryPolicy(maxAttempts int, base time.Duration) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	jm.retryMax = maxAttempts
+	jm.retryBase = base
+}
+
+// Crash simulates kill -9 for recovery tests: running jobs are torn down
+// without recording any verdict (their journal records stay `running`),
+// the journal is closed, and further submissions are rejected. A new
+// manager journalled at the same path then recovers them as interrupted.
+func (jm *JobManager) Crash() {
+	jm.mu.Lock()
+	jm.crashed = true
+	jm.closed = true
+	if jm.journal != nil {
+		jm.journal.close()
+		jm.journal = nil
+	}
+	jm.mu.Unlock()
+	jm.cancel()
+	jm.wg.Wait()
 }
 
 // Submit validates and enqueues a job, returning its initial snapshot.
@@ -261,6 +440,7 @@ func (jm *JobManager) Submit(spec JobSpec) (Job, error) {
 	}
 	jm.jobs[rec.ID] = rec
 	jm.order = append(jm.order, rec.ID)
+	jm.logJournal(rec)
 	return rec.Job, nil
 }
 
@@ -303,6 +483,15 @@ func (jm *JobManager) Cancel(id string) (Job, error) {
 		rec.State = JobCancelled
 		rec.Error = "cancelled before start"
 		rec.Finished = &now
+		jm.logJournal(rec)
+	case JobInterrupted:
+		// Parked awaiting a retry or recovery pickup; leaving JobInterrupted
+		// makes requeue/execute drop it.
+		now := time.Now()
+		rec.State = JobCancelled
+		rec.Error = "cancelled while interrupted"
+		rec.Finished = &now
+		jm.logJournal(rec)
 	case JobRunning:
 		rec.cancelJob()
 	default:

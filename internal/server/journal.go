@@ -1,0 +1,113 @@
+package server
+
+// journal is the job manager's write-ahead log: every job state
+// transition appends one JSON line (a full Job snapshot) and fsyncs, so a
+// killed server loses at most the transition being written. On restart
+// the journal is replayed (last record per job wins, a torn trailing line
+// from a crash mid-append is tolerated), compacted to one record per job,
+// and reopened for appending. Jobs that were `running` when the process
+// died are restored as `interrupted` and requeued with Resume set, which
+// makes the sampling layer continue from its last REWL checkpoint.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+
+	"deepthermo/internal/fsx"
+)
+
+type journal struct {
+	f    *os.File
+	path string
+}
+
+// openJournal replays path (if present), compacts it, and opens it for
+// appending. The replayed jobs are returned in first-submission order.
+func openJournal(path string) ([]Job, *journal, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, err
+	}
+	jobs, err := replayJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(jobs) > 0 {
+		// Compact: the replay result rewritten atomically, one record per
+		// job, so the journal stays proportional to the job count rather
+		// than the transition count.
+		if err := fsx.WriteFileAtomic(path, func(w io.Writer) error {
+			enc := json.NewEncoder(w)
+			for _, jb := range jobs {
+				if err := enc.Encode(jb); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return jobs, &journal{f: f, path: path}, nil
+}
+
+func replayJournal(path string) ([]Job, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	byID := map[string]int{}
+	var jobs []Job
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var jb Job
+		if err := json.Unmarshal(line, &jb); err != nil {
+			// A torn trailing record from a crash mid-append is expected;
+			// any other malformed line is likewise skipped — recovery is
+			// favored over strictness.
+			continue
+		}
+		if i, ok := byID[jb.ID]; ok {
+			jobs[i] = jb
+		} else {
+			byID[jb.ID] = len(jobs)
+			jobs = append(jobs, jb)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return jobs, nil
+}
+
+// record appends one job snapshot and fsyncs it to stable storage.
+func (j *journal) record(jb Job) error {
+	b, err := json.Marshal(jb)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) close() error { return j.f.Close() }

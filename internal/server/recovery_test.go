@@ -1,0 +1,243 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"deepthermo/internal/rewl"
+)
+
+// waitFor polls cond until true or the deadline elapses.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %s waiting for %s", timeout, what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCrashRecoveryResumesJob is the PR's kill -9 acceptance test: a server
+// with a DataDir is killed mid-sampling (no graceful shutdown, journal left
+// saying `running`), and a fresh server on the same DataDir restores the
+// job as interrupted, resumes it from its last REWL checkpoint, and
+// converges.
+func TestCrashRecoveryResumesJob(t *testing.T) {
+	dataDir := t.TempDir()
+
+	srv1, err := New(Config{Workers: 1, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySampleSpec()
+	spec.DOS.LnFFinal = 1e-6 // long enough to catch mid-run
+	spec.DOS.CheckpointEvery = 1
+	job, err := srv1.jobs.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for the run to commit at least one checkpoint, then "kill -9".
+	ckpt := rewl.CheckpointPath(filepath.Join(dataDir, "checkpoints", job.ID))
+	waitFor(t, time.Minute, "first checkpoint", func() bool {
+		_, err := os.Stat(ckpt)
+		return err == nil
+	})
+	srv1.jobs.Crash()
+
+	// A new server on the same DataDir must restore the job from the
+	// journal as interrupted and requeue it with Resume set.
+	srv2, err := New(Config{Workers: 1, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	restored, ok := srv2.jobs.Get(job.ID)
+	if !ok {
+		t.Fatalf("job %s not restored from journal", job.ID)
+	}
+	if restored.State != JobInterrupted && restored.State != JobRunning && restored.State != JobDone {
+		t.Fatalf("restored state %s, want interrupted/running/done", restored.State)
+	}
+	if !restored.Resume {
+		t.Fatal("restored job does not carry Resume")
+	}
+
+	waitFor(t, 2*time.Minute, "resumed job to finish", func() bool {
+		jb, _ := srv2.jobs.Get(job.ID)
+		return jb.State == JobDone || jb.State == JobFailed || jb.State == JobCancelled
+	})
+	final, _ := srv2.jobs.Get(job.ID)
+	if final.State != JobDone {
+		t.Fatalf("resumed job finished %s: %s", final.State, final.Error)
+	}
+	if final.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (one per process)", final.Attempts)
+	}
+	if final.Result["resumed"] != true {
+		t.Errorf("result lacks resumed=true: %v", final.Result)
+	}
+	if final.Result["converged"] != true {
+		t.Errorf("resumed run did not converge: %v", final.Result)
+	}
+	// The finished run cleans up its checkpoint directory.
+	if _, err := os.Stat(ckpt); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("checkpoint not cleaned up after success: %v", err)
+	}
+}
+
+// TestPanicRecoveryFailsJob: a panicking Runner fails its own job with the
+// panic message instead of killing the worker pool.
+func TestPanicRecoveryFailsJob(t *testing.T) {
+	jm := NewJobManager(1, 4, func(ctx context.Context, jb Job) (map[string]any, []string, error) {
+		if jb.Spec.Name == "boom" {
+			panic("walker exploded")
+		}
+		return map[string]any{"ok": true}, nil, nil
+	})
+	defer jm.Close()
+
+	bad, err := jm.Submit(JobSpec{Type: JobSample, Name: "boom"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "panicking job to fail", func() bool {
+		jb, _ := jm.Get(bad.ID)
+		return jb.State == JobFailed
+	})
+	jb, _ := jm.Get(bad.ID)
+	if !strings.Contains(jb.Error, "panicked") || !strings.Contains(jb.Error, "walker exploded") {
+		t.Fatalf("panic not captured in error: %q", jb.Error)
+	}
+
+	// The pool survived: the next job still runs.
+	good, err := jm.Submit(JobSpec{Type: JobSample, Name: "fine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "follow-up job to finish", func() bool {
+		jb, _ := jm.Get(good.ID)
+		return jb.State == JobDone
+	})
+}
+
+// TestRetryBackoffRecovers: a transiently failing job is parked as
+// interrupted and retried with Resume set until it succeeds or exhausts
+// the retry budget.
+func TestRetryBackoffRecovers(t *testing.T) {
+	jm := NewJobManager(1, 4, func(ctx context.Context, jb Job) (map[string]any, []string, error) {
+		if jb.Spec.Name == "always-fails" || jb.Attempts < 2 {
+			return nil, nil, fmt.Errorf("transient fault on attempt %d", jb.Attempts)
+		}
+		if !jb.Resume {
+			return nil, nil, fmt.Errorf("retry did not request resume")
+		}
+		return map[string]any{"ok": true}, nil, nil
+	})
+	defer jm.Close()
+	jm.SetRetryPolicy(3, time.Millisecond)
+
+	job, err := jm.Submit(JobSpec{Type: JobSample, Name: "flaky"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "flaky job to recover", func() bool {
+		jb, _ := jm.Get(job.ID)
+		return jb.State == JobDone || jb.State == JobFailed
+	})
+	jb, _ := jm.Get(job.ID)
+	if jb.State != JobDone {
+		t.Fatalf("flaky job finished %s: %s", jb.State, jb.Error)
+	}
+	if jb.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2", jb.Attempts)
+	}
+
+	hopeless, err := jm.Submit(JobSpec{Type: JobSample, Name: "always-fails"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "hopeless job to exhaust retries", func() bool {
+		jb, _ := jm.Get(hopeless.ID)
+		return jb.State == JobFailed
+	})
+	jb, _ = jm.Get(hopeless.ID)
+	if jb.Attempts != 3 {
+		t.Errorf("hopeless Attempts = %d, want retryMax=3", jb.Attempts)
+	}
+}
+
+// TestJournalReplayTolerance: replay applies last-record-per-job-wins and
+// skips a torn trailing line (a crash mid-append), and openJournal compacts
+// the file to one record per job.
+func TestJournalReplayTolerance(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	raw := strings.Join([]string{
+		`{"id":"job-1","state":"pending","spec":{"type":"sample"},"submitted":"2026-08-06T00:00:00Z"}`,
+		`{"id":"job-2","state":"pending","spec":{"type":"sample"},"submitted":"2026-08-06T00:00:01Z"}`,
+		`{"id":"job-1","state":"done","spec":{"type":"sample"},"submitted":"2026-08-06T00:00:00Z"}`,
+		`{"id":"job-2","state":"runni`, // torn mid-append by the crash
+	}, "\n")
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs, jr, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.close()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].ID != "job-1" || jobs[0].State != JobDone {
+		t.Errorf("job-1 replayed as %s %s, want done (last record wins)", jobs[0].ID, jobs[0].State)
+	}
+	if jobs[1].ID != "job-2" || jobs[1].State != JobPending {
+		t.Errorf("job-2 replayed as %s %s, want pending (torn record skipped)", jobs[1].ID, jobs[1].State)
+	}
+
+	compacted, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(compacted), "\n"); n != 2 {
+		t.Errorf("compacted journal has %d lines, want 2", n)
+	}
+}
+
+// TestRestartAssignsFreshIDs: after recovery, new submissions must not
+// collide with journaled job IDs.
+func TestRestartAssignsFreshIDs(t *testing.T) {
+	dataDir := t.TempDir()
+	srv1, err := New(Config{Workers: 1, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb1, err := srv1.jobs.Submit(JobSpec{Type: JobSample, Name: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1.jobs.Crash()
+
+	srv2, err := New(Config{Workers: 1, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	jb2, err := srv2.jobs.Submit(JobSpec{Type: JobSample, Name: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jb2.ID == jb1.ID {
+		t.Fatalf("recovered server reused job ID %s", jb1.ID)
+	}
+}

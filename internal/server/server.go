@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -30,8 +32,17 @@ type Config struct {
 	QueueDepth int
 	// CacheSize bounds the reweighted-curve LRU (default 128 curves).
 	CacheSize int
-	// DataDir enables artifact persistence when non-empty.
+	// DataDir enables artifact persistence when non-empty, plus the
+	// crash-safety machinery that depends on it: a write-ahead job journal
+	// (jobs that were running when the process died are requeued as
+	// interrupted on restart) and per-job REWL checkpoint directories that
+	// interrupted jobs resume from.
 	DataDir string
+	// RetryMax bounds how many times a failing job may run before it is
+	// marked failed for good (default 1: no automatic retries).
+	RetryMax int
+	// RetryBackoff is the initial exponential retry delay (default 1s).
+	RetryBackoff time.Duration
 	// Logf receives one line per job state transition; nil disables.
 	Logf func(format string, args ...any)
 }
@@ -72,6 +83,19 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 	}
 	s.jobs = NewJobManager(cfg.Workers, cfg.QueueDepth, s.runJob)
+	if cfg.RetryMax > 0 {
+		s.jobs.SetRetryPolicy(cfg.RetryMax, cfg.RetryBackoff)
+	}
+	if cfg.DataDir != "" {
+		recovered, err := s.jobs.EnableJournal(filepath.Join(cfg.DataDir, "jobs.journal"))
+		if err != nil {
+			s.jobs.Close()
+			return nil, fmt.Errorf("server: opening job journal: %w", err)
+		}
+		for _, jb := range recovered {
+			s.logf("job %s recovered as %s after restart", jb.ID, jb.State)
+		}
+	}
 	s.registerMetrics()
 	s.routes()
 	return s, nil
@@ -456,7 +480,7 @@ func (s *Server) runJob(ctx context.Context, jb Job) (map[string]any, []string, 
 	}
 
 	if needSample {
-		res, runErr := sys.SampleDOSContext(ctx, deepthermo.DOSConfig{
+		dcfg := deepthermo.DOSConfig{
 			Windows:  spec.DOS.Windows,
 			Walkers:  spec.DOS.Walkers,
 			Bins:     spec.DOS.Bins,
@@ -464,7 +488,18 @@ func (s *Server) runJob(ctx context.Context, jb Job) (map[string]any, []string, 
 			LnFFinal: spec.DOS.LnFFinal,
 			DLWeight: spec.DOS.DLWeight,
 			NoDL:     spec.DOS.NoDL,
-		})
+		}
+		ckptDir := ""
+		if s.cfg.DataDir != "" {
+			// Per-job checkpoint dir: an interrupted job (crash, retry)
+			// resumes the REWL run from its last committed checkpoint
+			// instead of restarting the sampling from scratch.
+			ckptDir = filepath.Join(s.cfg.DataDir, "checkpoints", jb.ID)
+			dcfg.CheckpointDir = ckptDir
+			dcfg.CheckpointEvery = spec.DOS.CheckpointEvery
+			dcfg.Resume = jb.Resume
+		}
+		res, runErr := sys.SampleDOSContext(ctx, dcfg)
 		if res == nil {
 			return result, artifacts, runErr
 		}
@@ -488,9 +523,20 @@ func (s *Server) runJob(ctx context.Context, jb Job) (map[string]any, []string, 
 		result["converged"] = res.Converged
 		result["sweeps"] = res.Sweeps
 		result["rounds"] = res.Rounds
-		s.logf("job %s produced %s (converged=%v sweeps=%d)", jb.ID, info.ID, res.Converged, res.Sweeps)
+		if res.Resumed {
+			result["resumed"] = true
+		}
+		if res.FailedWalkers > 0 {
+			result["failed_walkers"] = res.FailedWalkers
+			result["degraded_windows"] = res.DegradedWindows
+		}
+		s.logf("job %s produced %s (converged=%v sweeps=%d resumed=%v)", jb.ID, info.ID, res.Converged, res.Sweeps, res.Resumed)
 		if runErr != nil {
 			return result, artifacts, runErr
+		}
+		if ckptDir != "" {
+			// The run finished; its checkpoint has served its purpose.
+			os.RemoveAll(ckptDir)
 		}
 	}
 	return result, artifacts, nil

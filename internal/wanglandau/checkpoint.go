@@ -1,0 +1,90 @@
+package wanglandau
+
+// Checkpoint support: a WalkerState captures everything a Walker needs to
+// continue bit-identically after a restart — the density-of-states
+// estimate, visit histogram, modification-factor schedule position, and
+// the underlying sampler chain state including its RNG stream position.
+// The replica-exchange driver (package rewl) serializes these with
+// encoding/gob inside its run checkpoints; gob round-trips the -Inf
+// entries of unvisited LogG bins exactly, so no visited-mask encoding is
+// needed here.
+
+import (
+	"fmt"
+	"math"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/dos"
+	"deepthermo/internal/mc"
+	"deepthermo/internal/rng"
+)
+
+// WalkerState is the serializable state of one Wang-Landau walker.
+type WalkerState struct {
+	Window   Window
+	Sampler  mc.SamplerState
+	LogG     []float64
+	Hist     []int64
+	Visited  []bool
+	LnF      float64
+	Sweeps   int64
+	Steps    int64
+	OneOverT bool
+}
+
+// State snapshots the walker. All slices are copied, so the snapshot stays
+// valid while the walker keeps sweeping.
+func (w *Walker) State() WalkerState {
+	st := WalkerState{
+		Window: Window{
+			EMin: w.dosEst.EMin,
+			EMax: w.dosEst.EMax(),
+			Bins: w.dosEst.Bins(),
+		},
+		Sampler:  w.sampler.State(),
+		LogG:     append([]float64(nil), w.dosEst.LogG...),
+		Hist:     append([]int64(nil), w.hist...),
+		Visited:  append([]bool(nil), w.visited...),
+		LnF:      w.lnF,
+		Sweeps:   w.sweeps,
+		Steps:    w.steps,
+		OneOverT: w.oneOverT,
+	}
+	return st
+}
+
+// RestoreWalker reconstructs a walker from a snapshot. The proposal and
+// RNG stream are supplied fresh by the caller (proposals are rebuilt from
+// the run's proposal factory); src is then rewound in place to the
+// checkpointed stream position, so the restored walker's future chain is
+// bit-identical to the uninterrupted one regardless of any draws the
+// factory consumed while rebuilding.
+func RestoreWalker(m *alloy.Model, prop mc.Proposal, src *rng.Source, st WalkerState, opts Options) (*Walker, error) {
+	opts.setDefaults()
+	if len(st.LogG) != st.Window.Bins || len(st.Hist) != st.Window.Bins || len(st.Visited) != st.Window.Bins {
+		return nil, fmt.Errorf("wanglandau: checkpoint arrays (%d/%d/%d bins) disagree with window (%d bins)",
+			len(st.LogG), len(st.Hist), len(st.Visited), st.Window.Bins)
+	}
+	d, err := dos.New(st.Window.EMin, st.Window.EMax, st.Window.Bins)
+	if err != nil {
+		return nil, err
+	}
+	copy(d.LogG, st.LogG)
+	s := mc.Sampler{Model: m, Cfg: st.Sampler.Cfg, Src: src, Proposal: prop}
+	w := &Walker{
+		sampler:  &s,
+		dosEst:   d,
+		hist:     append([]int64(nil), st.Hist...),
+		visited:  append([]bool(nil), st.Visited...),
+		lnF:      st.LnF,
+		opts:     opts,
+		sweeps:   st.Sweeps,
+		steps:    st.Steps,
+		oneOverT: st.OneOverT,
+	}
+	w.sampler.RestoreState(st.Sampler)
+	if b := d.Bin(w.sampler.E); b < 0 && !math.IsInf(w.sampler.E, 0) {
+		return nil, fmt.Errorf("wanglandau: checkpointed energy %g outside window [%g,%g)", w.sampler.E, st.Window.EMin, st.Window.EMax)
+	}
+	return w, nil
+}

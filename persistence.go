@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 
 	"deepthermo/internal/dos"
+	"deepthermo/internal/fsx"
 	"deepthermo/internal/vae"
 )
 
@@ -76,33 +76,11 @@ func LoadDOSFile(path string) (*LogDOS, error) {
 }
 
 // WriteFileAtomic streams write's output into a temporary file in path's
-// directory and renames it over path on success. On any error the
-// temporary file is removed and path is left untouched — readers (and the
-// artifact registry in internal/server) never observe a torn write.
+// directory, fsyncs it, renames it over path, and fsyncs the parent
+// directory. On any error the temporary file is removed and path is left
+// untouched — readers (and the artifact registry in internal/server) never
+// observe a torn write, and a committed write survives power loss, not
+// just process crash (see internal/fsx).
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
-	dir, base := filepath.Split(path)
-	tmp, err := os.CreateTemp(dir, "."+base+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if tmp != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	if err := write(tmp); err != nil {
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return err
-	}
-	tmp = nil
-	return nil
+	return fsx.WriteFileAtomic(path, write)
 }
