@@ -11,6 +11,16 @@
 // running are requeued and resume from their last checkpoint (see the
 // README "Surviving kill -9" walkthrough).
 //
+// The serving path is overload-protected (see the README "Operating under
+// load" section): bounded request concurrency with 503 + Retry-After
+// shedding, optional token-bucket rate limiting (429), per-request
+// deadlines, a circuit breaker that degrades /v1/thermo to cache-only
+// when the registry backend fails, and http.Server read/idle timeouts so
+// slow-loris connections cannot pin the listener. On SIGTERM the server
+// drains gracefully: /readyz flips to 503 first so load balancers stop
+// routing here, job admission stops, in-flight work finishes or
+// checkpoints, then the listener shuts down.
+//
 // Endpoints (see the README "Serving" section for a curl walkthrough):
 //
 //	POST   /v1/jobs                submit a job (sample | train | pipeline)
@@ -22,7 +32,8 @@
 //	GET    /v1/artifacts/{id}      artifact metadata
 //	GET    /v1/artifacts/{id}/data artifact bytes (model/DOS file format)
 //	GET    /v1/thermo              reweight a DOS: ?artifact=X&T=300 or &sweep=100:3500:50
-//	GET    /healthz                liveness
+//	GET    /healthz                liveness (process is up)
+//	GET    /readyz                 readiness (route traffic here?)
 //	GET    /metrics                Prometheus text metrics
 package main
 
@@ -51,16 +62,46 @@ func main() {
 		"persistence directory: artifacts, job journal, and REWL checkpoints (empty = in-memory only)")
 	retryMax := flag.Int("retry-max", 1, "max runs per failing job (1 = no automatic retries)")
 	retryBackoff := flag.Duration("retry-backoff", time.Second, "initial exponential retry delay")
+
+	maxInFlight := flag.Int("max-inflight", 256,
+		"max concurrently served data-plane requests (excess shed with 503; negative = unlimited)")
+	maxWait := flag.Duration("max-wait", 100*time.Millisecond,
+		"how long an over-limit request waits for a concurrency slot before 503")
+	rate := flag.Float64("rate", 0, "token-bucket request rate limit per second (0 = unlimited)")
+	burst := flag.Int("burst", 0, "token-bucket burst size (0 = 2x rate)")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second,
+		"per-request deadline propagated via context (negative = none)")
+	maxBody := flag.Int64("max-body", 1<<20, "max JSON request body bytes")
+	breakerFails := flag.Int("breaker-failures", 5,
+		"consecutive registry-read failures that open the /v1/thermo circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second,
+		"circuit breaker open -> half-open cooldown")
+
+	readHeaderTimeout := flag.Duration("read-header-timeout", 5*time.Second, "http.Server ReadHeaderTimeout")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "http.Server ReadTimeout")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "http.Server IdleTimeout")
+	drainGrace := flag.Duration("drain-grace", 2*time.Second,
+		"after SIGTERM, how long /readyz advertises draining before the listener closes (lets LBs react)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
+		"max wait for in-flight HTTP requests and queued/running jobs before force-cancelling")
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheSize:    *cacheSize,
-		DataDir:      *dataDir,
-		RetryMax:     *retryMax,
-		RetryBackoff: *retryBackoff,
-		Logf:         log.Printf,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		DataDir:         *dataDir,
+		RetryMax:        *retryMax,
+		RetryBackoff:    *retryBackoff,
+		MaxInFlight:     *maxInFlight,
+		MaxWait:         *maxWait,
+		RatePerSec:      *rate,
+		RateBurst:       *burst,
+		RequestTimeout:  *reqTimeout,
+		MaxBodyBytes:    *maxBody,
+		BreakerFailures: *breakerFails,
+		BreakerCooldown: *breakerCooldown,
+		Logf:            log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -69,20 +110,43 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// A server without read/idle timeouts is slowloris-trivial: one
+		// client trickling header bytes holds a connection forever.
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers, data-dir=%q)", *addr, *workers, *dataDir)
+	log.Printf("listening on %s (%d workers, data-dir=%q, max-inflight=%d)",
+		*addr, *workers, *dataDir, *maxInFlight)
 
 	select {
 	case <-ctx.Done():
-		log.Printf("shutting down: draining HTTP, cancelling running jobs")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		// Graceful drain, in dependency order:
+		//  1. withdraw readiness and stop admitting jobs, then give load
+		//     balancers a grace window to observe /readyz=503 and stop
+		//     routing here while existing traffic is still served;
+		//  2. close the listener and wait out in-flight HTTP requests;
+		//  3. let queued/running jobs finish — or checkpoint and cancel
+		//     them at the drain deadline (journalled jobs resume on the
+		//     next start).
+		log.Printf("shutdown signal: draining (grace %s, timeout %s)", *drainGrace, *drainTimeout)
+		srv.BeginDrain()
+		if *drainGrace > 0 {
+			time.Sleep(*drainGrace)
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Printf("http shutdown: %v", err)
 		}
-		srv.Close() // cancels running jobs; partial DOS artifacts are kept
+		srv.Drain(shutCtx)
+		srv.Close()
+		log.Printf("drained, exiting")
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			srv.Close()

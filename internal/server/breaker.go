@@ -1,0 +1,161 @@
+package server
+
+// breaker is a three-state circuit breaker guarding the registry/disk
+// read behind the /v1/thermo path.
+//
+//	closed ──(threshold consecutive failures)──▶ open
+//	open ──(cooldown elapsed)──▶ half-open
+//	half-open ──(probe succeeds)──▶ closed
+//	half-open ──(probe fails)──▶ open
+//
+// While open, uncached queries are shed immediately (no disk touch) and
+// cached queries are still served, marked degraded — a failing data-dir
+// degrades the endpoint to cache-only instead of erroring. One probe at
+// a time is admitted in half-open so a still-broken backend cannot be
+// hammered the instant the cooldown lapses.
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that trip closed → open
+	cooldown  time.Duration // open → half-open delay
+	state     breakerState
+	fails     int  // consecutive failures while closed
+	probing   bool // a half-open probe is in flight
+	openedAt  time.Time
+	now       func() time.Time
+
+	trips    atomic.Int64
+	rejected atomic.Int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a protected call may proceed. While open it
+// returns false until the cooldown elapses, at which point it admits a
+// single half-open probe; the caller must then report success or
+// failure.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			return true
+		}
+		b.rejected.Add(1)
+		return false
+	default: // half-open: one probe at a time
+		if b.probing {
+			b.rejected.Add(1)
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a successful protected call: half-open closes, and the
+// consecutive-failure count resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records a failed protected call: a half-open probe reopens
+// immediately, and the threshold'th consecutive closed failure trips.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.trip()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+}
+
+// trip moves to open. Called with b.mu held.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.fails = 0
+	b.probing = false
+	b.openedAt = b.now()
+	b.trips.Add(1)
+}
+
+// State returns the current state name.
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Open reports whether the breaker currently refuses non-probe calls
+// (open, or half-open with the probe slot taken counts as degraded too —
+// cached responses are marked degraded until a probe closes it).
+func (b *breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state != breakerClosed
+}
+
+// retryAfter returns how long until the next state change could admit a
+// request — the Retry-After hint for shed queries.
+func (b *breaker) retryAfter() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen {
+		if left := b.cooldown - b.now().Sub(b.openedAt); left > 0 {
+			return left
+		}
+	}
+	return time.Second
+}
+
+// Trips returns the cumulative closed→open (and half-open→open)
+// transitions; Rejected the cumulative calls shed while not closed.
+func (b *breaker) Trips() int64    { return b.trips.Load() }
+func (b *breaker) Rejected() int64 { return b.rejected.Load() }

@@ -536,6 +536,57 @@ func (jm *JobManager) CountByState(s JobState) int {
 	return n
 }
 
+// StopAdmitting rejects further submissions without disturbing queued or
+// running jobs. The first step of a graceful drain.
+func (jm *JobManager) StopAdmitting() {
+	jm.mu.Lock()
+	jm.closed = true
+	jm.mu.Unlock()
+}
+
+// Drain stops admission and waits for queued and running jobs to finish.
+// If ctx expires first, the remaining jobs are cancelled: running
+// samplers observe the cancellation within one sweep and persist partial
+// results through their normal cancellation path. Jobs parked as
+// interrupted (awaiting a retry backoff) are not waited on — their
+// requeue is a no-op once admission stops, and a journalled server
+// recovers them on the next start. Workers have exited when Drain
+// returns.
+func (jm *JobManager) Drain(ctx context.Context) {
+	jm.StopAdmitting()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for !jm.idle() {
+		select {
+		case <-ctx.Done():
+			jm.cancel()
+			jm.wg.Wait()
+			return
+		case <-tick.C:
+		}
+	}
+	jm.cancel()
+	jm.wg.Wait()
+}
+
+// idle reports that no job is queued or executing. Pending→running and
+// running→terminal transitions each happen under jm.mu together with the
+// busy count, so there is no window where a job is in flight but counted
+// by neither term.
+func (jm *JobManager) idle() bool {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.busy > 0 {
+		return false
+	}
+	for _, rec := range jm.jobs {
+		if rec.State == JobPending {
+			return false
+		}
+	}
+	return true
+}
+
 // Close cancels every running job, rejects further submissions, and waits
 // for the workers to exit.
 func (jm *JobManager) Close() {

@@ -1,0 +1,137 @@
+package server
+
+// Overload-protection primitives for the serving path. The serving tier
+// must shed load gracefully rather than queue until collapse: a bounded
+// concurrency limiter rejects excess requests with 503 + Retry-After
+// after a short bounded wait, and a token bucket caps sustained request
+// rate with 429. Both keep shed counters that the /metrics exporter
+// samples at scrape time.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// concLimiter bounds in-flight requests. Acquire waits at most maxWait
+// for a slot (so short bursts absorb into a tiny queue instead of
+// failing), then sheds. A nil limiter admits everything.
+type concLimiter struct {
+	slots   chan struct{}
+	maxWait time.Duration
+	shed    atomic.Int64
+}
+
+func newConcLimiter(n int, maxWait time.Duration) *concLimiter {
+	if n < 1 {
+		return nil
+	}
+	return &concLimiter{slots: make(chan struct{}, n), maxWait: maxWait}
+}
+
+// acquire obtains a slot, waiting up to maxWait. It returns false — and
+// counts a shed — when the wait budget or the request context expires
+// first. The caller must release() after a true return.
+func (l *concLimiter) acquire(ctx context.Context) bool {
+	if l == nil {
+		return true
+	}
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if l.maxWait > 0 {
+		t := time.NewTimer(l.maxWait)
+		defer t.Stop()
+		select {
+		case l.slots <- struct{}{}:
+			return true
+		case <-t.C:
+		case <-ctx.Done():
+		}
+	}
+	l.shed.Add(1)
+	return false
+}
+
+func (l *concLimiter) release() {
+	if l != nil {
+		<-l.slots
+	}
+}
+
+// InFlight returns the number of currently held slots.
+func (l *concLimiter) InFlight() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.slots)
+}
+
+// Shed returns the cumulative count of rejected acquisitions.
+func (l *concLimiter) Shed() int64 {
+	if l == nil {
+		return 0
+	}
+	return l.shed.Load()
+}
+
+// tokenBucket is a classic token-bucket rate limiter: `rate` tokens per
+// second refill up to `burst`, each admitted request spends one. A nil
+// bucket admits everything. The clock is injectable for tests.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+
+	rejected atomic.Int64
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = int(2*rate + 1)
+	}
+	b := &tokenBucket{rate: rate, burst: float64(burst), now: time.Now}
+	b.tokens = b.burst
+	b.last = b.now()
+	return b
+}
+
+// allow spends one token if available. On rejection it returns how long
+// the client should wait before the bucket holds a full token again —
+// the Retry-After hint.
+func (b *tokenBucket) allow() (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	b.rejected.Add(1)
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}
+
+// Rejected returns the cumulative count of rate-limited requests.
+func (b *tokenBucket) Rejected() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.rejected.Load()
+}

@@ -5,8 +5,23 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a monotonically increasing event count sampled at scrape
+// time. Components own their counters and register them as scrape
+// callbacks; the hot path pays one atomic add.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
 
 // latencyBuckets are the upper bounds (seconds) of the request-latency
 // histogram, following the Prometheus cumulative-bucket convention.

@@ -214,6 +214,106 @@ func TestJournalReplayTolerance(t *testing.T) {
 	}
 }
 
+// TestDrainKilledMidWriteCompactsJournal: a draining server killed -9
+// mid-append (torn trailing record) leaves a transition-per-line journal;
+// the next open must tolerate the torn line, compact to one record per
+// job, and recover the in-flight job as interrupted with Resume.
+func TestDrainKilledMidWriteCompactsJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+
+	block := make(chan struct{})
+	jm1 := NewJobManager(1, 8, func(ctx context.Context, jb Job) (map[string]any, []string, error) {
+		if jb.Spec.Name == "slow" {
+			select {
+			case <-block:
+			case <-ctx.Done():
+				return nil, nil, ctx.Err()
+			}
+		}
+		return map[string]any{"ok": true}, nil, nil
+	})
+	if _, err := jm1.EnableJournal(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Three quick jobs finish (3 journal lines each: pending, running,
+	// done), then a slow one occupies the worker (2 lines).
+	var quick []string
+	for i := 0; i < 3; i++ {
+		jb, err := jm1.Submit(JobSpec{Type: JobSample, Name: fmt.Sprintf("quick-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		quick = append(quick, jb.ID)
+	}
+	for _, id := range quick {
+		waitFor(t, 10*time.Second, "quick job "+id, func() bool {
+			jb, _ := jm1.Get(id)
+			return jb.State == JobDone
+		})
+	}
+	slow, err := jm1.Submit(JobSpec{Type: JobSample, Name: "slow"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "slow job to start", func() bool {
+		jb, _ := jm1.Get(slow.ID)
+		return jb.State == JobRunning
+	})
+
+	// The server starts draining, then dies mid-append: kill -9 while a
+	// journal write was in flight leaves a torn trailing record.
+	jm1.StopAdmitting()
+	jm1.Crash()
+	close(block)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"` + slow.ID + `","state":"runni`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Reopen: torn line skipped, journal compacted, slow job recovered.
+	jm2 := NewJobManager(1, 8, func(ctx context.Context, jb Job) (map[string]any, []string, error) {
+		return map[string]any{"ok": true}, nil, nil
+	})
+	recovered, err := jm2.EnableJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jm2.Close()
+	if len(recovered) != 1 || recovered[0].ID != slow.ID {
+		t.Fatalf("recovered %v, want just %s", recovered, slow.ID)
+	}
+	if recovered[0].State != JobInterrupted || !recovered[0].Resume {
+		t.Fatalf("slow job recovered as %s resume=%v, want interrupted+resume", recovered[0].State, recovered[0].Resume)
+	}
+	for _, id := range quick {
+		jb, ok := jm2.Get(id)
+		if !ok || jb.State != JobDone {
+			t.Errorf("quick job %s lost or not done after recovery", id)
+		}
+	}
+
+	// Compaction: openJournal rewrote the transition log to one record
+	// per job, plus the single interrupted re-append for the slow job.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, ln := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if strings.TrimSpace(ln) != "" {
+			lines++
+		}
+	}
+	if want := 5; lines != want { // 4 jobs compacted + 1 interrupted append
+		t.Errorf("journal has %d lines after compaction, want %d:\n%s", lines, want, raw)
+	}
+}
+
 // TestRestartAssignsFreshIDs: after recovery, new submissions must not
 // collide with journaled job IDs.
 func TestRestartAssignsFreshIDs(t *testing.T) {

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -16,6 +17,15 @@ import (
 	"deepthermo"
 	"deepthermo/internal/dos"
 	"deepthermo/internal/vae"
+)
+
+// Registry lookup errors. The /v1/thermo circuit breaker keys on these:
+// a missing artifact or a kind mismatch is the client's fault and must
+// not trip the breaker, while any other read error counts as a backend
+// failure.
+var (
+	ErrNoArtifact = errors.New("no such artifact")
+	ErrWrongKind  = errors.New("artifact kind mismatch")
 )
 
 // ArtifactKind distinguishes the two serialized artifact types the
@@ -200,7 +210,7 @@ func (r *Registry) Data(id string) ([]byte, error) {
 	defer r.mu.Unlock()
 	ent, ok := r.byID[id]
 	if !ok {
-		return nil, fmt.Errorf("server: no such artifact %q", id)
+		return nil, fmt.Errorf("server: %w: %q", ErrNoArtifact, id)
 	}
 	return ent.data, nil
 }
@@ -213,10 +223,10 @@ func (r *Registry) DOS(id string) (*dos.LogDOS, error) {
 	defer r.mu.Unlock()
 	ent, ok := r.byID[id]
 	if !ok {
-		return nil, fmt.Errorf("server: no such artifact %q", id)
+		return nil, fmt.Errorf("server: %w: %q", ErrNoArtifact, id)
 	}
 	if ent.info.Kind != KindDOS {
-		return nil, fmt.Errorf("server: artifact %q is a %s, not a dos", id, ent.info.Kind)
+		return nil, fmt.Errorf("server: %w: artifact %q is a %s, not a dos", ErrWrongKind, id, ent.info.Kind)
 	}
 	return ent.dos, nil
 }

@@ -7,14 +7,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"deepthermo"
+	"deepthermo/internal/dos"
 	"deepthermo/internal/thermo"
 )
 
@@ -43,12 +46,43 @@ type Config struct {
 	RetryMax int
 	// RetryBackoff is the initial exponential retry delay (default 1s).
 	RetryBackoff time.Duration
+
+	// MaxInFlight bounds concurrently served data-plane requests
+	// (default 256; negative disables the limiter). Excess requests wait
+	// up to MaxWait for a slot and are then shed with 503 + Retry-After.
+	// Control-plane probes (/healthz, /readyz, /metrics) are exempt.
+	MaxInFlight int
+	// MaxWait is how long an over-limit request may wait for a slot
+	// before being shed (default 100ms).
+	MaxWait time.Duration
+	// RatePerSec enables token-bucket rate limiting of data-plane
+	// requests at this sustained rate (0 disables). Rejected requests
+	// get 429 + Retry-After.
+	RatePerSec float64
+	// RateBurst is the bucket size (default 2×RatePerSec).
+	RateBurst int
+	// RequestTimeout is the per-request deadline propagated through the
+	// request context (default 30s; negative disables).
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps JSON request bodies such as job specs
+	// (default 1 MiB). Artifact uploads are capped separately at
+	// maxArtifactBytes.
+	MaxBodyBytes int64
+	// BreakerFailures is how many consecutive registry-read failures
+	// open the /v1/thermo circuit breaker (default 5).
+	BreakerFailures int
+	// BreakerCooldown is the open → half-open delay (default 5s).
+	BreakerCooldown time.Duration
+
 	// Logf receives one line per job state transition; nil disables.
 	Logf func(format string, args ...any)
 }
 
 // Server is the dtserve HTTP subsystem: job manager + artifact registry +
-// cached thermodynamics query path + observability endpoints.
+// cached thermodynamics query path + observability endpoints, wrapped in
+// an overload-protection layer (concurrency limiter, token bucket,
+// per-request deadlines, registry circuit breaker, drain-aware
+// readiness).
 type Server struct {
 	cfg     Config
 	reg     *Registry
@@ -57,6 +91,20 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 	started time.Time
+
+	limiter *concLimiter
+	rate    *tokenBucket
+	breaker *breaker
+	// dosLoad resolves a DOS artifact for /v1/thermo; defaults to the
+	// registry read and is swappable (atomically — tests inject backend
+	// faults while requests are in flight) via setDOSLoader.
+	dosLoad atomic.Value // func(string) (*dos.LogDOS, error)
+
+	draining   atomic.Bool // set by BeginDrain; /readyz flips to 503
+	replayDone atomic.Bool // journal replay finished (readiness gate)
+
+	deadlineHits Counter // requests whose deadline expired mid-handler
+	drainRejects Counter // job submissions rejected while draining
 }
 
 // New wires a Server. Call Close to stop the worker pool.
@@ -70,6 +118,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheSize == 0 {
 		cfg.CacheSize = 128
 	}
+	if cfg.MaxInFlight == 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.MaxWait == 0 {
+		cfg.MaxWait = 100 * time.Millisecond
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
 	reg, err := NewRegistry(cfg.DataDir)
 	if err != nil {
 		return nil, err
@@ -81,7 +141,11 @@ func New(cfg Config) (*Server, error) {
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+		limiter: newConcLimiter(cfg.MaxInFlight, cfg.MaxWait),
+		rate:    newTokenBucket(cfg.RatePerSec, cfg.RateBurst),
+		breaker: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
 	}
+	s.setDOSLoader(s.reg.DOS)
 	s.jobs = NewJobManager(cfg.Workers, cfg.QueueDepth, s.runJob)
 	if cfg.RetryMax > 0 {
 		s.jobs.SetRetryPolicy(cfg.RetryMax, cfg.RetryBackoff)
@@ -96,9 +160,47 @@ func New(cfg Config) (*Server, error) {
 			s.logf("job %s recovered as %s after restart", jb.ID, jb.State)
 		}
 	}
+	// Journal replay (and recovered-job requeue) is complete; until this
+	// point /readyz would report not-ready were the handler already
+	// reachable.
+	s.replayDone.Store(true)
 	s.registerMetrics()
 	s.routes()
 	return s, nil
+}
+
+// BeginDrain puts the server into draining mode: /readyz flips to 503 so
+// load balancers stop routing here, and new job submissions are rejected
+// with 503 + Retry-After. Already-accepted work keeps running and the
+// data plane keeps answering queries on existing connections. Safe to
+// call more than once.
+func (s *Server) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.jobs.StopAdmitting()
+		s.logf("draining: readiness withdrawn, job admission stopped")
+	}
+}
+
+// Drain performs graceful shutdown of the job tier: BeginDrain, then wait
+// for queued and running jobs to finish. When ctx expires first, the
+// remaining jobs are cancelled — running REWL jobs observe the
+// cancellation within a sweep and persist partial DOS artifacts, and
+// journalled jobs are recovered as interrupted on the next start.
+func (s *Server) Drain(ctx context.Context) {
+	s.BeginDrain()
+	s.jobs.Drain(ctx)
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// setDOSLoader swaps the function that resolves DOS artifacts for
+// /v1/thermo. Tests use it to inject registry/disk faults behind the
+// circuit breaker.
+func (s *Server) setDOSLoader(fn func(id string) (*dos.LogDOS, error)) { s.dosLoad.Store(fn) }
+
+func (s *Server) loadDOS(id string) (*dos.LogDOS, error) {
+	return s.dosLoad.Load().(func(id string) (*dos.LogDOS, error))(id)
 }
 
 // Close stops the worker pool, cancelling running jobs.
@@ -138,26 +240,61 @@ func (s *Server) registerMetrics() {
 		"Thermo queries that reweighted the DOS.", func() float64 { _, m := s.cache.Stats(); return float64(m) })
 	s.metrics.Register("dtserve_uptime_seconds", "", "gauge",
 		"Seconds since server start.", func() float64 { return time.Since(s.started).Seconds() })
+	s.metrics.Register("dtserve_inflight_requests", "", "gauge",
+		"Data-plane requests currently holding a concurrency slot.",
+		func() float64 { return float64(s.limiter.InFlight()) })
+	s.metrics.Register("dtserve_shed_total", `reason="concurrency"`, "counter",
+		"Requests shed by overload protection.", func() float64 { return float64(s.limiter.Shed()) })
+	s.metrics.Register("dtserve_shed_total", `reason="rate"`, "counter",
+		"Requests shed by overload protection.", func() float64 { return float64(s.rate.Rejected()) })
+	s.metrics.Register("dtserve_shed_total", `reason="breaker"`, "counter",
+		"Requests shed by overload protection.", func() float64 { return float64(s.breaker.Rejected()) })
+	s.metrics.Register("dtserve_shed_total", `reason="draining"`, "counter",
+		"Requests shed by overload protection.", func() float64 { return float64(s.drainRejects.Value()) })
+	s.metrics.Register("dtserve_request_deadline_exceeded_total", "", "counter",
+		"Requests whose per-request deadline expired before the handler finished.",
+		func() float64 { return float64(s.deadlineHits.Value()) })
+	s.metrics.Register("dtserve_breaker_state", "", "gauge",
+		"Registry circuit breaker state (0 closed, 1 open, 2 half-open).",
+		func() float64 { return float64(s.breaker.State()) })
+	s.metrics.Register("dtserve_breaker_trips_total", "", "counter",
+		"Transitions of the registry circuit breaker into the open state.",
+		func() float64 { return float64(s.breaker.Trips()) })
+	s.metrics.Register("dtserve_ready", "", "gauge",
+		"1 when /readyz reports ready, else 0.",
+		func() float64 {
+			if len(s.notReadyReasons()) == 0 {
+				return 1
+			}
+			return 0
+		})
 }
 
 func (s *Server) routes() {
-	s.route("GET /healthz", s.handleHealthz)
-	s.route("GET /metrics", s.handleMetrics)
-	s.route("POST /v1/jobs", s.handleSubmitJob)
-	s.route("GET /v1/jobs", s.handleListJobs)
-	s.route("GET /v1/jobs/{id}", s.handleGetJob)
-	s.route("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	s.route("GET /v1/artifacts", s.handleListArtifacts)
-	s.route("POST /v1/artifacts", s.handleUploadArtifact)
-	s.route("GET /v1/artifacts/{id}", s.handleGetArtifact)
-	s.route("GET /v1/artifacts/{id}/data", s.handleArtifactData)
-	s.route("DELETE /v1/artifacts/{id}", s.handleDeleteArtifact)
-	s.route("GET /v1/thermo", s.handleThermo)
+	// Control plane: probes and scrapes are never shed — a load balancer
+	// must be able to learn the server is overloaded.
+	s.route("GET /healthz", s.handleHealthz, false)
+	s.route("GET /readyz", s.handleReadyz, false)
+	s.route("GET /metrics", s.handleMetrics, false)
+	// Data plane: admission-controlled.
+	s.route("POST /v1/jobs", s.handleSubmitJob, true)
+	s.route("GET /v1/jobs", s.handleListJobs, true)
+	s.route("GET /v1/jobs/{id}", s.handleGetJob, true)
+	s.route("DELETE /v1/jobs/{id}", s.handleCancelJob, true)
+	s.route("GET /v1/artifacts", s.handleListArtifacts, true)
+	s.route("POST /v1/artifacts", s.handleUploadArtifact, true)
+	s.route("GET /v1/artifacts/{id}", s.handleGetArtifact, true)
+	s.route("GET /v1/artifacts/{id}/data", s.handleArtifactData, true)
+	s.route("DELETE /v1/artifacts/{id}", s.handleDeleteArtifact, true)
+	s.route("GET /v1/thermo", s.handleThermo, true)
 }
 
 // route registers pattern with latency/status instrumentation, labelling
 // the metrics with the route pattern (bounded cardinality, not raw URLs).
-func (s *Server) route(pattern string, h http.HandlerFunc) {
+// When limited is true the handler runs behind the admission-control
+// chain: token-bucket rate limit (429), bounded-wait concurrency limit
+// (503 + Retry-After), and a per-request deadline on the context.
+func (s *Server) route(pattern string, h http.HandlerFunc, limited bool) {
 	label := pattern
 	if i := strings.IndexByte(pattern, ' '); i >= 0 {
 		label = pattern[i+1:]
@@ -165,9 +302,50 @@ func (s *Server) route(pattern string, h http.HandlerFunc) {
 	s.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
+		if limited {
+			s.serveLimited(sw, r, h)
+		} else {
+			h(sw, r)
+		}
 		s.metrics.ObserveRequest(label, sw.code, time.Since(start))
 	}))
+}
+
+// serveLimited is the admission-control chain wrapped around every
+// data-plane handler.
+func (s *Server) serveLimited(w http.ResponseWriter, r *http.Request, h http.HandlerFunc) {
+	if ok, retry := s.rate.allow(); !ok {
+		w.Header().Set("Retry-After", retryAfterSeconds(retry))
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded, retry after %s", retry.Round(time.Millisecond))
+		return
+	}
+	if !s.limiter.acquire(r.Context()) {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.MaxWait))
+		writeError(w, http.StatusServiceUnavailable, "server at concurrency limit, retry later")
+		return
+	}
+	defer s.limiter.release()
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		defer func() {
+			if ctx.Err() == context.DeadlineExceeded {
+				s.deadlineHits.Inc()
+			}
+		}()
+	}
+	h(w, r)
+}
+
+// retryAfterSeconds renders a Retry-After header value, rounding up so
+// clients never retry before the hint.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 type statusWriter struct {
@@ -200,14 +378,57 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// notReadyReasons lists why the server should not receive new traffic.
+// Liveness (/healthz) and readiness (/readyz) are deliberately split: a
+// draining or degraded server is still alive — restarting it would lose
+// work — but a load balancer must stop routing to it.
+func (s *Server) notReadyReasons() []string {
+	var reasons []string
+	if !s.replayDone.Load() {
+		reasons = append(reasons, "journal replay in progress")
+	}
+	if s.draining.Load() {
+		reasons = append(reasons, "draining")
+	}
+	if st := s.breaker.State(); st == breakerOpen {
+		reasons = append(reasons, "registry circuit breaker open")
+	}
+	return reasons
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if reasons := s.notReadyReasons(); len(reasons) > 0 {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready":   false,
+			"reasons": reasons,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteTo(w)
 }
 
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		// Draining: existing work finishes, but no new work is admitted.
+		s.drainRejects.Inc()
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, "server is draining, not admitting jobs")
+		return
+	}
 	var spec JobSpec
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&spec); err != nil {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "job spec exceeds %d bytes", tooBig.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
 		return
 	}
@@ -261,13 +482,16 @@ func (s *Server) handleListArtifacts(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleUploadArtifact(w http.ResponseWriter, r *http.Request) {
 	kind := ArtifactKind(r.URL.Query().Get("kind"))
 	name := r.URL.Query().Get("name")
-	data, err := io.ReadAll(io.LimitReader(r.Body, maxArtifactBytes+1))
+	// MaxBytesReader (not a bare LimitReader) so an oversized upload also
+	// closes the connection instead of letting the client keep streaming.
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxArtifactBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "artifact exceeds %d bytes", maxArtifactBytes)
+			return
+		}
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
-		return
-	}
-	if len(data) > maxArtifactBytes {
-		writeError(w, http.StatusRequestEntityTooLarge, "artifact exceeds %d bytes", maxArtifactBytes)
 		return
 	}
 	info, err := s.reg.Put(kind, name, data, map[string]string{"source": "upload"})
@@ -310,7 +534,10 @@ func (s *Server) handleDeleteArtifact(w http.ResponseWriter, r *http.Request) {
 // handleThermo is the hot query path: reweight a registered DOS artifact
 // into canonical observables at the requested temperatures. Accepts
 // repeated T params and/or sweep=lo:hi:n; repeat queries on the same grid
-// are served from the curve LRU.
+// are served from the curve LRU. The registry read sits behind a circuit
+// breaker: while it is open the endpoint degrades to cache-only —
+// cached grids are still served (marked degraded) and uncached ones are
+// shed with 503 + Retry-After instead of hammering the failing backend.
 func (s *Server) handleThermo(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	artID := q.Get("artifact")
@@ -325,12 +552,34 @@ func (s *Server) handleThermo(w http.ResponseWriter, r *http.Request) {
 	}
 	key := curveKey(artID, temps)
 	if pts, ok := s.cache.Get(key); ok {
-		writeJSON(w, http.StatusOK, thermoResponse(artID, pts, true))
+		writeJSON(w, http.StatusOK, thermoResponse(artID, pts, true, s.breaker.Open()))
 		return
 	}
-	d, err := s.reg.DOS(artID)
+	if !s.breaker.allow() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.retryAfter()))
+		writeError(w, http.StatusServiceUnavailable,
+			"dos registry degraded (circuit breaker %s): uncached query shed", s.breaker.State())
+		return
+	}
+	d, err := s.loadDOS(artID)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		if errors.Is(err, ErrNoArtifact) || errors.Is(err, ErrWrongKind) {
+			// The client's fault, not the backend's: doesn't count
+			// against the breaker.
+			s.breaker.success()
+			writeError(w, http.StatusNotFound, "%v", err)
+			return
+		}
+		s.breaker.failure()
+		w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.retryAfter()))
+		writeError(w, http.StatusServiceUnavailable, "dos registry read failed: %v", err)
+		return
+	}
+	s.breaker.success()
+	if err := r.Context().Err(); err != nil {
+		// Deadline or disconnect while we were queued/reading: don't burn
+		// CPU reweighting a curve nobody is waiting for.
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded before reweighting")
 		return
 	}
 	pts, err := thermo.Curve(d, temps)
@@ -339,14 +588,21 @@ func (s *Server) handleThermo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.Put(key, pts)
-	writeJSON(w, http.StatusOK, thermoResponse(artID, pts, false))
+	writeJSON(w, http.StatusOK, thermoResponse(artID, pts, false, false))
 }
 
-func thermoResponse(artID string, pts []thermo.Point, cached bool) map[string]any {
-	return map[string]any{"artifact": artID, "cached": cached, "points": pts}
+func thermoResponse(artID string, pts []thermo.Point, cached, degraded bool) map[string]any {
+	resp := map[string]any{"artifact": artID, "cached": cached, "points": pts}
+	if degraded {
+		resp["degraded"] = true
+	}
+	return resp
 }
 
 // parseTemps merges explicit T params with an optional lo:hi:n sweep.
+// Non-finite values are rejected outright: strconv.ParseFloat accepts
+// "NaN" and "Inf", and NaN <= 0 is false, so without the explicit check
+// a T=NaN query would pass validation and poison the curve cache.
 func parseTemps(ts []string, sweep string) ([]float64, error) {
 	var temps []float64
 	for _, tv := range ts {
@@ -367,6 +623,9 @@ func parseTemps(ts []string, sweep string) ([]float64, error) {
 		if err1 != nil || err2 != nil || err3 != nil || n < 1 {
 			return nil, fmt.Errorf("bad sweep %q (want lo:hi:n)", sweep)
 		}
+		if !isFinite(lo) || !isFinite(hi) {
+			return nil, fmt.Errorf("non-finite sweep bound in %q", sweep)
+		}
 		if n > maxTempsPerQuery {
 			return nil, fmt.Errorf("sweep of %d points exceeds limit %d", n, maxTempsPerQuery)
 		}
@@ -379,12 +638,17 @@ func parseTemps(ts []string, sweep string) ([]float64, error) {
 		return nil, fmt.Errorf("%d temperatures exceeds limit %d", len(temps), maxTempsPerQuery)
 	}
 	for _, t := range temps {
+		if !isFinite(t) {
+			return nil, fmt.Errorf("non-finite temperature %g", t)
+		}
 		if t <= 0 {
 			return nil, fmt.Errorf("non-positive temperature %g", t)
 		}
 	}
 	return temps, nil
 }
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 
 // curveKey canonicalizes (artifact, grid) into the cache key.
 func curveKey(artID string, temps []float64) string {

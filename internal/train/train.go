@@ -12,6 +12,7 @@ package train
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 
 	"deepthermo/internal/alloy"
@@ -59,7 +60,26 @@ type EpochStats struct {
 	Recon    float64
 	KL       float64
 	Accuracy float64
+	// Diverged counts divergence events (NaN/Inf loss or gradient norm)
+	// absorbed while producing this epoch: each event rolled the weights
+	// back to the last finite snapshot and halved the learning rate
+	// before the epoch was retried.
+	Diverged int
 }
+
+// TotalDiverged sums the divergence events across a training report.
+func TotalDiverged(stats []EpochStats) int {
+	n := 0
+	for _, s := range stats {
+		n += s.Diverged
+	}
+	return n
+}
+
+// maxDivergences bounds rollback-and-halve recovery attempts across a
+// whole Fit run before training gives up. Generous: halving 50 times
+// shrinks any learning rate by ~1e15.
+const maxDivergences = 50
 
 // batch assembles rows [lo,hi) of ds into a one-hot matrix and label views.
 func batch(model *vae.Model, ds *workload.Dataset, lo, hi int) (*tensor.Matrix, []float64, []lattice.Config) {
@@ -81,6 +101,13 @@ func Fit(model *vae.Model, ds *workload.Dataset, opts Options) ([]EpochStats, er
 // On cancellation the statistics of the epochs completed so far are
 // returned alongside ctx's error; the model keeps the weights of the last
 // optimizer step, so a partially trained model remains usable.
+//
+// Training is divergence-guarded: if a batch produces a NaN/Inf loss or
+// gradient norm, the weights roll back to the last snapshot that
+// completed a finite epoch, the learning rate is halved (with fresh
+// optimizer moments), and the epoch is retried. The events are surfaced
+// as EpochStats.Diverged rather than silently baked into a NaN model
+// artifact; exceeding maxDivergences fails the run.
 func FitContext(ctx context.Context, model *vae.Model, ds *workload.Dataset, opts Options) ([]EpochStats, error) {
 	opts.setDefaults()
 	if ds.Len() == 0 {
@@ -88,9 +115,18 @@ func FitContext(ctx context.Context, model *vae.Model, ds *workload.Dataset, opt
 	}
 	ds = ds.Copy() // epoch shuffles must not reorder the caller's data
 	src := rng.New(opts.Seed)
-	opt := nn.NewAdam(opts.LR)
+	lr := opts.LR
+	opt := nn.NewAdam(lr)
 	params := model.Params()
 	betaFinal := model.Config().BetaKL
+	snapshot := nn.FlattenValues(params, nil) // last known-finite weights
+	clipNorm := opts.ClipNorm
+	if clipNorm <= 0 {
+		// ClipGradNorm with an infinite bound is a no-op clip that still
+		// reports the global norm the guard needs.
+		clipNorm = math.Inf(1)
+	}
+	totalDiverged, epochDiverged := 0, 0
 	var stats []EpochStats
 	for epoch := 0; epoch < opts.Epochs; epoch++ {
 		if opts.KLWarmupEpochs > 0 {
@@ -103,6 +139,7 @@ func FitContext(ctx context.Context, model *vae.Model, ds *workload.Dataset, opt
 		ds.Shuffle(src)
 		var agg vae.Losses
 		steps := 0
+		diverged := false
 		for lo := 0; lo < ds.Len(); lo += opts.BatchSize {
 			if err := ctx.Err(); err != nil {
 				return stats, err
@@ -114,8 +151,10 @@ func FitContext(ctx context.Context, model *vae.Model, ds *workload.Dataset, opt
 			x, conds, targets := batch(model, ds, lo, hi)
 			nn.ZeroGrads(params)
 			l := model.Step(x, conds, targets, src)
-			if opts.ClipNorm > 0 {
-				nn.ClipGradNorm(params, opts.ClipNorm)
+			norm := nn.ClipGradNorm(params, clipNorm)
+			if !isFinite(l.Recon) || !isFinite(l.KL) || !isFinite(norm) {
+				diverged = true
+				break
 			}
 			opt.Step(params)
 			agg.Recon += l.Recon
@@ -123,14 +162,40 @@ func FitContext(ctx context.Context, model *vae.Model, ds *workload.Dataset, opt
 			agg.Accuracy += l.Accuracy
 			steps++
 		}
+		if diverged {
+			totalDiverged++
+			epochDiverged++
+			if totalDiverged > maxDivergences {
+				return stats, fmt.Errorf("train: diverged %d times (lr halved to %g) without recovering", totalDiverged, lr)
+			}
+			nn.SetValues(params, snapshot)
+			lr /= 2
+			opt = nn.NewAdam(lr) // stale Adam moments point at the blow-up
+			epoch--              // retry this epoch at the reduced rate
+			continue
+		}
 		stats = append(stats, EpochStats{
 			Epoch:    epoch,
 			Recon:    agg.Recon / float64(steps),
 			KL:       agg.KL / float64(steps),
 			Accuracy: agg.Accuracy / float64(steps),
+			Diverged: epochDiverged,
 		})
+		epochDiverged = 0
+		snapshot = nn.FlattenValues(params, snapshot)
 	}
 	return stats, nil
+}
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+func gradsFinite(gs []float64) bool {
+	for _, g := range gs {
+		if !isFinite(g) {
+			return false
+		}
+	}
+	return true
 }
 
 // FitDDP trains with `workers` data-parallel replicas over a comm.World
@@ -216,6 +281,14 @@ func ddpWorker(model *vae.Model, c *comm.Comm, full *workload.Dataset, workers i
 			nn.FlattenGrads(params, grads)
 			c.Allreduce(grads, comm.Sum)
 			tensor.Scale(1/float64(workers), grads)
+			// Divergence guard: the allreduced gradients are identical on
+			// every replica, so every rank takes this branch in lockstep
+			// and the replicas stay bit-identical. DDP has no per-rank
+			// rollback protocol, so fail loudly instead of stepping a NaN
+			// into every replica.
+			if !gradsFinite(grads) {
+				return fmt.Errorf("train: rank %d: non-finite allreduced gradient at epoch %d step %d", rank, epoch, step)
+			}
 			nn.SetGrads(params, grads)
 			opt.Step(params)
 			agg.Recon += l.Recon

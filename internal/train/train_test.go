@@ -57,6 +57,61 @@ func TestFitReducesLoss(t *testing.T) {
 	}
 }
 
+// TestFitDivergenceGuardRecovers: an absurd learning rate overflows the
+// posterior mean (mu² → +Inf in the KL term) within a step; the guard
+// must roll the weights back to the last finite snapshot, halve the rate
+// until training stabilises, report the events in the stats, and deliver
+// a finite model — not a NaN artifact. The VAE loss itself is clamped
+// (logvar clamp, log(max(p,1e-300))), so only float64 overflow triggers
+// divergence; 1e158 sits a few octaves above that boundary, well inside
+// the guard's halving budget.
+func TestFitDivergenceGuardRecovers(t *testing.T) {
+	_, ds, vcfg := testSetup(t)
+	model, err := vae.New(vcfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Fit(model, ds, Options{Epochs: 3, BatchSize: 16, LR: 1e158, Seed: 3})
+	if err != nil {
+		t.Fatalf("guarded training failed outright: %v", err)
+	}
+	if len(stats) != 3 {
+		t.Fatalf("%d finite epochs reported, want 3", len(stats))
+	}
+	if TotalDiverged(stats) == 0 {
+		t.Fatal("lr=1e158 training reported no divergence events")
+	}
+	for _, s := range stats {
+		if !isFinite(s.Recon) || !isFinite(s.KL) {
+			t.Fatalf("reported epoch stats non-finite: %+v", s)
+		}
+	}
+	flat := nn.FlattenValues(model.Params(), nil)
+	for i, w := range flat {
+		if !isFinite(w) {
+			t.Fatalf("weight %d non-finite after guarded training: %g", i, w)
+		}
+	}
+}
+
+// TestFitDivergenceGuardGivesUp: a guard that can never stabilise (the
+// divergence budget exhausted) fails the run with an error instead of
+// looping forever.
+func TestFitDivergenceGuardGivesUp(t *testing.T) {
+	_, ds, vcfg := testSetup(t)
+	model, err := vae.New(vcfg, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poison a weight directly: every forward pass is NaN regardless of
+	// the learning rate, so rollback-and-halve cannot recover.
+	model.Params()[0].Value[0] = math.NaN()
+	_, err = Fit(model, ds, Options{Epochs: 2, BatchSize: 16, LR: 1e-3, Seed: 3})
+	if err == nil {
+		t.Fatal("unrecoverable NaN model trained without error")
+	}
+}
+
 func TestFitEmptyDataset(t *testing.T) {
 	_, _, vcfg := testSetup(t)
 	model, _ := vae.New(vcfg, rng.New(4))
