@@ -8,7 +8,14 @@
 //
 // Each benchmark prints the experiment's table to stdout and reports its
 // headline scalar through b.ReportMetric, so both the human-readable
-// report and machine-readable metrics come from one run.
+// report and machine-readable metrics come from one run. Every benchmark
+// also calls b.ReportAllocs, so -benchmem regressions in the experiment
+// drivers are visible without extra flags.
+//
+// Determinism: all experiments run from pinned seeds — the shared testbed
+// uses experiments.Testbed's default Seed=1 (derived streams at +7/+13/+17
+// for training, sampling, and validation), so repeated runs on one machine
+// reproduce identical tables; only wall-clock metrics vary.
 package deepthermo_test
 
 import (
@@ -49,6 +56,7 @@ func printOnce(i int, s string) {
 // figure: DL global updates vs local swap vs unguided K-swap across the
 // temperature range.
 func BenchmarkE1AcceptanceVsTemperature(b *testing.B) {
+	b.ReportAllocs()
 	tb := sharedTB(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -69,6 +77,7 @@ func BenchmarkE1AcceptanceVsTemperature(b *testing.B) {
 // BenchmarkE2WLConvergence regenerates the Wang-Landau convergence figure:
 // sweeps to histogram flatness per ln f stage, local swap vs DL mixture.
 func BenchmarkE2WLConvergence(b *testing.B) {
+	b.ReportAllocs()
 	tb := sharedTB(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -86,6 +95,7 @@ func BenchmarkE2WLConvergence(b *testing.B) {
 // BenchmarkE3DOSRange regenerates the density-of-states figure: ln g span
 // vs system size via REWL, with the paper-scale e^10,000 extrapolation.
 func BenchmarkE3DOSRange(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.DOSRange(experiments.E3Options{CellSizes: []int{2, 3, 4}})
 		if err != nil {
@@ -103,6 +113,7 @@ func BenchmarkE3DOSRange(b *testing.B) {
 // BenchmarkE4Thermodynamics regenerates the thermodynamic curves and the
 // order-disorder transition from the converged DOS.
 func BenchmarkE4Thermodynamics(b *testing.B) {
+	b.ReportAllocs()
 	dosRes, err := experiments.DOSRange(experiments.E3Options{CellSizes: []int{3}, Bins: 64, LnFFinal: 3e-5})
 	if err != nil {
 		b.Fatal(err)
@@ -123,6 +134,7 @@ func BenchmarkE4Thermodynamics(b *testing.B) {
 
 // BenchmarkE5ShortRangeOrder regenerates the Warren-Cowley SRO figure.
 func BenchmarkE5ShortRangeOrder(b *testing.B) {
+	b.ReportAllocs()
 	tb := sharedTB(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -141,6 +153,7 @@ func BenchmarkE5ShortRangeOrder(b *testing.B) {
 // BenchmarkE6VAETraining regenerates the training table: loss trajectory
 // and functional DDP throughput.
 func BenchmarkE6VAETraining(b *testing.B) {
+	b.ReportAllocs()
 	tb := sharedTB(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -160,6 +173,7 @@ func BenchmarkE6VAETraining(b *testing.B) {
 // BenchmarkE7StrongScaling regenerates the strong-scaling figure on both
 // modeled machines (8 → 3072 devices).
 func BenchmarkE7StrongScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiments.StrongScaling(experiments.ScalingOptions{})
 		printOnce(i, res.Format())
@@ -174,6 +188,7 @@ func BenchmarkE7StrongScaling(b *testing.B) {
 
 // BenchmarkE8WeakScaling regenerates the weak-scaling figure.
 func BenchmarkE8WeakScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiments.WeakScaling(experiments.ScalingOptions{})
 		printOnce(i, res.Format())
@@ -189,6 +204,7 @@ func BenchmarkE8WeakScaling(b *testing.B) {
 // BenchmarkE9TrainingScaling regenerates the distributed-training
 // throughput figure (V100 vs MI250X).
 func BenchmarkE9TrainingScaling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiments.TrainingScaling(experiments.ScalingOptions{})
 		printOnce(i, res.Format())
@@ -204,6 +220,7 @@ func BenchmarkE9TrainingScaling(b *testing.B) {
 // BenchmarkE10TimeToSolution regenerates the end-to-end comparison table,
 // composing the measured E2 speedup with the machine model.
 func BenchmarkE10TimeToSolution(b *testing.B) {
+	b.ReportAllocs()
 	tb := sharedTB(b)
 	conv, err := experiments.WLConvergence(tb, experiments.E2Options{Stages: 6})
 	if err != nil {
@@ -229,6 +246,7 @@ func BenchmarkE10TimeToSolution(b *testing.B) {
 // BenchmarkE11Validation regenerates the exactness table: WL and REWL vs
 // exact enumeration.
 func BenchmarkE11Validation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Validation(experiments.E11Options{})
 		if err != nil {
@@ -250,6 +268,7 @@ func BenchmarkE11Validation(b *testing.B) {
 // BenchmarkE13ChaosResilience regenerates the fault-tolerance table: REWL
 // accuracy under sampled walker-crash plans vs the fault-free seed spread.
 func BenchmarkE13ChaosResilience(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.ChaosResilience(experiments.E13Options{})
 		if err != nil {

@@ -67,6 +67,35 @@ type GlobalProposal struct {
 	z      []float64
 	backup lattice.Config
 
+	// Per-walker scratch arenas (see DESIGN.md, "Performance
+	// architecture"): every buffer the hot path needs is allocated once in
+	// the constructor and reused, so a steady-state Propose performs zero
+	// heap allocations. probsRev is the only lazily allocated buffer — it
+	// exists only for state-dependent conditioning (SetConditionFunc).
+	order          []int          // site-visiting permutation
+	cand           lattice.Config // decoded candidate
+	probsFwd       [][]float64    // forward decode, flat-backed
+	probsRev       [][]float64    // second decode under the candidate's condition
+	muX, lvX       []float64      // encoder posterior of the current state
+	muC, lvC       []float64      // encoder posterior of the candidate
+	remFwd, remRev []float64      // quota bookkeeping for constrained sampling
+
+	// Encoder-posterior cache. The posterior is a deterministic function of
+	// (configuration, condition), and after Accept/Reject the next move's
+	// current state is exactly the candidate (or restored backup) this move
+	// already encoded — so in WalkPosterior mode the current-state encode is
+	// skipped whenever the cached (cfg, cond) pair matches, halving encoder
+	// work in steady state. The cached values are the bit-exact output a
+	// fresh encode would produce. Mutating the model's weights in place
+	// invalidates this silently; call InvalidateEncoderCache after any
+	// in-place retrain.
+	encCacheValid          bool
+	encCacheCond           float64
+	encCacheCfg            lattice.Config
+	encCacheMu, encCacheLv []float64
+	lastCondX, lastCondC   float64
+	lastWasWalk            bool
+
 	// HammingAccum accumulates the Hamming distance (changed sites) of
 	// accepted moves, the "global update" magnitude reported in E1.
 	hammingAccum int64
@@ -75,14 +104,38 @@ type GlobalProposal struct {
 
 // NewGlobalProposal creates a walker-owned DL proposal in WalkPosterior
 // mode. model must be a per-walker replica (its inference path mutates
-// layer caches); quota is the fixed composition (counts per species,
-// summing to the lattice size); cond is the conditioning scalar (see
-// CondForT).
+// layer caches and model-owned scratch); quota is the fixed composition
+// (counts per species, summing to the lattice size); cond is the
+// conditioning scalar (see CondForT).
 func NewGlobalProposal(model *vae.Model, ham *alloy.Model, quota []int, cond float64) *GlobalProposal {
 	q := make([]int, len(quota))
 	copy(q, quota)
-	return &GlobalProposal{model: model, ham: ham, cond: cond, quota: q, mode: WalkPosterior}
+	vc := model.Config()
+	n, k, l := vc.Sites, vc.Species, vc.Latent
+	return &GlobalProposal{
+		model: model, ham: ham, cond: cond, quota: q, mode: WalkPosterior,
+		z:           make([]float64, l),
+		backup:      make(lattice.Config, n),
+		order:       make([]int, n),
+		cand:        make(lattice.Config, n),
+		probsFwd:    vae.NewProbs(n, k),
+		muX:         make([]float64, l),
+		lvX:         make([]float64, l),
+		muC:         make([]float64, l),
+		lvC:         make([]float64, l),
+		remFwd:      make([]float64, len(q)),
+		remRev:      make([]float64, len(q)),
+		encCacheCfg: make(lattice.Config, n),
+		encCacheMu:  make([]float64, l),
+		encCacheLv:  make([]float64, l),
+	}
 }
+
+// InvalidateEncoderCache drops the cached encoder posterior. Call it after
+// mutating the model's weights in place (e.g. an active-learning retrain
+// that reuses the same *vae.Model); constructing a fresh proposal makes
+// this unnecessary.
+func (p *GlobalProposal) InvalidateEncoderCache() { p.encCacheValid = false }
 
 // SetMode switches between latent-draw modes.
 func (p *GlobalProposal) SetMode(m GlobalMode) { p.mode = m }
@@ -129,9 +182,6 @@ func (p *GlobalProposal) AcceptedSiteChanges() int64 { return p.hammingAccum }
 // two coincide and the second decode is skipped.
 func (p *GlobalProposal) Propose(cfg lattice.Config, curE float64, src *rng.Source) (float64, float64) {
 	n := len(cfg)
-	if p.z == nil {
-		p.z = make([]float64, p.model.Config().Latent)
-	}
 	condX := p.cond
 	if p.condFunc != nil {
 		condX = p.condFunc(curE)
@@ -145,27 +195,43 @@ func (p *GlobalProposal) Propose(cfg lattice.Config, curE float64, src *rng.Sour
 			p.z[i] = src.NormFloat64()
 		}
 	case WalkPosterior:
-		muX, lvX := p.model.Encode(cfg, condX)
-		for i := range p.z {
-			p.z[i] = muX[i] + src.NormFloat64()*math.Exp(0.5*lvX[i])
+		if p.encCacheValid && p.encCacheCond == condX && configsEqual(p.encCacheCfg, cfg) {
+			copy(p.muX, p.encCacheMu)
+			copy(p.lvX, p.encCacheLv)
+		} else {
+			p.muX, p.lvX = p.model.EncodeInto(cfg, condX, p.muX, p.lvX)
 		}
-		logRX = vae.LogNormalPDF(p.z, muX, lvX)
+		for i := range p.z {
+			p.z[i] = p.muX[i] + src.NormFloat64()*math.Exp(0.5*p.lvX[i])
+		}
+		logRX = vae.LogNormalPDF(p.z, p.muX, p.lvX)
 	}
 
-	probsFwd := p.model.DecodeProbs(p.z, condX)
-	order := src.Perm(n)
-	cand, logFwd, err := vae.SampleConstrained(probsFwd, p.quota, order, src)
+	p.probsFwd = p.model.DecodeProbsInto(p.z, condX, p.probsFwd)
+	order := p.permInto(src, n)
+	copy(p.backup, cfg)
+
+	// With a fixed condition the reverse density uses the forward decode's
+	// probabilities, so the constrained sample and the reverse evaluation
+	// fuse into one pass over the per-site log-probs. State-dependent
+	// conditioning needs the candidate's energy first, so it takes the
+	// two-pass route below. Both paths consume one uniform draw per site.
+	var cand lattice.Config
+	var logFwd, revCfg float64
+	var err error
+	fused := p.condFunc == nil
+	if fused {
+		cand, logFwd, revCfg, err = vae.SampleAndReverse(p.probsFwd, p.quota, order, p.backup, src, p.cand, p.remFwd, p.remRev)
+	} else {
+		cand, logFwd, err = vae.SampleConstrainedInto(p.probsFwd, p.quota, order, src, p.cand, p.remFwd)
+	}
 	if err != nil {
 		panic(err) // quota was validated at construction
 	}
 
-	if p.backup == nil {
-		p.backup = make(lattice.Config, n)
-	}
-	copy(p.backup, cfg)
 	p.lastHamming = 0
 	for i := range cand {
-		if cand[i] != cfg[i] {
+		if cand[i] != p.backup[i] {
 			p.lastHamming++
 		}
 	}
@@ -176,33 +242,76 @@ func (p *GlobalProposal) Propose(cfg lattice.Config, curE float64, src *rng.Sour
 	// Reverse density of the previous configuration under the same (z, σ)
 	// but the candidate's condition.
 	condC := condX
-	probsRev := probsFwd
-	if p.condFunc != nil {
+	if !fused {
 		condC = p.condFunc(newE)
+		probsRev := p.probsFwd
 		if condC != condX {
-			probsRev = p.model.DecodeProbs(p.z, condC)
+			p.probsRev = p.model.DecodeProbsInto(p.z, condC, p.probsRev)
+			probsRev = p.probsRev
 		}
-	}
-	revCfg, err := vae.LogProbConstrained(probsRev, p.backup, p.quota, order)
-	if err != nil {
-		panic(err) // sizes are fixed at construction; mismatch is a bug
+		revCfg, err = vae.LogProbConstrainedInto(probsRev, p.backup, p.quota, order, p.remRev)
+		if err != nil {
+			panic(err) // sizes are fixed at construction; mismatch is a bug
+		}
 	}
 
 	var latentCorr float64 // ln r(u|x′) − ln r(u|x); σ is uniform and cancels
 	if p.mode == WalkPosterior {
-		muC, lvC := p.model.Encode(cand, condC)
-		latentCorr = vae.LogNormalPDF(p.z, muC, lvC) - logRX
+		p.muC, p.lvC = p.model.EncodeInto(cand, condC, p.muC, p.lvC)
+		latentCorr = vae.LogNormalPDF(p.z, p.muC, p.lvC) - logRX
 	}
+	p.lastWasWalk = p.mode == WalkPosterior
+	p.lastCondX, p.lastCondC = condX, condC
 	return dE, revCfg - logFwd + latentCorr
 }
 
-// Accept records the accepted move's update size (the proposal itself is
-// stateless).
-func (p *GlobalProposal) Accept() {
-	p.hammingAccum += int64(p.lastHamming)
+// configsEqual reports whether two configurations are identical.
+func configsEqual(a, b lattice.Config) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if b[i] != v {
+			return false
+		}
+	}
+	return true
 }
 
-// Reject restores the configuration.
+// permInto refills p.order with a uniform permutation of [0, n), consuming
+// the same draw sequence as src.Perm but without allocating.
+func (p *GlobalProposal) permInto(src *rng.Source, n int) []int {
+	order := p.order[:n]
+	for i := range order {
+		order[i] = i
+	}
+	src.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}
+
+// Accept records the accepted move's update size and caches the candidate's
+// encoder posterior — the accepted candidate is the next move's current
+// state, so its encode can be reused verbatim.
+func (p *GlobalProposal) Accept() {
+	p.hammingAccum += int64(p.lastHamming)
+	if p.lastWasWalk {
+		copy(p.encCacheMu, p.muC)
+		copy(p.encCacheLv, p.lvC)
+		copy(p.encCacheCfg, p.cand)
+		p.encCacheCond = p.lastCondC
+		p.encCacheValid = true
+	}
+}
+
+// Reject restores the configuration and caches the restored state's encoder
+// posterior for the same reason as Accept.
 func (p *GlobalProposal) Reject(cfg lattice.Config) {
 	copy(cfg, p.backup)
+	if p.lastWasWalk {
+		copy(p.encCacheMu, p.muX)
+		copy(p.encCacheLv, p.lvX)
+		copy(p.encCacheCfg, p.backup)
+		p.encCacheCond = p.lastCondX
+		p.encCacheValid = true
+	}
 }

@@ -22,12 +22,23 @@ func NewSwapProposal(m *alloy.Model) *SwapProposal { return &SwapProposal{m: m} 
 func (p *SwapProposal) Name() string { return "local-swap" }
 
 // Propose swaps two random distinct-species sites (retrying a bounded
-// number of times to find one; a same-species swap is a no-op with ΔE=0).
+// number of times to find such a pair; if every retry lands on a
+// same-species pair the move is a no-op with ΔE=0, which is trivially
+// symmetric).
+//
+// Each retry resamples BOTH sites, so the accepted pair is uniform over
+// all distinct-species ordered pairs. The retry acceptance probability
+// depends only on the composition (which every swap preserves), so
+// q(x→x′) = q(x′→x) exactly and the returned correction of 0 is correct.
+// An earlier version resampled only j, which over-weighted pairs whose
+// first site carried a rare species under skewed compositions; see
+// TestSwapProposalSkewedCompositionSymmetry.
 func (p *SwapProposal) Propose(cfg lattice.Config, curE float64, src *rng.Source) (float64, float64) {
 	n := len(cfg)
 	p.i = src.Intn(n)
 	p.j = src.Intn(n)
 	for try := 0; cfg[p.i] == cfg[p.j] && try < 8; try++ {
+		p.i = src.Intn(n)
 		p.j = src.Intn(n)
 	}
 	dE := p.m.SwapDeltaE(cfg, p.i, p.j)
@@ -73,7 +84,16 @@ func (p *KSwapProposal) Propose(cfg lattice.Config, curE float64, src *rng.Sourc
 	p.sites = p.sites[:0]
 	var dE float64
 	for s := 0; s < p.K; s++ {
-		i, j := src.Intn(n), src.Intn(n)
+		i := src.Intn(n)
+		j := src.Intn(n)
+		// Redraw j ≠ i with bounded retries: i == j is an identity swap
+		// that silently shrinks the effective K. Selection is independent
+		// of the configuration, so the move stays symmetric; in the
+		// astronomically unlikely event every retry collides, the identity
+		// swap is a harmless no-op.
+		for try := 0; j == i && try < 8; try++ {
+			j = src.Intn(n)
+		}
 		dE += p.m.SwapDeltaE(cfg, i, j)
 		cfg[i], cfg[j] = cfg[j], cfg[i]
 		p.sites = append(p.sites, i, j)

@@ -35,6 +35,13 @@ type Param struct {
 }
 
 // Dense is a fully connected layer: y = x·W + b.
+//
+// Forward and Backward return layer-owned scratch matrices that are reused
+// (and overwritten) by the next Forward/Backward of the same layer. Within
+// one forward/backward pass of a Sequential this is invisible — each layer
+// owns distinct buffers — but callers must copy out anything they need to
+// survive the layer's next call. This is what makes steady-state inference
+// allocation-free (see DESIGN.md, "Performance architecture").
 type Dense struct {
 	In, Out int
 	W       *tensor.Matrix // In × Out
@@ -42,6 +49,12 @@ type Dense struct {
 	gradW   *tensor.Matrix
 	gradB   []float64
 	lastX   *tensor.Matrix
+
+	// Reused scratch: forward output, input gradient, per-call weight
+	// gradient, and column sums. Sized on first use, resized on batch
+	// changes.
+	out, gx, gwScratch *tensor.Matrix
+	colSums            []float64
 }
 
 // NewDense returns a Dense layer with Xavier/Glorot-uniform initialized
@@ -67,10 +80,52 @@ func (d *Dense) Forward(x *tensor.Matrix) *tensor.Matrix {
 		panic(fmt.Sprintf("nn: Dense(%d→%d) got input with %d features", d.In, d.Out, x.Cols))
 	}
 	d.lastX = x
-	y := tensor.NewMatrix(x.Rows, d.Out)
-	tensor.MatMul(y, x, d.W)
-	tensor.AddBias(y, d.B)
-	return y
+	d.out = tensor.Ensure(d.out, x.Rows, d.Out)
+	tensor.MatMul(d.out, x, d.W)
+	tensor.AddBias(d.out, d.B)
+	return d.out
+}
+
+// ForwardOneHot computes the batch-1 forward pass y = x·W + b for the
+// implicit sparse input x with x[idx] = 1 for each idx in ones, x[In-1] =
+// cond, and 0 elsewhere — the inference fast path for one-hot-plus-scalar
+// encoder inputs. ones must be sorted ascending with every idx < In-1.
+// The weight rows are accumulated in exactly the order the dense kernel
+// visits the same input's nonzero entries, so the result is bit-identical
+// to Forward on the materialized vector, without building or scanning it.
+// Inference-only: it does not retain an input for Backward. Like Forward,
+// it returns layer-owned reused scratch.
+func (d *Dense) ForwardOneHot(ones []int, cond float64) *tensor.Matrix {
+	d.lastX = nil
+	d.out = tensor.Ensure(d.out, 1, d.Out)
+	drow := d.out.Row(0)
+	first := true
+	for _, idx := range ones {
+		wrow := d.W.Row(idx)
+		if first {
+			copy(drow, wrow) // 1·w == w bit-for-bit
+			first = false
+		} else {
+			tensor.Axpy(1, wrow, drow)
+		}
+	}
+	if cond != 0 { // the dense kernel skips zero input entries
+		if first {
+			for j, wv := range d.W.Row(d.In - 1) {
+				drow[j] = cond * wv
+			}
+			first = false
+		} else {
+			tensor.Axpy(cond, d.W.Row(d.In-1), drow)
+		}
+	}
+	if first {
+		for j := range drow {
+			drow[j] = 0
+		}
+	}
+	tensor.AddBias(d.out, d.B)
+	return d.out
 }
 
 // Backward accumulates ∂L/∂W = xᵀ·g and ∂L/∂b = Σrows g, and returns
@@ -79,13 +134,16 @@ func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	if d.lastX == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
-	gw := tensor.NewMatrix(d.In, d.Out)
-	tensor.MatMulTransA(gw, d.lastX, gradOut)
-	tensor.Axpy(1, gw.Data, d.gradW.Data)
-	tensor.Axpy(1, tensor.ColSums(gradOut), d.gradB)
-	gx := tensor.NewMatrix(gradOut.Rows, d.In)
-	tensor.MatMulTransB(gx, gradOut, d.W)
-	return gx
+	d.gwScratch = tensor.Ensure(d.gwScratch, d.In, d.Out)
+	tensor.MatMulTransA(d.gwScratch, d.lastX, gradOut)
+	tensor.Axpy(1, d.gwScratch.Data, d.gradW.Data)
+	if d.colSums == nil {
+		d.colSums = make([]float64, d.Out)
+	}
+	tensor.Axpy(1, tensor.ColSumsInto(d.colSums, gradOut), d.gradB)
+	d.gx = tensor.Ensure(d.gx, gradOut.Rows, d.In)
+	tensor.MatMulTransB(d.gx, gradOut, d.W)
+	return d.gx
 }
 
 // Params exposes weights and bias with their gradient accumulators.
@@ -106,10 +164,12 @@ const (
 	Sigmoid
 )
 
-// Activation is a parameter-free pointwise nonlinearity layer.
+// Activation is a parameter-free pointwise nonlinearity layer. Like Dense,
+// its Forward/Backward results are layer-owned reused buffers.
 type Activation struct {
 	Kind    ActivationKind
 	lastOut *tensor.Matrix
+	gx      *tensor.Matrix
 }
 
 // NewActivation returns an activation layer of the given kind.
@@ -117,10 +177,16 @@ func NewActivation(kind ActivationKind) *Activation { return &Activation{Kind: k
 
 // Forward applies the nonlinearity elementwise.
 func (a *Activation) Forward(x *tensor.Matrix) *tensor.Matrix {
-	y := tensor.NewMatrix(x.Rows, x.Cols)
+	y := tensor.Ensure(a.lastOut, x.Rows, x.Cols)
 	switch a.Kind {
 	case Tanh:
-		tensor.Apply(y, x, math.Tanh)
+		// Direct loop instead of tensor.Apply: passing math.Tanh as a func
+		// value forces an indirect call per element on the inference hot
+		// path. Same math.Tanh per element, bit-identical results.
+		yd, xd := y.Data, x.Data[:len(y.Data)]
+		for i, v := range xd {
+			yd[i] = math.Tanh(v)
+		}
 	case ReLU:
 		tensor.Apply(y, x, func(v float64) float64 {
 			if v > 0 {
@@ -143,7 +209,8 @@ func (a *Activation) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 	if a.lastOut == nil {
 		panic("nn: Activation.Backward before Forward")
 	}
-	gx := tensor.NewMatrix(gradOut.Rows, gradOut.Cols)
+	gx := tensor.Ensure(a.gx, gradOut.Rows, gradOut.Cols)
+	a.gx = gx
 	out := a.lastOut
 	switch a.Kind {
 	case Tanh:
@@ -152,9 +219,13 @@ func (a *Activation) Backward(gradOut *tensor.Matrix) *tensor.Matrix {
 			gx.Data[i] = g * (1 - y*y)
 		}
 	case ReLU:
+		// gx is a reused buffer, so the masked-out entries must be written
+		// explicitly (a fresh matrix arrived zeroed; scratch does not).
 		for i, g := range gradOut.Data {
 			if out.Data[i] > 0 {
 				gx.Data[i] = g
+			} else {
+				gx.Data[i] = 0
 			}
 		}
 	case Sigmoid:

@@ -50,6 +50,7 @@ import (
 	"deepthermo/internal/lattice"
 	"deepthermo/internal/mc"
 	"deepthermo/internal/rng"
+	"deepthermo/internal/tensor"
 	"deepthermo/internal/wanglandau"
 )
 
@@ -218,6 +219,14 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 	slots := nWin * nWalk
 	doneFlags := make([]atomic.Bool, slots)
 	deadFlags := make([]atomic.Bool, slots)
+
+	// The sweep phase already saturates the machine with one goroutine per
+	// walker, so declare a nested-parallel context for the duration of the
+	// run: tensor kernels invoked from walker proposals (batch-1 DL
+	// inference) take their serial path instead of fanning out a second
+	// layer of goroutines per matmul.
+	tensor.EnterNested()
+	defer tensor.LeaveNested()
 
 	for round := st.startRound; round < opts.MaxRounds; round++ {
 		if ctx.Err() != nil {

@@ -11,6 +11,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Matrix is a dense row-major float64 matrix.
@@ -62,13 +63,44 @@ func (m *Matrix) Zero() {
 // goroutines; below it the goroutine overhead exceeds the win.
 const parallelThreshold = 1 << 17
 
-// parallelRows runs fn over row ranges [lo,hi) split across workers.
-func parallelRows(rows int, flops int, fn func(lo, hi int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if flops < parallelThreshold || workers < 2 || rows < 2 {
-		fn(0, rows)
-		return
+// nestedDepth counts callers that are themselves running inside an
+// already-parallel region (REWL walker pools, DDP rank goroutines). While
+// it is positive, every kernel takes the serial path regardless of size:
+// fanning out goroutines from dozens of walker goroutines oversubscribes
+// the scheduler and destroys the cache locality the blocked kernels rely
+// on. The counter nests, so overlapping runs (e.g. concurrent server jobs)
+// compose correctly.
+var nestedDepth atomic.Int32
+
+// EnterNested marks the calling context as already parallel; kernels run
+// serially until the matching LeaveNested. Safe for concurrent use.
+func EnterNested() { nestedDepth.Add(1) }
+
+// LeaveNested undoes one EnterNested.
+func LeaveNested() {
+	if nestedDepth.Add(-1) < 0 {
+		panic("tensor: LeaveNested without EnterNested")
 	}
+}
+
+// Nested reports whether any caller has declared a nested-parallel context.
+func Nested() bool { return nestedDepth.Load() > 0 }
+
+// serialRows reports whether a kernel over rows rows and flops total work
+// should run serially: small work items, single-row (batch-1 inference)
+// shapes, a nested-parallel context, or a single-P runtime. Callers check
+// this BEFORE constructing the range closure, so the batch-1 hot path
+// allocates nothing (a closure handed to parallelRows escapes to the heap
+// because goroutines capture it).
+func serialRows(rows, flops int) bool {
+	return flops < parallelThreshold || rows < 2 || nestedDepth.Load() > 0 ||
+		runtime.GOMAXPROCS(0) < 2
+}
+
+// parallelRows runs fn over row ranges [lo,hi) split across workers.
+// Callers must have ruled out the serial path via serialRows first.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
 	if workers > rows {
 		workers = rows
 	}
@@ -94,24 +126,77 @@ func MatMul(dst, a, b *Matrix) {
 	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul shapes %dx%d · %dx%d -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	dst.Zero()
 	// i-k-j loop order streams b rows sequentially: the inner loop is a
-	// saxpy over contiguous memory, which the compiler vectorizes.
-	parallelRows(a.Rows, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for k, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Row(k)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+	// saxpy over contiguous memory.
+	if serialRows(a.Rows, a.Rows*a.Cols*b.Cols) {
+		matMulRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulRange(dst, a, b, lo, hi) })
+}
+
+func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		// The first contributing k assigns alpha*x instead of accumulating
+		// into a zeroed row, saving the zeroing pass and one load-add per
+		// element. 0 + v == v under IEEE 754 (for any v a finite-weight
+		// network produces), so results match the zero-then-accumulate form
+		// bit for bit.
+		first := true
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			if first {
+				scale(av, b.Row(k), drow)
+				first = false
+			} else {
+				saxpy(av, b.Row(k), drow)
 			}
 		}
-	})
+		if first {
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+	}
+}
+
+// saxpy computes y += alpha*x with a 4-way unroll. Each y[j] receives the
+// same single fused add per call as the naive loop, so results are
+// bit-identical to it (the golden-trace tests rely on this).
+func saxpy(alpha float64, x, y []float64) {
+	n := len(x)
+	y = y[:n] // hoist the bounds check out of the loops
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		y[j] += alpha * x[j]
+		y[j+1] += alpha * x[j+1]
+		y[j+2] += alpha * x[j+2]
+		y[j+3] += alpha * x[j+3]
+	}
+	for ; j < n; j++ {
+		y[j] += alpha * x[j]
+	}
+}
+
+// scale computes y = alpha*x (assignment, not accumulation), with the same
+// unroll structure as saxpy.
+func scale(alpha float64, x, y []float64) {
+	n := len(x)
+	y = y[:n]
+	j := 0
+	for ; j+4 <= n; j += 4 {
+		y[j] = alpha * x[j]
+		y[j+1] = alpha * x[j+1]
+		y[j+2] = alpha * x[j+2]
+		y[j+3] = alpha * x[j+3]
+	}
+	for ; j < n; j++ {
+		y[j] = alpha * x[j]
+	}
 }
 
 // MatMulTransB computes dst = a·bᵀ (dst: a.Rows × b.Rows). Used in backprop
@@ -120,20 +205,26 @@ func MatMulTransB(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB shapes %dx%d · (%dx%d)ᵀ -> %dx%d", a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	parallelRows(a.Rows, a.Rows*a.Cols*b.Rows, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Row(i)
-			drow := dst.Row(i)
-			for j := 0; j < b.Rows; j++ {
-				brow := b.Row(j)
-				var s float64
-				for k, av := range arow {
-					s += av * brow[k]
-				}
-				drow[j] = s
+	if serialRows(a.Rows, a.Rows*a.Cols*b.Rows) {
+		matMulTransBRange(dst, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) { matMulTransBRange(dst, a, b, lo, hi) })
+}
+
+func matMulTransBRange(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)[:len(arow)]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
 			}
+			drow[j] = s
 		}
-	})
+	}
 }
 
 // MatMulTransA computes dst = aᵀ·b (dst: a.Cols × b.Cols). Used in backprop
@@ -145,22 +236,25 @@ func MatMulTransA(dst, a, b *Matrix) {
 	dst.Zero()
 	// Parallelize over dst rows (a columns); each worker reads all of a and
 	// b but writes a disjoint dst stripe, so no synchronization is needed.
-	parallelRows(a.Cols, a.Rows*a.Cols*b.Cols, func(lo, hi int) {
-		for k := 0; k < a.Rows; k++ {
-			arow := a.Row(k)
-			brow := b.Row(k)
-			for i := lo; i < hi; i++ {
-				av := arow[i]
-				if av == 0 {
-					continue
-				}
-				drow := dst.Row(i)
-				for j, bv := range brow {
-					drow[j] += av * bv
-				}
+	if serialRows(a.Cols, a.Rows*a.Cols*b.Cols) {
+		matMulTransARange(dst, a, b, 0, a.Cols)
+		return
+	}
+	parallelRows(a.Cols, func(lo, hi int) { matMulTransARange(dst, a, b, lo, hi) })
+}
+
+func matMulTransARange(dst, a, b *Matrix, lo, hi int) {
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i := lo; i < hi; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
 			}
+			saxpy(av, brow, dst.Row(i))
 		}
-	})
+	}
 }
 
 // AddBias adds the bias vector to every row of m in place.
@@ -178,14 +272,44 @@ func AddBias(m *Matrix, bias []float64) {
 
 // ColSums returns the per-column sums of m (bias gradients).
 func ColSums(m *Matrix) []float64 {
-	out := make([]float64, m.Cols)
+	return ColSumsInto(make([]float64, m.Cols), m)
+}
+
+// ColSumsInto accumulates the per-column sums of m into dst (which is
+// zeroed first) and returns it. The allocation-free form of ColSums for
+// preallocated layer caches.
+func ColSumsInto(dst []float64, m *Matrix) []float64 {
+	if len(dst) != m.Cols {
+		panic("tensor: ColSumsInto length mismatch")
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Row(i)
 		for j, v := range row {
-			out[j] += v
+			dst[j] += v
 		}
 	}
-	return out
+	return dst
+}
+
+// Ensure returns a matrix of exactly rows×cols for reuse as a scratch
+// buffer: m is returned as-is when the shape already matches, reshaped in
+// place when its backing array is large enough, and freshly allocated
+// otherwise. Contents are unspecified after a reshape — callers must fully
+// overwrite the buffer (all kernels in this package do).
+func Ensure(m *Matrix, rows, cols int) *Matrix {
+	if m != nil {
+		if m.Rows == rows && m.Cols == cols {
+			return m
+		}
+		if n := rows * cols; cap(m.Data) >= n {
+			m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+			return m
+		}
+	}
+	return NewMatrix(rows, cols)
 }
 
 // Apply sets dst[i] = f(src[i]) elementwise; dst may alias src.
@@ -208,14 +332,14 @@ func Hadamard(dst, a, b *Matrix) {
 	}
 }
 
-// Axpy computes y += alpha*x over raw slices.
+// Axpy computes y += alpha*x over raw slices. Each y[i] receives one
+// multiply and one add exactly as in the naive loop (the unroll only
+// restructures control flow), so results are bit-identical to it.
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("tensor: Axpy length mismatch")
 	}
-	for i, xv := range x {
-		y[i] += alpha * xv
-	}
+	saxpy(alpha, x, y)
 }
 
 // Scale multiplies every element of x by alpha.

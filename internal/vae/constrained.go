@@ -23,71 +23,143 @@ import (
 // Hastings correction in mc.GlobalProposal evaluates. The visiting order is
 // part of the proposal's auxiliary state.
 
+// initRemaining validates quota against n sites and writes the float
+// remaining-counts into rem (which must have len(quota) entries).
+func initRemaining(rem []float64, quota []int, n int) error {
+	total := 0
+	for a, q := range quota {
+		if q < 0 {
+			return fmt.Errorf("vae: negative quota")
+		}
+		rem[a] = float64(q)
+		total += q
+	}
+	if total != n {
+		return fmt.Errorf("vae: quota sums to %d for %d sites", total, n)
+	}
+	return nil
+}
+
 // SampleConstrained draws a configuration with exact composition quota from
 // the per-site distributions probs, visiting sites in the given order, and
 // returns the configuration and its log proposal density. quota[a] must sum
 // to len(probs); order must be a permutation of the site indices.
 func SampleConstrained(probs [][]float64, quota []int, order []int, src *rng.Source) (lattice.Config, float64, error) {
+	return SampleConstrainedInto(probs, quota, order, src, nil, nil)
+}
+
+// SampleConstrainedInto is SampleConstrained writing into caller scratch:
+// dst (len(probs) sites) receives the configuration and remaining
+// (len(quota) entries) holds quota bookkeeping; either may be nil to
+// allocate. It consumes exactly one uniform draw per site, identical to
+// SampleConstrained.
+func SampleConstrainedInto(probs [][]float64, quota []int, order []int, src *rng.Source, dst lattice.Config, remaining []float64) (lattice.Config, float64, error) {
 	n := len(probs)
 	if len(order) != n {
 		return nil, 0, fmt.Errorf("vae: order has %d entries for %d sites", len(order), n)
 	}
-	remaining := make([]float64, len(quota))
-	total := 0
-	for a, q := range quota {
-		if q < 0 {
-			return nil, 0, fmt.Errorf("vae: negative quota")
-		}
-		remaining[a] = float64(q)
-		total += q
+	if remaining == nil {
+		remaining = make([]float64, len(quota))
 	}
-	if total != n {
-		return nil, 0, fmt.Errorf("vae: quota sums to %d for %d sites", total, n)
+	if err := initRemaining(remaining, quota, n); err != nil {
+		return nil, 0, err
 	}
-	cfg := make(lattice.Config, n)
+	if dst == nil {
+		dst = make(lattice.Config, n)
+	} else if len(dst) != n {
+		return nil, 0, fmt.Errorf("vae: dst has %d sites for %d probs", len(dst), n)
+	}
 	logProb := 0.0
 	for _, site := range order {
 		p := probs[site]
-		var norm float64
-		for a, r := range remaining {
-			norm += p[a] * r
-		}
-		// norm > 0 always: softmax probabilities are strictly positive and
-		// some species has remaining quota while sites remain.
+		choice, lp := drawSite(p, remaining, src)
+		dst[site] = lattice.Species(choice)
+		logProb += lp
+		remaining[choice]--
+	}
+	return dst, logProb, nil
+}
+
+// drawSite draws one species from p reweighted by the remaining quota and
+// returns the choice with its log conditional probability. The k=4 path
+// (the usual HEA species count) performs the identical multiplies,
+// partial sums, and comparisons as the generic loop, so the draw and its
+// log-probability are bit-identical.
+func drawSite(p []float64, remaining []float64, src *rng.Source) (int, float64) {
+	if len(remaining) == 4 && len(p) == 4 {
+		w0 := p[0] * remaining[0]
+		w1 := p[1] * remaining[1]
+		w2 := p[2] * remaining[2]
+		w3 := p[3] * remaining[3]
+		norm := ((w0 + w1) + w2) + w3
 		u := src.Float64() * norm
-		var acc float64
 		choice := -1
-		for a, r := range remaining {
-			acc += p[a] * r
-			if u < acc {
-				choice = a
-				break
-			}
+		var w float64
+		acc := w0
+		if u < acc {
+			choice, w = 0, w0
+		} else if acc += w1; u < acc {
+			choice, w = 1, w1
+		} else if acc += w2; u < acc {
+			choice, w = 2, w2
+		} else if acc += w3; u < acc {
+			choice, w = 3, w3
 		}
 		if choice < 0 { // fp edge: u == norm
-			for a := len(remaining) - 1; a >= 0; a-- {
+			for a := 3; a >= 0; a-- {
 				if remaining[a] > 0 {
 					choice = a
 					break
 				}
 			}
+			w = p[choice] * remaining[choice]
 		}
-		cfg[site] = lattice.Species(choice)
-		logProb += math.Log(p[choice] * remaining[choice] / norm)
-		remaining[choice]--
+		return choice, math.Log(w / norm)
 	}
-	return cfg, logProb, nil
+	var norm float64
+	for a, r := range remaining {
+		norm += p[a] * r
+	}
+	// norm > 0 always: softmax probabilities are strictly positive and
+	// some species has remaining quota while sites remain.
+	u := src.Float64() * norm
+	var acc float64
+	choice := -1
+	for a, r := range remaining {
+		acc += p[a] * r
+		if u < acc {
+			choice = a
+			break
+		}
+	}
+	if choice < 0 { // fp edge: u == norm
+		for a := len(remaining) - 1; a >= 0; a-- {
+			if remaining[a] > 0 {
+				choice = a
+				break
+			}
+		}
+	}
+	return choice, math.Log(p[choice] * remaining[choice] / norm)
 }
 
 // LogProbConstrained returns the log density of cfg under the constrained
 // sampling scheme with the given per-site distributions, quota, and order.
 // It is the reverse-move density needed by the exact MH correction.
 func LogProbConstrained(probs [][]float64, cfg lattice.Config, quota []int, order []int) (float64, error) {
+	return LogProbConstrainedInto(probs, cfg, quota, order, nil)
+}
+
+// LogProbConstrainedInto is LogProbConstrained with caller-owned remaining
+// scratch (len(quota) entries; nil to allocate).
+func LogProbConstrainedInto(probs [][]float64, cfg lattice.Config, quota []int, order []int, remaining []float64) (float64, error) {
 	n := len(probs)
 	if len(cfg) != n || len(order) != n {
 		return 0, fmt.Errorf("vae: size mismatch (%d probs, %d cfg, %d order)", n, len(cfg), len(order))
 	}
-	remaining := make([]float64, len(quota))
+	if remaining == nil {
+		remaining = make([]float64, len(quota))
+	}
 	for a, q := range quota {
 		remaining[a] = float64(q)
 	}
@@ -106,4 +178,67 @@ func LogProbConstrained(probs [][]float64, cfg lattice.Config, quota []int, orde
 		remaining[a]--
 	}
 	return logProb, nil
+}
+
+// SampleAndReverse fuses SampleConstrainedInto with the reverse-density
+// evaluation of old under the same probs and order: the per-site
+// probability rows are read once instead of twice, and no allocation
+// occurs when the scratch arguments are non-nil. Both log densities are
+// accumulated in the same per-site order as the unfused functions, so the
+// results are bit-identical to calling them separately (the golden-trace
+// tests rely on this). It consumes exactly one uniform draw per site —
+// the reverse evaluation draws nothing.
+func SampleAndReverse(probs [][]float64, quota []int, order []int, old lattice.Config, src *rng.Source, dst lattice.Config, remFwd, remRev []float64) (lattice.Config, float64, float64, error) {
+	n := len(probs)
+	if len(order) != n || len(old) != n {
+		return nil, 0, 0, fmt.Errorf("vae: size mismatch (%d probs, %d old, %d order)", n, len(old), len(order))
+	}
+	if remFwd == nil {
+		remFwd = make([]float64, len(quota))
+	}
+	if remRev == nil {
+		remRev = make([]float64, len(quota))
+	}
+	if err := initRemaining(remFwd, quota, n); err != nil {
+		return nil, 0, 0, err
+	}
+	for a, q := range quota {
+		remRev[a] = float64(q)
+	}
+	if dst == nil {
+		dst = make(lattice.Config, n)
+	} else if len(dst) != n {
+		return nil, 0, 0, fmt.Errorf("vae: dst has %d sites for %d probs", len(dst), n)
+	}
+	logFwd, logRev := 0.0, 0.0
+	revValid := true
+	for _, site := range order {
+		p := probs[site]
+		choice, lp := drawSite(p, remFwd, src)
+		dst[site] = lattice.Species(choice)
+		logFwd += lp
+		remFwd[choice]--
+
+		if revValid {
+			var norm float64
+			if len(remRev) == 4 && len(p) == 4 {
+				norm = ((p[0]*remRev[0] + p[1]*remRev[1]) + p[2]*remRev[2]) + p[3]*remRev[3]
+			} else {
+				for a, r := range remRev {
+					norm += p[a] * r
+				}
+			}
+			a := int(old[site])
+			if a >= len(remRev) || remRev[a] <= 0 {
+				revValid = false // old violates the quota: density zero
+			} else {
+				logRev += math.Log(p[a] * remRev[a] / norm)
+				remRev[a]--
+			}
+		}
+	}
+	if !revValid {
+		logRev = math.Inf(-1)
+	}
+	return dst, logFwd, logRev, nil
 }

@@ -36,11 +36,23 @@ type Config struct {
 
 // Model is a conditional VAE. It is not safe for concurrent training; for
 // concurrent proposal generation, clone per walker with CloneWeights (the
-// inference path still mutates layer caches).
+// inference path mutates layer caches and the model-owned scratch below).
 type Model struct {
 	cfg Config
 	enc *nn.Sequential // (N·k + 1) → hidden → hidden → 2L
 	dec *nn.Sequential // (L + 1)   → hidden → hidden → N·k
+
+	// Inference scratch: batch-1 input matrices reused across
+	// Encode/DecodeProbs calls so steady-state proposal generation does
+	// not allocate. Owned by the model, hence the per-walker clone rule.
+	decIn *tensor.Matrix // 1 × (L+1)
+	ones  []int          // nonzero one-hot indices for the sparse encoder path
+
+	// Training scratch: batch-sized intermediates reused across Step
+	// calls (resized when the batch size changes).
+	trEncIn, trDecIn, trEps, trZ, trSigma *tensor.Matrix
+	trGradLogits, trGradEncOut            *tensor.Matrix
+	trProbs                               []float64
 }
 
 // New constructs a VAE with Xavier-initialized weights from src.
@@ -139,7 +151,8 @@ func (m *Model) Step(x *tensor.Matrix, cond []float64, targets []lattice.Config,
 	}
 
 	// Encoder: concat condition column.
-	encIn := tensor.NewMatrix(b, n*k+1)
+	m.trEncIn = tensor.Ensure(m.trEncIn, b, n*k+1)
+	encIn := m.trEncIn
 	for i := 0; i < b; i++ {
 		copy(encIn.Row(i), x.Row(i))
 		encIn.Row(i)[n*k] = cond[i]
@@ -147,9 +160,10 @@ func (m *Model) Step(x *tensor.Matrix, cond []float64, targets []lattice.Config,
 	encOut := m.enc.Forward(encIn) // B × 2L: [mu | logvar]
 
 	// Reparameterize.
-	eps := tensor.NewMatrix(b, l)
-	z := tensor.NewMatrix(b, l)
-	sigma := tensor.NewMatrix(b, l)
+	m.trEps = tensor.Ensure(m.trEps, b, l)
+	m.trZ = tensor.Ensure(m.trZ, b, l)
+	m.trSigma = tensor.Ensure(m.trSigma, b, l)
+	eps, z, sigma := m.trEps, m.trZ, m.trSigma
 	var kl float64
 	for i := 0; i < b; i++ {
 		row := encOut.Row(i)
@@ -166,7 +180,8 @@ func (m *Model) Step(x *tensor.Matrix, cond []float64, targets []lattice.Config,
 	}
 
 	// Decoder: concat condition column.
-	decIn := tensor.NewMatrix(b, l+1)
+	m.trDecIn = tensor.Ensure(m.trDecIn, b, l+1)
+	decIn := m.trDecIn
 	for i := 0; i < b; i++ {
 		copy(decIn.Row(i), z.Row(i))
 		decIn.Row(i)[l] = cond[i]
@@ -174,10 +189,14 @@ func (m *Model) Step(x *tensor.Matrix, cond []float64, targets []lattice.Config,
 	logits := m.dec.Forward(decIn) // B × N·k
 
 	// Per-site softmax cross-entropy; gradient wrt logits is p − onehot.
-	gradLogits := tensor.NewMatrix(b, n*k)
+	m.trGradLogits = tensor.Ensure(m.trGradLogits, b, n*k)
+	gradLogits := m.trGradLogits
 	var recon float64
 	correct := 0
-	probs := make([]float64, k)
+	if m.trProbs == nil {
+		m.trProbs = make([]float64, k)
+	}
+	probs := m.trProbs
 	for i := 0; i < b; i++ {
 		lrow := logits.Row(i)
 		grow := gradLogits.Row(i)
@@ -209,7 +228,8 @@ func (m *Model) Step(x *tensor.Matrix, cond []float64, targets []lattice.Config,
 	gradDecIn := m.dec.Backward(gradLogits)
 
 	// Backward through reparameterization + KL into encoder output.
-	gradEncOut := tensor.NewMatrix(b, 2*l)
+	m.trGradEncOut = tensor.Ensure(m.trGradEncOut, b, 2*l)
+	gradEncOut := m.trGradEncOut
 	bkl := m.cfg.BetaKL / float64(b)
 	for i := 0; i < b; i++ {
 		gz := gradDecIn.Row(i) // first l entries are ∂L/∂z
@@ -233,8 +253,33 @@ func (m *Model) Step(x *tensor.Matrix, cond []float64, targets []lattice.Config,
 	}
 }
 
-// softmax writes the softmax of logits into out.
+// softmax writes the softmax of logits into out. The k=4 specialization
+// (the common high-entropy-alloy species count on the per-site decode hot
+// path) performs the identical operations in the identical order as the
+// generic loop, so results are bit-for-bit equal.
 func softmax(logits, out []float64) {
+	if len(logits) == 4 && len(out) == 4 {
+		max := logits[0]
+		if logits[1] > max {
+			max = logits[1]
+		}
+		if logits[2] > max {
+			max = logits[2]
+		}
+		if logits[3] > max {
+			max = logits[3]
+		}
+		e0 := math.Exp(logits[0] - max)
+		e1 := math.Exp(logits[1] - max)
+		e2 := math.Exp(logits[2] - max)
+		e3 := math.Exp(logits[3] - max)
+		sum := ((e0 + e1) + e2) + e3
+		out[0] = e0 / sum
+		out[1] = e1 / sum
+		out[2] = e2 / sum
+		out[3] = e3 / sum
+		return
+	}
 	max := logits[0]
 	for _, v := range logits[1:] {
 		if v > max {
@@ -262,36 +307,89 @@ func clamp(v, lo, hi float64) float64 {
 	return v
 }
 
+// NewProbs allocates an n-site × k-species probability table backed by a
+// single flat array — one allocation plus the row headers, and contiguous
+// rows for cache-friendly constrained sampling.
+func NewProbs(n, k int) [][]float64 {
+	back := make([]float64, n*k)
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = back[i*k : (i+1)*k]
+	}
+	return rows
+}
+
 // DecodeProbs decodes latent z under condition cond into per-site
-// categorical distributions probs[site][species]. The rows of the returned
-// matrix-of-slices are fresh allocations owned by the caller.
+// categorical distributions probs[site][species]. The returned table is a
+// fresh allocation owned by the caller; the hot path uses DecodeProbsInto
+// with a reused table instead.
 func (m *Model) DecodeProbs(z []float64, cond float64) [][]float64 {
+	return m.DecodeProbsInto(z, cond, nil)
+}
+
+// DecodeProbsInto is DecodeProbs writing into dst (allocated via NewProbs
+// when nil). dst rows must each hold Species entries. The decode reuses
+// model-owned input scratch and layer caches, so a steady-state call
+// performs no allocations.
+func (m *Model) DecodeProbsInto(z []float64, cond float64, dst [][]float64) [][]float64 {
 	n, k, l := m.cfg.Sites, m.cfg.Species, m.cfg.Latent
 	if len(z) != l {
 		panic("vae: latent size mismatch")
 	}
-	decIn := tensor.NewMatrix(1, l+1)
-	copy(decIn.Row(0), z)
-	decIn.Row(0)[l] = cond
-	logits := m.dec.Forward(decIn).Row(0)
-	probs := make([][]float64, n)
-	for site := 0; site < n; site++ {
-		p := make([]float64, k)
-		softmax(logits[site*k:(site+1)*k], p)
-		probs[site] = p
+	m.decIn = tensor.Ensure(m.decIn, 1, l+1)
+	row := m.decIn.Row(0)
+	copy(row, z)
+	row[l] = cond
+	logits := m.dec.Forward(m.decIn).Row(0)
+	if dst == nil {
+		dst = NewProbs(n, k)
+	} else if len(dst) != n {
+		panic("vae: DecodeProbsInto dst size mismatch")
 	}
-	return probs
+	for site := 0; site < n; site++ {
+		softmax(logits[site*k:(site+1)*k], dst[site])
+	}
+	return dst
 }
 
-// Encode returns the posterior mean and log-variance for cfg under cond.
+// Encode returns the posterior mean and log-variance for cfg under cond as
+// fresh allocations; the hot path uses EncodeInto with reused buffers.
 func (m *Model) Encode(cfg lattice.Config, cond float64) (mu, logvar []float64) {
+	return m.EncodeInto(cfg, cond, nil, nil)
+}
+
+// EncodeInto is Encode writing into mu and logvar (allocated when nil;
+// both must have length Latent otherwise). A steady-state call performs no
+// allocations.
+func (m *Model) EncodeInto(cfg lattice.Config, cond float64, mu, logvar []float64) ([]float64, []float64) {
 	n, k, l := m.cfg.Sites, m.cfg.Species, m.cfg.Latent
-	encIn := tensor.NewMatrix(1, n*k+1)
-	m.OneHot(cfg, encIn.Row(0)[:n*k])
-	encIn.Row(0)[n*k] = cond
-	out := m.enc.Forward(encIn).Row(0)
-	mu = append([]float64(nil), out[:l]...)
-	logvar = make([]float64, l)
+	if len(cfg) != n {
+		panic("vae: configuration size mismatch")
+	}
+	// Sparse first layer: the encoder input is a one-hot block per site plus
+	// the conditioning scalar, so instead of materializing and re-scanning
+	// the (N·k+1)-wide vector, feed the nonzero indices (ascending in site,
+	// hence ascending in one-hot index) straight to the layer. Bit-identical
+	// to the dense forward (see nn.Dense.ForwardOneHot).
+	if m.ones == nil {
+		m.ones = make([]int, n)
+	}
+	for site, a := range cfg {
+		m.ones[site] = site*k + int(a)
+	}
+	first := m.enc.Layers[0].(*nn.Dense)
+	x := first.ForwardOneHot(m.ones, cond)
+	for _, layer := range m.enc.Layers[1:] {
+		x = layer.Forward(x)
+	}
+	out := x.Row(0)
+	if mu == nil {
+		mu = make([]float64, l)
+	}
+	if logvar == nil {
+		logvar = make([]float64, l)
+	}
+	copy(mu, out[:l])
 	for j := 0; j < l; j++ {
 		logvar[j] = clamp(out[l+j], -logvarClamp, logvarClamp)
 	}

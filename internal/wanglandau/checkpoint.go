@@ -82,6 +82,7 @@ func RestoreWalker(m *alloy.Model, prop mc.Proposal, src *rng.Source, st WalkerS
 		steps:    st.Steps,
 		oneOverT: st.OneOverT,
 	}
+	w.weightFn = w.logWeight
 	w.sampler.RestoreState(st.Sampler)
 	if b := d.Bin(w.sampler.E); b < 0 && !math.IsInf(w.sampler.E, 0) {
 		return nil, fmt.Errorf("wanglandau: checkpointed energy %g outside window [%g,%g)", w.sampler.E, st.Window.EMin, st.Window.EMax)

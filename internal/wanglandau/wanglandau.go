@@ -95,6 +95,10 @@ type Walker struct {
 	sweeps   int64
 	steps    int64
 	oneOverT bool // in the 1/t phase of the Belardinelli-Pereyra schedule
+
+	// weightFn caches the w.logWeight method value: binding it fresh on
+	// every step would allocate a closure in the innermost sampling loop.
+	weightFn func(e float64) float64
 }
 
 // Sampler aliases mc.Sampler to keep the public surface of this package
@@ -113,14 +117,16 @@ func NewWalker(m *alloy.Model, cfg lattice.Config, prop mc.Proposal, src *rng.So
 	if d.Bin(s.E) < 0 {
 		return nil, fmt.Errorf("wanglandau: initial energy %g outside window [%g,%g)", s.E, w.EMin, w.EMax)
 	}
-	return &Walker{
+	wk := &Walker{
 		sampler: s,
 		dosEst:  d,
 		hist:    make([]int64, w.Bins),
 		visited: make([]bool, w.Bins),
 		lnF:     opts.LnFInit,
 		opts:    opts,
-	}, nil
+	}
+	wk.weightFn = wk.logWeight
+	return wk, nil
 }
 
 // LnF returns the current modification factor.
@@ -158,7 +164,7 @@ func (w *Walker) logWeight(e float64) float64 {
 
 // step performs one WL Metropolis step and the visit update.
 func (w *Walker) step() {
-	w.sampler.StepWeighted(w.logWeight)
+	w.sampler.StepWeighted(w.weightFn)
 	w.steps++
 	if w.oneOverT {
 		lnF := float64(w.dosEst.Bins()) / float64(w.steps)
