@@ -15,14 +15,21 @@
 // golden-trace regression tests in internal/mc, so the work measured here
 // is exactly the work those tests pin bit-for-bit.
 //
+// With -comm, dtbench instead benchmarks the transport layer: allreduce
+// and broadcast latency (and payload MB/s) for each backend — in-process
+// channels and TCP over loopback — at world sizes 2 and 4, with an 8 KiB
+// float payload per rank. The comm report goes to BENCH_6.json.
+//
 // Usage:
 //
 //	dtbench -preset small -out BENCH_5.json
+//	dtbench -comm -out BENCH_6.json      # transport collectives suite
 //	dtbench -max-dl-allocs 0             # CI gate: fail if the DL hot path allocates
 //	dtbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,7 +37,9 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"testing"
+	"time"
 
 	"deepthermo/internal/alloy"
 	"deepthermo/internal/dos"
@@ -39,6 +48,7 @@ import (
 	"deepthermo/internal/rewl"
 	"deepthermo/internal/rng"
 	"deepthermo/internal/thermo"
+	"deepthermo/internal/transport"
 	"deepthermo/internal/vae"
 	"deepthermo/internal/wanglandau"
 )
@@ -71,11 +81,19 @@ func main() {
 	log.SetPrefix("dtbench: ")
 
 	preset := flag.String("preset", "small", "small | large (lattice size for the local-proposal sweeps)")
-	out := flag.String("out", "BENCH_5.json", "output JSON path (- for stdout only)")
+	comm := flag.Bool("comm", false, "benchmark the transport collectives (chan and TCP backends) instead of the sampling hot paths")
+	out := flag.String("out", "", "output JSON path (- for stdout only; default BENCH_5.json, BENCH_6.json with -comm)")
 	maxDLAllocs := flag.Int64("max-dl-allocs", -1, "fail (exit 1) if the DL walk proposal exceeds this allocs/op budget; -1 disables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit")
 	flag.Parse()
+	if *out == "" {
+		if *comm {
+			*out = "BENCH_6.json"
+		} else {
+			*out = "BENCH_5.json"
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -109,19 +127,33 @@ func main() {
 		rep.DLAllocsMax = *maxDLAllocs
 	}
 
-	cells := 8
-	if *preset == "small" {
-		cells = 4
+	if *comm {
+		rep.Schema = "deepthermo-commbench/1"
+		rep.Preset = "comm"
+		rep.Seeds = nil
+		rep.Baseline = nil
+		for _, backend := range []string{"chan", "tcp"} {
+			for _, n := range []int{2, 4} {
+				rep.Results = append(rep.Results,
+					benchCollective("allreduce", backend, n),
+					benchCollective("broadcast", backend, n),
+				)
+			}
+		}
+	} else {
+		cells := 8
+		if *preset == "small" {
+			cells = 4
+		}
+		rep.Results = append(rep.Results,
+			benchLocalSwap(cells),
+			benchKSwap(cells),
+			benchDL(mc.WalkPosterior),
+			benchDL(mc.JumpPrior),
+			benchREWLRound(),
+			benchThermoCurve(),
+		)
 	}
-
-	rep.Results = append(rep.Results,
-		benchLocalSwap(cells),
-		benchKSwap(cells),
-		benchDL(mc.WalkPosterior),
-		benchDL(mc.JumpPrior),
-		benchREWLRound(),
-		benchThermoCurve(),
-	)
 
 	for _, r := range rep.Results {
 		fmt.Printf("%-22s %12.1f ns/op %10d B/op %6d allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
@@ -318,5 +350,102 @@ func benchThermoCurve() Result {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// commPayload is the per-rank collective payload: 1024 float64s (8 KiB),
+// the order of a gradient shard or a window's ln g histogram.
+const commPayload = 1024
+
+// commWorld builds a transport world of n ranks on the given backend.
+// The returned cleanup closes the world.
+func commWorld(backend string, n int) ([]transport.Endpoint, func()) {
+	switch backend {
+	case "chan":
+		w := transport.NewChanWorld(n)
+		eps := make([]transport.Endpoint, n)
+		for r := 0; r < n; r++ {
+			eps[r] = w.Endpoint(r)
+		}
+		return eps, func() {}
+	case "tcp":
+		co, err := transport.NewCoordinator("127.0.0.1:0", n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eps := make([]transport.Endpoint, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ep, err := transport.Join(context.Background(), co.Addr(), transport.JoinOptions{Timeout: 20 * time.Second})
+				if err != nil {
+					log.Fatal(err)
+				}
+				eps[ep.Rank()] = ep
+			}()
+		}
+		wg.Wait()
+		return eps, func() {
+			for _, ep := range eps {
+				ep.Close()
+			}
+			co.Close()
+		}
+	default:
+		log.Fatalf("unknown backend %q", backend)
+		return nil, nil
+	}
+}
+
+// benchCollective measures one collective's latency with every rank
+// participating: ranks 1..n-1 loop in goroutines while rank 0 is timed,
+// so ns/op is the full-world completion time of one operation. MB/s is
+// the per-rank payload over that latency.
+func benchCollective(op, backend string, n int) Result {
+	eps, cleanup := commWorld(backend, n)
+	defer cleanup()
+	iter := func(r int, buf []float64) error {
+		switch op {
+		case "allreduce":
+			return eps[r].AllreduceCtx(context.Background(), buf, transport.Sum)
+		case "broadcast":
+			return eps[r].BroadcastCtx(context.Background(), 0, buf)
+		default:
+			log.Fatalf("unknown collective %q", op)
+			return nil
+		}
+	}
+	name := fmt.Sprintf("%s-%s-n%d", op, backend, n)
+	note := fmt.Sprintf("%d ranks, %d float64 payload per rank", n, commPayload)
+	return run(name, 8*commPayload, note, func(b *testing.B) {
+		var wg sync.WaitGroup
+		for r := 1; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				buf := make([]float64, commPayload)
+				for i := range buf {
+					buf[i] = float64(r + i)
+				}
+				for i := 0; i < b.N; i++ {
+					if err := iter(r, buf); err != nil {
+						log.Fatalf("%s rank %d: %v", name, r, err)
+					}
+				}
+			}(r)
+		}
+		buf := make([]float64, commPayload)
+		for i := range buf {
+			buf[i] = float64(i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := iter(0, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wg.Wait()
 	})
 }

@@ -1,0 +1,227 @@
+package rewl
+
+// Distributed checkpointing. Every rank persists its own windows' walker
+// chains to a per-rank file in the shared CheckpointDir; the leader's file
+// additionally carries the coordination state (coordinator RNG position,
+// the global alive mask, frozen consensus of degraded windows, replica
+// flow, counters). All live ranks write in the same round, so the file set
+// is a consistent world snapshot; Resume restores it bit-identically
+// provided every rank's file is from the same round — the leader verifies
+// that during the start handshake and aborts the world otherwise.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/fsx"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/wanglandau"
+)
+
+// DistCheckpointPath returns rank's checkpoint file inside dir.
+func DistCheckpointPath(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("rewl-rank%d.ckpt", rank))
+}
+
+// distCoordState is the leader-only coordination state.
+type distCoordState struct {
+	Coord       rng.State
+	AliveG      [][]bool
+	FrozenLogG  [][]float64
+	LastLnF     []float64
+	Stages      []int
+	ReplicaID   [][]int
+	LastExtreme []uint8
+
+	ExchangeTried  int64
+	ExchangeAccept int64
+	RoundTrips     int64
+	FailedWalkers  int
+}
+
+// distCheckpoint is one rank's serialized state. Dead walker slots hold
+// the zero WalkerState and are skipped on restore via the Alive mask.
+type distCheckpoint struct {
+	Version int
+	Seed    uint64
+	Windows []wanglandau.Window
+	NWalk   int
+	Rank    int
+	Size    int
+	Round   int // next round index to execute
+
+	Alive   [][]bool                   // owned windows, indexed wi-lo
+	Walkers [][]wanglandau.WalkerState // likewise
+
+	HasCoord bool
+	Coord    distCoordState
+}
+
+func (ck *distCheckpoint) validate(windows []wanglandau.Window, nWalk, rank, size int) error {
+	if ck.Version != checkpointVersion {
+		return fmt.Errorf("rewl: rank %d checkpoint version %d, want %d", rank, ck.Version, checkpointVersion)
+	}
+	if len(ck.Windows) != len(windows) || ck.NWalk != nWalk || ck.Rank != rank || ck.Size != size {
+		return fmt.Errorf("rewl: rank %d checkpoint is for rank %d/%d, %d windows × %d walkers; run has rank %d/%d, %d × %d",
+			rank, ck.Rank, ck.Size, len(ck.Windows), ck.NWalk, rank, size, len(windows), nWalk)
+	}
+	for i := range windows {
+		if ck.Windows[i] != windows[i] {
+			return fmt.Errorf("rewl: rank %d checkpoint window %d is [%g,%g)×%d, run has [%g,%g)×%d",
+				rank, i, ck.Windows[i].EMin, ck.Windows[i].EMax, ck.Windows[i].Bins,
+				windows[i].EMin, windows[i].EMax, windows[i].Bins)
+		}
+	}
+	lo, hi := winRange(len(windows), size, rank)
+	if len(ck.Alive) != hi-lo || len(ck.Walkers) != hi-lo {
+		return fmt.Errorf("rewl: rank %d checkpoint holds %d windows, owns %d", rank, len(ck.Alive), hi-lo)
+	}
+	for i := range ck.Alive {
+		if len(ck.Alive[i]) != nWalk || len(ck.Walkers[i]) != nWalk {
+			return fmt.Errorf("rewl: rank %d checkpoint window %d arrays inconsistent with %d walkers", rank, lo+i, nWalk)
+		}
+	}
+	if ck.HasCoord != (rank == 0) {
+		return fmt.Errorf("rewl: rank %d checkpoint coordination state mismatch", rank)
+	}
+	return nil
+}
+
+// loadDistCheckpoint reads and validates rank's checkpoint; a missing file
+// returns (nil, nil) so restart loops can set Resume unconditionally.
+func loadDistCheckpoint(path string, windows []wanglandau.Window, nWalk, rank, size int) (*distCheckpoint, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ck := new(distCheckpoint)
+	if err := gob.NewDecoder(f).Decode(ck); err != nil {
+		return nil, fmt.Errorf("rewl: corrupt checkpoint %s: %w", path, err)
+	}
+	if err := ck.validate(windows, nWalk, rank, size); err != nil {
+		return nil, err
+	}
+	return ck, nil
+}
+
+// saveDistCheckpoint writes the rank's state atomically. coord is the
+// leader's coordination state, nil on workers.
+func (o *ownerState) saveDistCheckpoint(nextRound, rank, size int, coord *distCoordState) error {
+	ck := &distCheckpoint{
+		Version: checkpointVersion,
+		Seed:    o.opts.Seed,
+		Windows: append([]wanglandau.Window(nil), o.windows...),
+		NWalk:   o.opts.WalkersPerWindow,
+		Rank:    rank,
+		Size:    size,
+		Round:   nextRound,
+		Alive:   make([][]bool, hiLen(o)),
+		Walkers: make([][]wanglandau.WalkerState, hiLen(o)),
+	}
+	for i := range o.walkers {
+		ck.Alive[i] = append([]bool(nil), o.alive[i]...)
+		ck.Walkers[i] = make([]wanglandau.WalkerState, len(o.walkers[i]))
+		for k, w := range o.walkers[i] {
+			if o.alive[i][k] && w != nil {
+				ck.Walkers[i][k] = w.State()
+			}
+		}
+	}
+	if coord != nil {
+		ck.HasCoord = true
+		ck.Coord = *coord
+	}
+	path := DistCheckpointPath(o.opts.CheckpointDir, rank)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		return gob.NewEncoder(w).Encode(ck)
+	})
+}
+
+func hiLen(o *ownerState) int { return o.hi - o.lo }
+
+// restoreOwnerState rebuilds the rank's walkers from its checkpoint, with
+// the same throwaway-stream trick resumeRunState uses for proposal
+// factories.
+func restoreOwnerState(m *alloy.Model, windows []wanglandau.Window, newProposal ProposalFactory, opts Options, lo, hi int, ck *distCheckpoint) (*ownerState, error) {
+	o := &ownerState{m: m, opts: opts, windows: windows, lo: lo, hi: hi}
+	throwaway := rng.New(ck.Seed ^ 0x5ca1ab1edeadbeef)
+	for wi := lo; wi < hi; wi++ {
+		nWalk := opts.WalkersPerWindow
+		ws := make([]*wanglandau.Walker, nWalk)
+		al := append([]bool(nil), ck.Alive[wi-lo]...)
+		for k := 0; k < nWalk; k++ {
+			if !al[k] {
+				continue
+			}
+			w, err := wanglandau.RestoreWalker(m, newProposal(wi, k, throwaway), rng.New(1), ck.Walkers[wi-lo][k], opts.WL)
+			if err != nil {
+				return nil, fmt.Errorf("rewl: restoring window %d walker %d: %w", wi, k, err)
+			}
+			ws[k] = w
+		}
+		o.walkers = append(o.walkers, ws)
+		o.alive = append(o.alive, al)
+	}
+	return o, nil
+}
+
+// coordState snapshots the leader's coordination state for its checkpoint.
+func (L *distLeader) coordState() *distCoordState {
+	nWin := len(L.windows)
+	cs := &distCoordState{
+		Coord:          L.coord.State(),
+		AliveG:         make([][]bool, nWin),
+		FrozenLogG:     make([][]float64, nWin),
+		LastLnF:        append([]float64(nil), L.lastLnFG...),
+		Stages:         append([]int(nil), L.stages...),
+		ReplicaID:      make([][]int, nWin),
+		LastExtreme:    append([]uint8(nil), L.extreme...),
+		ExchangeTried:  L.res.ExchangeTried,
+		ExchangeAccept: L.res.ExchangeAccept,
+		RoundTrips:     L.res.RoundTrips,
+		FailedWalkers:  L.res.FailedWalkers,
+	}
+	for wi := 0; wi < nWin; wi++ {
+		cs.AliveG[wi] = append([]bool(nil), L.aliveG[wi]...)
+		cs.FrozenLogG[wi] = append([]float64(nil), L.frozenG[wi]...)
+		cs.ReplicaID[wi] = append([]int(nil), L.replicaID[wi]...)
+	}
+	return cs
+}
+
+// restoreCoord installs a checkpoint's coordination state on the leader.
+func (L *distLeader) restoreCoord(ck *distCheckpoint) error {
+	if !ck.HasCoord {
+		return fmt.Errorf("rewl: leader checkpoint lacks coordination state")
+	}
+	cs := ck.Coord
+	nWin := len(L.windows)
+	if len(cs.AliveG) != nWin || len(cs.FrozenLogG) != nWin || len(cs.LastLnF) != nWin ||
+		len(cs.Stages) != nWin || len(cs.ReplicaID) != nWin || len(cs.LastExtreme) != nWin*L.nWalk {
+		return fmt.Errorf("rewl: leader checkpoint coordination arrays inconsistent with %d windows", nWin)
+	}
+	L.coord = rng.FromState(cs.Coord)
+	L.aliveG = cs.AliveG
+	L.frozenG = cs.FrozenLogG
+	L.lastLnFG = cs.LastLnF
+	L.stages = cs.Stages
+	L.replicaID = cs.ReplicaID
+	L.extreme = cs.LastExtreme
+	L.res.ExchangeTried = cs.ExchangeTried
+	L.res.ExchangeAccept = cs.ExchangeAccept
+	L.res.RoundTrips = cs.RoundTrips
+	L.res.FailedWalkers = cs.FailedWalkers
+	return nil
+}

@@ -1,0 +1,948 @@
+package rewl
+
+// Distributed REWL: the round loop of RunContext spread across transport
+// ranks (goroutines over the in-process backend, OS processes over TCP).
+//
+// The design is leader-driven. Windows are partitioned into contiguous
+// blocks, one block per rank; every rank sweeps its own windows' walkers
+// in parallel (the same sweepPhase as RunContext, with globally numbered
+// walker slots so chaos plans address the same walker either way). Rank 0
+// additionally replays RunContext's serial coordination phase exactly —
+// it owns the coordinator RNG stream and consumes it in the identical
+// order (one Intn per side of each live pair, one Float64 only when a
+// bin-compatible exchange has logA < 0) — querying remote owners for the
+// handful of values each decision needs (ln g lookups, energies,
+// configurations) over the endpoint. Floats travel as raw IEEE-754 bits,
+// so every decision input is bit-identical to the single-process run, and
+// therefore so is every decision: RunDistributed over any backend yields
+// the same DOS, the same exchange/round-trip counts, and the same stage
+// schedule as RunContext with the same seed.
+//
+// Fault model: a rank that drops (TCP peer disconnect, injected crash) is
+// handled like a failed MPI rank — the leader marks every walker of the
+// rank's windows dead, and those windows degrade to their last shipped
+// ln g consensus, exactly the degraded-window semantics walker faults get
+// inside a rank. Checkpoints are per-rank files written in the same round
+// on every rank (the leader's file carries the coordination state), so a
+// killed worker can rejoin by restarting the world with Resume set.
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/dos"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/tensor"
+	"deepthermo/internal/transport"
+	"deepthermo/internal/wanglandau"
+)
+
+// Protocol opcodes, leader → owner. Every command is a []float64 message;
+// replies (where a command has one) are likewise []float64.
+const (
+	dopSweep         = 1 // [op, round] → report
+	dopQueryExchange = 2 // [op, wi, k, ePartner] → [binOK, lgSelf, lgPartner]
+	dopGetCfg        = 3 // [op, wi, k] → [E, cfg...]
+	dopSetCfg        = 4 // [op, wi, k, E, cfg...] (no reply)
+	dopEndStage      = 5 // [op, wi] (no reply)
+	dopCheckpoint    = 6 // [op, nextRound] → [ok]
+	dopFinish        = 7 // [op] → finish report, then the owner returns
+	dopAbort         = 8 // [op] (no reply); the owner returns an error
+)
+
+// winRange returns the contiguous window block [lo, hi) owned by rank.
+func winRange(nWin, size, rank int) (lo, hi int) {
+	return rank * nWin / size, (rank + 1) * nWin / size
+}
+
+// RunDistributed executes REWL across the ranks of a transport world.
+// Every rank calls it with identical (m, seedCfg, windows, newProposal,
+// opts); rank 0 acts as the leader and returns the merged Result, other
+// ranks return (nil, nil) after a clean run. A world of size 1 delegates
+// to RunContext. The world size must not exceed the window count.
+//
+// With Options.CheckpointDir set, each rank writes its own checkpoint
+// file (DistCheckpointPath) every CheckpointEvery rounds; Options.Resume
+// restarts the world from those files, bit-identically to the
+// uninterrupted run, provided every rank resumes from the same round.
+func RunDistributed(ctx context.Context, ep transport.Endpoint, m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, newProposal ProposalFactory, opts Options) (*Result, error) {
+	opts.setDefaults()
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("rewl: no windows")
+	}
+	size := ep.Size()
+	if size == 1 {
+		return RunContext(ctx, m, seedCfg, windows, newProposal, opts)
+	}
+	if size > len(windows) {
+		return nil, fmt.Errorf("rewl: world of %d ranks cannot shard %d windows", size, len(windows))
+	}
+	if ep.Rank() == 0 {
+		return runDistLeader(ctx, ep, m, seedCfg, windows, newProposal, opts)
+	}
+	return nil, runDistWorker(ctx, ep, m, seedCfg, windows, newProposal, opts)
+}
+
+// ---------------------------------------------------------------------------
+// Owner state: the windows one rank hosts, shared by the leader (locally)
+// and the workers (behind the command loop).
+
+type ownerState struct {
+	m       *alloy.Model
+	opts    Options
+	windows []wanglandau.Window
+	lo, hi  int                    // owned window range
+	walkers [][]*wanglandau.Walker // [wi-lo][k]
+	alive   [][]bool
+}
+
+// newOwnerState builds the rank's walkers fresh, identically to
+// buildRunState for those windows: the jump-separated streams mean each
+// rank derives exactly the walker states the single-process run would.
+func newOwnerState(m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, newProposal ProposalFactory, opts Options, lo, hi int) (*ownerState, error) {
+	nWalk := opts.WalkersPerWindow
+	streams := rng.NewStreams(opts.Seed, len(windows)*nWalk+1)
+	o := &ownerState{m: m, opts: opts, windows: windows, lo: lo, hi: hi}
+	for wi := lo; wi < hi; wi++ {
+		ws := make([]*wanglandau.Walker, nWalk)
+		al := make([]bool, nWalk)
+		for k := 0; k < nWalk; k++ {
+			src := streams[wi*nWalk+k]
+			cfg := seedCfg.Clone()
+			if _, err := wanglandau.PrepareInWindow(m, cfg, windows[wi], src, opts.PrepareSweeps); err != nil {
+				return nil, fmt.Errorf("rewl: window %d walker %d: %w", wi, k, err)
+			}
+			w, err := wanglandau.NewWalker(m, cfg, newProposal(wi, k, src), src, windows[wi], opts.WL)
+			if err != nil {
+				return nil, fmt.Errorf("rewl: window %d walker %d: %w", wi, k, err)
+			}
+			ws[k] = w
+			al[k] = true
+		}
+		o.walkers = append(o.walkers, ws)
+		o.alive = append(o.alive, al)
+	}
+	return o, nil
+}
+
+// sweepAndMerge runs one round's sweep phase over the owned windows and
+// then the within-window ln g consensus merge — steps 0 and 1 of
+// RunContext's round, which only ever touch one rank's walkers.
+func (o *ownerState) sweepAndMerge(ctx context.Context) {
+	sweepPhase(ctx, o.opts, o.lo, o.walkers, o.alive)
+	for i := range o.walkers {
+		mergeWindowDOS(aliveIn(o.walkers[i], o.alive[i]))
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// reportLen returns the per-round report length for the owned windows.
+func (o *ownerState) reportLen() int {
+	n := 0
+	for wi := o.lo; wi < o.hi; wi++ {
+		n += o.opts.WalkersPerWindow*5 + 2 + o.windows[wi].Bins
+	}
+	return n
+}
+
+// report encodes the post-merge state the leader's coordination phase
+// needs: per walker [alive, converged, flat, lnF, energy], then the
+// window's consensus [hasCons, lnF, LogG...]. The layout is fixed-size
+// (dead slots ship zeros) so parsing needs no framing.
+func (o *ownerState) report() []float64 {
+	msg := make([]float64, 0, o.reportLen())
+	for wi := o.lo; wi < o.hi; wi++ {
+		ws, al := o.walkers[wi-o.lo], o.alive[wi-o.lo]
+		for k := range ws {
+			if ws[k] == nil || !al[k] {
+				msg = append(msg, 0, 0, 0, 0, 0)
+				continue
+			}
+			w := ws[k]
+			msg = append(msg, 1, b2f(w.Converged()), b2f(w.Flat()), w.LnF(), w.Energy())
+		}
+		if k := firstAlive(al); k >= 0 {
+			msg = append(msg, 1, ws[k].LnF())
+			msg = append(msg, ws[k].DOS().LogG...)
+		} else {
+			msg = append(msg, 0, 0)
+			msg = append(msg, make([]float64, o.windows[wi].Bins)...)
+		}
+	}
+	return msg
+}
+
+// queryExchange evaluates one side of an exchange: whether the partner's
+// energy lands in this window, and the two ln g lookups the acceptance
+// ratio needs — the same lookup() (unvisited bins read as 0) RunContext's
+// tryExchange applies.
+func (o *ownerState) queryExchange(wi, k int, ePartner float64) (binOK bool, lgSelf, lgPartner float64) {
+	w := o.walkers[wi-o.lo][k]
+	d := w.DOS()
+	return d.Bin(ePartner) >= 0, lookup(d, w.Energy()), lookup(d, ePartner)
+}
+
+// getCfg returns a walker's configuration and energy for an accepted swap.
+func (o *ownerState) getCfg(wi, k int) (e float64, cfg []float64) {
+	w := o.walkers[wi-o.lo][k]
+	s := w.Sampler()
+	cfg = make([]float64, len(s.Cfg))
+	for i, sp := range s.Cfg {
+		cfg[i] = float64(sp)
+	}
+	return s.E, cfg
+}
+
+// setCfg installs the partner's configuration and energy — the walker's
+// half of the configuration swap tryExchange performs in-process.
+func (o *ownerState) setCfg(wi, k int, e float64, cfg []float64) {
+	w := o.walkers[wi-o.lo][k]
+	s := w.Sampler()
+	nc := make(lattice.Config, len(cfg))
+	for i, v := range cfg {
+		nc[i] = lattice.Species(v)
+	}
+	s.Cfg = nc
+	s.E = e
+}
+
+// endStage advances the window's surviving walkers to the next WL stage.
+func (o *ownerState) endStage(wi int) {
+	for _, w := range aliveIn(o.walkers[wi-o.lo], o.alive[wi-o.lo]) {
+		w.EndStage()
+	}
+}
+
+// finishLen returns the final-collection report length.
+func (o *ownerState) finishLen() int {
+	n := 0
+	for wi := o.lo; wi < o.hi; wi++ {
+		n += 6 + o.windows[wi].Bins
+	}
+	return n
+}
+
+// finishReport encodes the final per-window collection: [convAll, sweeps,
+// accepted, proposed, lnF, hasDOS, LogG...] — everything the leader needs
+// to assemble WindowStats and the merged DOS exactly as RunContext does.
+func (o *ownerState) finishReport() []float64 {
+	msg := make([]float64, 0, o.finishLen())
+	for wi := o.lo; wi < o.hi; wi++ {
+		aw := aliveIn(o.walkers[wi-o.lo], o.alive[wi-o.lo])
+		var sweeps, acc, prop int64
+		for _, w := range aw {
+			sweeps += w.Sweeps()
+			acc += w.Sampler().Accepted
+			prop += w.Sampler().Proposed
+		}
+		conv, lnF := false, 0.0
+		if len(aw) > 0 {
+			conv = windowConverged(aw)
+			lnF = aw[0].LnF()
+		}
+		msg = append(msg, b2f(conv), float64(sweeps), float64(acc), float64(prop), lnF)
+		if k := firstAlive(o.alive[wi-o.lo]); k >= 0 {
+			msg = append(msg, 1)
+			msg = append(msg, o.walkers[wi-o.lo][k].DOS().LogG...)
+		} else {
+			msg = append(msg, 0)
+			msg = append(msg, make([]float64, o.windows[wi].Bins)...)
+		}
+	}
+	return msg
+}
+
+// ---------------------------------------------------------------------------
+// Worker side: a reactive command loop over the endpoint.
+
+func runDistWorker(ctx context.Context, ep transport.Endpoint, m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, newProposal ProposalFactory, opts Options) error {
+	rank, size := ep.Rank(), ep.Size()
+	lo, hi := winRange(len(windows), size, rank)
+
+	// Resume handshake: report whether a local checkpoint exists and for
+	// which round; the leader decides fresh/resume/abort for the world.
+	var ck *distCheckpoint
+	if opts.Resume && opts.CheckpointDir != "" {
+		c, err := loadDistCheckpoint(DistCheckpointPath(opts.CheckpointDir, rank), windows, opts.WalkersPerWindow, rank, size)
+		if err != nil {
+			return err
+		}
+		ck = c
+	}
+	hello := []float64{0, 0}
+	if ck != nil {
+		hello[0], hello[1] = 1, float64(ck.Round)
+	}
+	if err := ep.SendCtx(ctx, 0, hello); err != nil {
+		return fmt.Errorf("rewl: rank %d hello: %w", rank, err)
+	}
+	start, err := ep.RecvCtx(ctx, 0)
+	if err != nil {
+		return fmt.Errorf("rewl: rank %d awaiting start: %w", rank, err)
+	}
+	if len(start) < 2 || start[0] < 0 {
+		return fmt.Errorf("rewl: rank %d: leader aborted the start (checkpoint round mismatch across ranks?)", rank)
+	}
+	resumed := start[1] != 0
+
+	var o *ownerState
+	if resumed {
+		if ck == nil {
+			return fmt.Errorf("rewl: rank %d told to resume without a checkpoint", rank)
+		}
+		o, err = restoreOwnerState(m, windows, newProposal, opts, lo, hi, ck)
+	} else {
+		o, err = newOwnerState(m, seedCfg, windows, newProposal, opts, lo, hi)
+	}
+	if err != nil {
+		// The leader will observe the silence as a dead rank; surface the
+		// real cause locally.
+		return err
+	}
+
+	tensor.EnterNested()
+	defer tensor.LeaveNested()
+
+	for {
+		msg, err := ep.RecvCtx(ctx, 0)
+		if err != nil {
+			return fmt.Errorf("rewl: rank %d lost the leader: %w", rank, err)
+		}
+		if len(msg) == 0 {
+			return fmt.Errorf("rewl: rank %d received an empty command", rank)
+		}
+		switch int(msg[0]) {
+		case dopSweep:
+			o.sweepAndMerge(ctx)
+			if err := ep.SendCtx(ctx, 0, o.report()); err != nil {
+				return fmt.Errorf("rewl: rank %d report: %w", rank, err)
+			}
+		case dopQueryExchange:
+			wi, k, eP := int(msg[1]), int(msg[2]), msg[3]
+			binOK, lgS, lgP := o.queryExchange(wi, k, eP)
+			if err := ep.SendCtx(ctx, 0, []float64{b2f(binOK), lgS, lgP}); err != nil {
+				return fmt.Errorf("rewl: rank %d exchange reply: %w", rank, err)
+			}
+		case dopGetCfg:
+			e, cfg := o.getCfg(int(msg[1]), int(msg[2]))
+			if err := ep.SendCtx(ctx, 0, append([]float64{e}, cfg...)); err != nil {
+				return fmt.Errorf("rewl: rank %d config reply: %w", rank, err)
+			}
+		case dopSetCfg:
+			o.setCfg(int(msg[1]), int(msg[2]), msg[3], msg[4:])
+		case dopEndStage:
+			o.endStage(int(msg[1]))
+		case dopCheckpoint:
+			ok := 1.0
+			if err := o.saveDistCheckpoint(int(msg[1]), rank, size, nil); err != nil {
+				ok = 0
+			}
+			if err := ep.SendCtx(ctx, 0, []float64{ok}); err != nil {
+				return fmt.Errorf("rewl: rank %d checkpoint ack: %w", rank, err)
+			}
+		case dopFinish:
+			if err := ep.SendCtx(ctx, 0, o.finishReport()); err != nil {
+				return fmt.Errorf("rewl: rank %d final report: %w", rank, err)
+			}
+			return nil
+		case dopAbort:
+			return fmt.Errorf("rewl: rank %d: run aborted by leader", rank)
+		default:
+			return fmt.Errorf("rewl: rank %d received unknown opcode %v", rank, msg[0])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Leader side.
+
+type distLeader struct {
+	ep      transport.Endpoint
+	o       *ownerState // rank 0's own windows
+	opts    Options
+	windows []wanglandau.Window
+	nWalk   int
+	size    int
+	owner   []int // owning rank per window
+
+	rankAlive []bool
+	aliveG    [][]bool
+	convG     [][]bool
+	flatG     [][]bool
+	energyG   [][]float64
+	frozenG   [][]float64
+	lastLnFG  []float64
+	stages    []int
+	replicaID [][]int
+	extreme   []uint8
+	coord     *rng.Source
+	res       *Result
+}
+
+func runDistLeader(ctx context.Context, ep transport.Endpoint, m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, newProposal ProposalFactory, opts Options) (*Result, error) {
+	nWin, nWalk, size := len(windows), opts.WalkersPerWindow, ep.Size()
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	L := &distLeader{
+		ep:        ep,
+		opts:      opts,
+		windows:   windows,
+		nWalk:     nWalk,
+		size:      size,
+		owner:     make([]int, nWin),
+		rankAlive: make([]bool, size),
+		aliveG:    make([][]bool, nWin),
+		convG:     make([][]bool, nWin),
+		flatG:     make([][]bool, nWin),
+		energyG:   make([][]float64, nWin),
+		frozenG:   make([][]float64, nWin),
+		lastLnFG:  make([]float64, nWin),
+		stages:    make([]int, nWin),
+		replicaID: make([][]int, nWin),
+		extreme:   make([]uint8, nWin*nWalk),
+		res:       &Result{Windows: make([]WindowStat, nWin)},
+	}
+	for r := 0; r < size; r++ {
+		L.rankAlive[r] = true
+		lo, hi := winRange(nWin, size, r)
+		for wi := lo; wi < hi; wi++ {
+			L.owner[wi] = r
+		}
+	}
+	id := 0
+	for wi := 0; wi < nWin; wi++ {
+		L.aliveG[wi] = make([]bool, nWalk)
+		L.convG[wi] = make([]bool, nWalk)
+		L.flatG[wi] = make([]bool, nWalk)
+		L.energyG[wi] = make([]float64, nWalk)
+		L.replicaID[wi] = make([]int, nWalk)
+		for k := 0; k < nWalk; k++ {
+			L.aliveG[wi][k] = true
+			L.replicaID[wi][k] = id
+			id++
+		}
+	}
+
+	// Resume handshake: collect every rank's checkpoint state, decide for
+	// the world, and broadcast the verdict.
+	var ownCk *distCheckpoint
+	if opts.Resume && opts.CheckpointDir != "" {
+		c, err := loadDistCheckpoint(DistCheckpointPath(opts.CheckpointDir, 0), windows, nWalk, 0, size)
+		if err != nil {
+			return nil, err
+		}
+		ownCk = c
+	}
+	haveCk := make([]bool, size)
+	ckRound := make([]int, size)
+	haveCk[0] = ownCk != nil
+	if ownCk != nil {
+		ckRound[0] = ownCk.Round
+	}
+	for r := 1; r < size; r++ {
+		hello, err := ep.RecvCtx(ctx, r)
+		if err != nil {
+			return nil, fmt.Errorf("rewl: leader awaiting rank %d hello: %w", r, err)
+		}
+		if len(hello) < 2 {
+			return nil, fmt.Errorf("rewl: malformed hello from rank %d", r)
+		}
+		haveCk[r] = hello[0] != 0
+		ckRound[r] = int(hello[1])
+	}
+	allHave, noneHave, sameRound := true, true, true
+	for r := 0; r < size; r++ {
+		if haveCk[r] {
+			noneHave = false
+		} else {
+			allHave = false
+		}
+		if ckRound[r] != ckRound[0] {
+			sameRound = false
+		}
+	}
+	resume := allHave && sameRound
+	startRound := 0
+	if resume {
+		startRound = ckRound[0]
+	}
+	if !resume && !noneHave {
+		for r := 1; r < size; r++ {
+			ep.SendCtx(ctx, r, []float64{-1, 0}) //nolint:errcheck // aborting anyway
+		}
+		return nil, fmt.Errorf("rewl: checkpoint state differs across ranks (have=%v rounds=%v); cannot resume consistently", haveCk, ckRound)
+	}
+	for r := 1; r < size; r++ {
+		if err := ep.SendCtx(ctx, r, []float64{float64(startRound), b2f(resume)}); err != nil {
+			return nil, fmt.Errorf("rewl: leader starting rank %d: %w", r, err)
+		}
+	}
+
+	// Build the leader's own windows and (on resume) the coordination state.
+	lo, hi := winRange(nWin, size, 0)
+	var o *ownerState
+	var err error
+	if resume {
+		o, err = restoreOwnerState(m, windows, newProposal, opts, lo, hi, ownCk)
+		if err == nil {
+			err = L.restoreCoord(ownCk)
+		}
+		L.res.Resumed = true
+	} else {
+		L.coord = rng.NewStreams(opts.Seed, nWin*nWalk+1)[nWin*nWalk]
+		o, err = newOwnerState(m, seedCfg, windows, newProposal, opts, lo, hi)
+		if err == nil {
+			// Matches buildRunState's lastLnF init: fresh walkers all start
+			// at the same ln f, so the leader's walker 0 speaks for every
+			// window.
+			ini := o.walkers[0][0].LnF()
+			for wi := range L.lastLnFG {
+				L.lastLnFG[wi] = ini
+			}
+		}
+	}
+	if err != nil {
+		L.abortAll(ctx)
+		return nil, err
+	}
+	L.o = o
+	L.res.Rounds = startRound
+
+	tensor.EnterNested()
+	defer tensor.LeaveNested()
+
+	for round := startRound; round < opts.MaxRounds; round++ {
+		if ctx.Err() != nil {
+			break
+		}
+		L.res.Rounds = round + 1
+
+		// Parallel sweep phase across ranks: command the remote owners,
+		// sweep locally, then collect the post-merge reports in rank order.
+		for r := 1; r < size; r++ {
+			if L.rankAlive[r] {
+				if err := ep.SendCtx(ctx, r, []float64{dopSweep, float64(round)}); err != nil {
+					L.rankDead(r)
+				}
+			}
+		}
+		o.sweepAndMerge(ctx)
+		L.parseReport(0, o.report())
+		for r := 1; r < size; r++ {
+			if !L.rankAlive[r] {
+				continue
+			}
+			rep, err := ep.RecvCtx(ctx, r)
+			if err != nil || !L.parseReport(r, rep) {
+				L.rankDead(r)
+			}
+		}
+
+		// Replica exchange between adjacent windows; the leader consumes
+		// the coordinator stream exactly as RunContext does.
+		for wi := round % 2; wi+1 < nWin; wi += 2 {
+			ia, ib := aliveIdx(L.aliveG[wi]), aliveIdx(L.aliveG[wi+1])
+			if len(ia) == 0 || len(ib) == 0 {
+				continue
+			}
+			ka, kb := ia[L.coord.Intn(len(ia))], ib[L.coord.Intn(len(ib))]
+			L.res.ExchangeTried++
+			L.tryExchangeDist(ctx, wi, ka, kb)
+		}
+		// Round-trip accounting at the ladder's ends (identical to
+		// RunContext — pure leader-side bookkeeping).
+		if nWin > 1 {
+			for _, k := range aliveIdx(L.aliveG[0]) {
+				r := L.replicaID[0][k]
+				if L.extreme[r] == 2 {
+					L.res.RoundTrips++
+				}
+				L.extreme[r] = 1
+			}
+			for _, k := range aliveIdx(L.aliveG[nWin-1]) {
+				if r := L.replicaID[nWin-1][k]; L.extreme[r] == 1 {
+					L.extreme[r] = 2
+				}
+			}
+		}
+		// Stage transitions from the reported flatness flags (exchanges
+		// swap configurations, never histograms, so the flags are current).
+		allDone := true
+		nConv := 0
+		for wi := 0; wi < nWin; wi++ {
+			ia := aliveIdx(L.aliveG[wi])
+			if len(ia) == 0 {
+				continue
+			}
+			conv := true
+			for _, k := range ia {
+				if !L.convG[wi][k] {
+					conv = false
+					break
+				}
+			}
+			if conv {
+				nConv++
+				continue
+			}
+			allDone = false
+			flat := true
+			for _, k := range ia {
+				if !L.flatG[wi][k] {
+					flat = false
+					break
+				}
+			}
+			if flat {
+				L.commandEndStage(ctx, wi)
+				L.stages[wi]++
+			}
+		}
+		logf("rewl: round %d: %d/%d windows converged, %d walkers failed", round+1, nConv, nWin, L.res.FailedWalkers)
+
+		if opts.CheckpointDir != "" && (round+1)%opts.CheckpointEvery == 0 {
+			if err := L.checkpointAll(ctx, round+1); err != nil {
+				L.abortAll(ctx)
+				return nil, err
+			}
+		}
+
+		if allDone {
+			L.res.AllConverged = true
+			break
+		}
+	}
+
+	return L.finish(ctx)
+}
+
+// rankDead marks a rank permanently failed: every walker of its windows
+// dies, degrading those windows to their last shipped consensus — the
+// same semantics a window gets when all its walkers crash in-process.
+func (L *distLeader) rankDead(r int) {
+	if !L.rankAlive[r] {
+		return
+	}
+	L.rankAlive[r] = false
+	lo, hi := winRange(len(L.windows), L.size, r)
+	for wi := lo; wi < hi; wi++ {
+		for k := 0; k < L.nWalk; k++ {
+			if L.aliveG[wi][k] {
+				L.aliveG[wi][k] = false
+				L.res.FailedWalkers++
+			}
+		}
+	}
+}
+
+// parseReport folds one rank's post-sweep report into the leader's global
+// view. Returns false on a malformed report (treated as a dead rank).
+func (L *distLeader) parseReport(r int, msg []float64) bool {
+	lo, hi := winRange(len(L.windows), L.size, r)
+	p := 0
+	for wi := lo; wi < hi; wi++ {
+		need := L.nWalk*5 + 2 + L.windows[wi].Bins
+		if p+need > len(msg) {
+			return false
+		}
+		for k := 0; k < L.nWalk; k++ {
+			// A walker dead in the global view stays dead — a rank resuming
+			// from a stale checkpoint must not resurrect it.
+			alive := msg[p] != 0 && L.aliveG[wi][k]
+			if L.aliveG[wi][k] && !alive {
+				L.res.FailedWalkers++
+			}
+			L.aliveG[wi][k] = alive
+			L.convG[wi][k] = msg[p+1] != 0
+			L.flatG[wi][k] = msg[p+2] != 0
+			L.energyG[wi][k] = msg[p+4]
+			p += 5
+		}
+		hasCons := msg[p] != 0
+		lnF := msg[p+1]
+		p += 2
+		if hasCons && firstAlive(L.aliveG[wi]) >= 0 {
+			L.frozenG[wi] = append(L.frozenG[wi][:0], msg[p:p+L.windows[wi].Bins]...)
+			L.lastLnFG[wi] = lnF
+		}
+		p += L.windows[wi].Bins
+	}
+	return p == len(msg)
+}
+
+// ownerCall routes a command to a window's owner: local function call for
+// the leader's own windows, request/reply over the endpoint otherwise.
+// A communication error marks the rank dead and returns ok=false.
+func (L *distLeader) queryExchange(ctx context.Context, wi, k int, ePartner float64) (ok, binOK bool, lgSelf, lgPartner float64) {
+	r := L.owner[wi]
+	if r == 0 {
+		b, s, p := L.o.queryExchange(wi, k, ePartner)
+		return true, b, s, p
+	}
+	if !L.rankAlive[r] {
+		return false, false, 0, 0
+	}
+	if err := L.ep.SendCtx(ctx, r, []float64{dopQueryExchange, float64(wi), float64(k), ePartner}); err != nil {
+		L.rankDead(r)
+		return false, false, 0, 0
+	}
+	rep, err := L.ep.RecvCtx(ctx, r)
+	if err != nil || len(rep) != 3 {
+		L.rankDead(r)
+		return false, false, 0, 0
+	}
+	return true, rep[0] != 0, rep[1], rep[2]
+}
+
+func (L *distLeader) getCfg(ctx context.Context, wi, k int) (ok bool, e float64, cfg []float64) {
+	r := L.owner[wi]
+	if r == 0 {
+		e, cfg = L.o.getCfg(wi, k)
+		return true, e, cfg
+	}
+	if !L.rankAlive[r] {
+		return false, 0, nil
+	}
+	if err := L.ep.SendCtx(ctx, r, []float64{dopGetCfg, float64(wi), float64(k)}); err != nil {
+		L.rankDead(r)
+		return false, 0, nil
+	}
+	rep, err := L.ep.RecvCtx(ctx, r)
+	if err != nil || len(rep) < 1 {
+		L.rankDead(r)
+		return false, 0, nil
+	}
+	return true, rep[0], rep[1:]
+}
+
+func (L *distLeader) setCfg(ctx context.Context, wi, k int, e float64, cfg []float64) bool {
+	r := L.owner[wi]
+	if r == 0 {
+		L.o.setCfg(wi, k, e, cfg)
+		return true
+	}
+	if !L.rankAlive[r] {
+		return false
+	}
+	msg := append([]float64{dopSetCfg, float64(wi), float64(k), e}, cfg...)
+	if err := L.ep.SendCtx(ctx, r, msg); err != nil {
+		L.rankDead(r)
+		return false
+	}
+	return true
+}
+
+func (L *distLeader) commandEndStage(ctx context.Context, wi int) {
+	r := L.owner[wi]
+	if r == 0 {
+		L.o.endStage(wi)
+		return
+	}
+	if !L.rankAlive[r] {
+		return
+	}
+	if err := L.ep.SendCtx(ctx, r, []float64{dopEndStage, float64(wi)}); err != nil {
+		L.rankDead(r)
+	}
+}
+
+// tryExchangeDist replays tryExchange across ranks: the bin checks and
+// ln g lookups are computed at the owners on bit-identical state, the
+// acceptance decision (and its Float64 draw, consumed only when
+// logA < 0) happens on the leader's coordinator stream, and an accepted
+// swap ships the configurations through the leader.
+func (L *distLeader) tryExchangeDist(ctx context.Context, wi, ka, kb int) {
+	ea, eb := L.energyG[wi][ka], L.energyG[wi+1][kb]
+	okA, binA, laSelf, laPartner := L.queryExchange(ctx, wi, ka, eb)
+	if !okA {
+		return
+	}
+	okB, binB, lbSelf, lbPartner := L.queryExchange(ctx, wi+1, kb, ea)
+	if !okB {
+		return
+	}
+	if !binA || !binB {
+		return
+	}
+	// Same association order as tryExchange:
+	// lookup(da,ea) - lookup(da,eb) + lookup(db,eb) - lookup(db,ea).
+	logA := laSelf - laPartner + lbSelf - lbPartner
+	if logA < 0 && math.Log(L.coord.Float64()+1e-300) >= logA {
+		return
+	}
+	okA, ea2, cfgA := L.getCfg(ctx, wi, ka)
+	if !okA {
+		return
+	}
+	okB, eb2, cfgB := L.getCfg(ctx, wi+1, kb)
+	if !okB {
+		return
+	}
+	if !L.setCfg(ctx, wi, ka, eb2, cfgB) || !L.setCfg(ctx, wi+1, kb, ea2, cfgA) {
+		return
+	}
+	L.res.ExchangeAccept++
+	L.replicaID[wi][ka], L.replicaID[wi+1][kb] = L.replicaID[wi+1][kb], L.replicaID[wi][ka]
+	L.energyG[wi][ka], L.energyG[wi+1][kb] = eb2, ea2
+}
+
+// checkpointAll persists a world-consistent checkpoint: every live rank
+// writes its walkers for the same next-round, and the leader's file
+// additionally carries the coordination state.
+func (L *distLeader) checkpointAll(ctx context.Context, nextRound int) error {
+	for r := 1; r < L.size; r++ {
+		if L.rankAlive[r] {
+			if err := L.ep.SendCtx(ctx, r, []float64{dopCheckpoint, float64(nextRound)}); err != nil {
+				L.rankDead(r)
+			}
+		}
+	}
+	if err := L.o.saveDistCheckpoint(nextRound, 0, L.size, L.coordState()); err != nil {
+		return fmt.Errorf("rewl: writing leader checkpoint: %w", err)
+	}
+	for r := 1; r < L.size; r++ {
+		if !L.rankAlive[r] {
+			continue
+		}
+		ack, err := L.ep.RecvCtx(ctx, r)
+		if err != nil {
+			L.rankDead(r)
+			continue
+		}
+		if len(ack) < 1 || ack[0] != 1 {
+			return fmt.Errorf("rewl: rank %d failed to write its checkpoint", r)
+		}
+	}
+	return nil
+}
+
+func (L *distLeader) abortAll(ctx context.Context) {
+	for r := 1; r < L.size; r++ {
+		if L.rankAlive[r] {
+			L.ep.SendCtx(ctx, r, []float64{dopAbort}) //nolint:errcheck // best effort
+		}
+	}
+}
+
+// finish collects the final per-window state from every surviving rank
+// and assembles the Result exactly as RunContext's final loop does —
+// degraded windows contribute their frozen consensus.
+func (L *distLeader) finish(ctx context.Context) (*Result, error) {
+	// Collection must proceed even when ctx was cancelled mid-run, so the
+	// partial DOS can be merged; the endpoint's own timeout still bounds
+	// each operation.
+	fctx := context.WithoutCancel(ctx)
+	for r := 1; r < L.size; r++ {
+		if L.rankAlive[r] {
+			if err := L.ep.SendCtx(fctx, r, []float64{dopFinish}); err != nil {
+				L.rankDead(r)
+			}
+		}
+	}
+	finals := make([][]float64, L.size)
+	finals[0] = L.o.finishReport()
+	for r := 1; r < L.size; r++ {
+		if !L.rankAlive[r] {
+			continue
+		}
+		rep, err := L.ep.RecvCtx(fctx, r)
+		if err != nil {
+			L.rankDead(r)
+			continue
+		}
+		finals[r] = rep
+	}
+
+	nWin := len(L.windows)
+	var perWindow []*dos.LogDOS
+	for wi := 0; wi < nWin; wi++ {
+		r := L.owner[wi]
+		win := L.windows[wi]
+		binW := (win.EMax - win.EMin) / float64(win.Bins)
+		var conv bool
+		var sweeps, acc, prop int64
+		var lnF float64
+		var logG []float64
+		degraded := len(aliveIdx(L.aliveG[wi])) == 0
+		if !degraded && finals[r] != nil {
+			p := 0
+			lo, _ := winRange(nWin, L.size, r)
+			for w2 := lo; w2 < wi; w2++ {
+				p += 6 + L.windows[w2].Bins
+			}
+			if p+6+win.Bins > len(finals[r]) {
+				degraded = true
+			} else {
+				conv = finals[r][p] != 0
+				sweeps = int64(finals[r][p+1])
+				acc = int64(finals[r][p+2])
+				prop = int64(finals[r][p+3])
+				lnF = finals[r][p+4]
+				if finals[r][p+5] != 0 {
+					logG = finals[r][p+6 : p+6+win.Bins]
+				}
+			}
+		}
+		if degraded {
+			L.res.DegradedWindows++
+			L.res.AllConverged = false
+			lnF = L.lastLnFG[wi]
+			if len(L.frozenG[wi]) > 0 {
+				logG = L.frozenG[wi]
+			}
+		}
+		if logG != nil {
+			perWindow = append(perWindow, &dos.LogDOS{
+				EMin:     win.EMin,
+				BinWidth: binW,
+				LogG:     append([]float64(nil), logG...),
+			})
+		}
+		failed := 0
+		for _, a := range L.aliveG[wi] {
+			if !a {
+				failed++
+			}
+		}
+		ratio := 0.0
+		if prop > 0 {
+			ratio = float64(acc) / float64(prop)
+		}
+		L.res.Windows[wi] = WindowStat{
+			Window:        win,
+			Converged:     !degraded && conv,
+			Stages:        L.stages[wi],
+			Sweeps:        sweeps,
+			FinalLnF:      lnF,
+			AcceptRatio:   ratio,
+			Degraded:      degraded,
+			FailedWalkers: failed,
+		}
+		L.res.TotalSweeps += sweeps
+	}
+	merged, err := dos.Merge(perWindow)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("rewl: merging windows: %w", err)
+	}
+	L.res.DOS = merged
+	if err := ctx.Err(); err != nil {
+		L.res.AllConverged = false
+		return L.res, err
+	}
+	return L.res, nil
+}

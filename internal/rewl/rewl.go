@@ -79,6 +79,9 @@ type Options struct {
 	// WalkerTimeout bounds a walker's sweep round; a slower walker is
 	// declared dead and abandoned (0 disables straggler detection).
 	WalkerTimeout time.Duration
+	// Logf, when set, receives per-round progress lines from the
+	// distributed driver (RunDistributed). nil discards them.
+	Logf func(format string, args ...any)
 }
 
 func (o *Options) setDefaults() {
@@ -199,7 +202,6 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 		return nil, fmt.Errorf("rewl: no windows")
 	}
 	nWin := len(windows)
-	nWalk := opts.WalkersPerWindow
 
 	st, err := buildRunState(m, seedCfg, windows, newProposal, opts)
 	if err != nil {
@@ -215,11 +217,6 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 	res.RoundTrips = st.roundTrips
 	res.FailedWalkers = st.failedWalkers
 
-	done := ctx.Done()
-	slots := nWin * nWalk
-	doneFlags := make([]atomic.Bool, slots)
-	deadFlags := make([]atomic.Bool, slots)
-
 	// The sweep phase already saturates the machine with one goroutine per
 	// walker, so declare a nested-parallel context for the duration of the
 	// run: tensor kernels invoked from walker proposals (batch-1 DL
@@ -234,92 +231,7 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 		}
 		res.Rounds = round + 1
 
-		// Parallel sweep phase: every live, unconverged walker advances
-		// independently, polling for cancellation and abandonment between
-		// sweeps. Fault injection is keyed on the walker's own sweep count,
-		// so it is independent of goroutine scheduling and survives
-		// checkpoint/restart.
-		abandon := make(chan struct{})
-		var participants []int
-		var wg sync.WaitGroup
-		for wi := range walkers {
-			for k, w := range walkers[wi] {
-				if w == nil || !alive[wi][k] || w.Converged() {
-					continue
-				}
-				slot := wi*nWalk + k
-				doneFlags[slot].Store(false)
-				deadFlags[slot].Store(false)
-				participants = append(participants, slot)
-				wg.Add(1)
-				go func(w *wanglandau.Walker, slot int) {
-					defer wg.Done()
-					defer doneFlags[slot].Store(true)
-					defer func() {
-						if r := recover(); r != nil {
-							deadFlags[slot].Store(true)
-						}
-					}()
-					for s := 0; s < opts.ExchangeInterval; s++ {
-						select {
-						case <-done:
-							return
-						case <-abandon:
-							return
-						default:
-						}
-						if opts.Faults.ShouldCrash(slot, w.Sweeps()) {
-							deadFlags[slot].Store(true)
-							return
-						}
-						if d := opts.Faults.SweepDelay(slot, w.Sweeps()); d > 0 {
-							t := time.NewTimer(d)
-							select {
-							case <-t.C:
-							case <-done:
-								t.Stop()
-								return
-							case <-abandon:
-								t.Stop()
-								return
-							}
-						}
-						w.Sweep()
-					}
-				}(w, slot)
-			}
-		}
-		roundDone := make(chan struct{})
-		go func() { wg.Wait(); close(roundDone) }()
-		if opts.WalkerTimeout > 0 {
-			timer := time.NewTimer(opts.WalkerTimeout)
-			select {
-			case <-roundDone:
-				timer.Stop()
-			case <-timer.C:
-				// Stragglers are declared dead and abandoned: the driver
-				// never reads their state again, and their goroutines exit
-				// at the next sweep boundary (injected stalls are
-				// interruptible, so chaos tests converge promptly).
-				for _, slot := range participants {
-					if !doneFlags[slot].Load() {
-						deadFlags[slot].Store(true)
-					}
-				}
-				close(abandon)
-			}
-		} else {
-			<-roundDone
-		}
-		for _, slot := range participants {
-			if deadFlags[slot].Load() {
-				wi, k := slot/nWalk, slot%nWalk
-				if alive[wi][k] {
-					alive[wi][k] = false
-					res.FailedWalkers++
-				}
-			}
-		}
+		res.FailedWalkers += sweepPhase(ctx, opts, 0, walkers, alive)
 
 		// Serial coordination phase, over surviving walkers only.
 		// 1. Within-window ln g averaging across walkers, then freeze the
@@ -480,6 +392,108 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 		return res, err
 	}
 	return res, nil
+}
+
+// sweepPhase is one round's parallel sweep: every live, unconverged walker
+// advances by opts.ExchangeInterval sweeps independently, polling for
+// cancellation and abandonment between sweeps. Fault injection is keyed on
+// the walker's global slot — (winOffset+wi)·WalkersPerWindow+k — and the
+// walker's own sweep count, so it is independent of goroutine scheduling,
+// survives checkpoint/restart, and addresses the same walker whether the
+// windows run in one process (winOffset 0, all windows) or sharded across
+// transport ranks (winOffset = the rank's first window). Newly dead
+// walkers (crashes, panics, straggler timeouts) are cleared from alive;
+// the count of deaths is returned.
+func sweepPhase(ctx context.Context, opts Options, winOffset int, walkers [][]*wanglandau.Walker, alive [][]bool) int {
+	nWalk := opts.WalkersPerWindow
+	done := ctx.Done()
+	doneFlags := make([]atomic.Bool, len(walkers)*nWalk)
+	deadFlags := make([]atomic.Bool, len(walkers)*nWalk)
+
+	abandon := make(chan struct{})
+	var participants []int
+	var wg sync.WaitGroup
+	for wi := range walkers {
+		for k, w := range walkers[wi] {
+			if w == nil || !alive[wi][k] || w.Converged() {
+				continue
+			}
+			local := wi*nWalk + k
+			slot := (winOffset+wi)*nWalk + k
+			doneFlags[local].Store(false)
+			deadFlags[local].Store(false)
+			participants = append(participants, local)
+			wg.Add(1)
+			go func(w *wanglandau.Walker, local, slot int) {
+				defer wg.Done()
+				defer doneFlags[local].Store(true)
+				defer func() {
+					if r := recover(); r != nil {
+						deadFlags[local].Store(true)
+					}
+				}()
+				for s := 0; s < opts.ExchangeInterval; s++ {
+					select {
+					case <-done:
+						return
+					case <-abandon:
+						return
+					default:
+					}
+					if opts.Faults.ShouldCrash(slot, w.Sweeps()) {
+						deadFlags[local].Store(true)
+						return
+					}
+					if d := opts.Faults.SweepDelay(slot, w.Sweeps()); d > 0 {
+						t := time.NewTimer(d)
+						select {
+						case <-t.C:
+						case <-done:
+							t.Stop()
+							return
+						case <-abandon:
+							t.Stop()
+							return
+						}
+					}
+					w.Sweep()
+				}
+			}(w, local, slot)
+		}
+	}
+	roundDone := make(chan struct{})
+	go func() { wg.Wait(); close(roundDone) }()
+	if opts.WalkerTimeout > 0 {
+		timer := time.NewTimer(opts.WalkerTimeout)
+		select {
+		case <-roundDone:
+			timer.Stop()
+		case <-timer.C:
+			// Stragglers are declared dead and abandoned: the driver
+			// never reads their state again, and their goroutines exit
+			// at the next sweep boundary (injected stalls are
+			// interruptible, so chaos tests converge promptly).
+			for _, local := range participants {
+				if !doneFlags[local].Load() {
+					deadFlags[local].Store(true)
+				}
+			}
+			close(abandon)
+		}
+	} else {
+		<-roundDone
+	}
+	failed := 0
+	for _, local := range participants {
+		if deadFlags[local].Load() {
+			wi, k := local/nWalk, local%nWalk
+			if alive[wi][k] {
+				alive[wi][k] = false
+				failed++
+			}
+		}
+	}
+	return failed
 }
 
 func windowConverged(ws []*wanglandau.Walker) bool {

@@ -16,12 +16,12 @@ import (
 	"sync"
 
 	"deepthermo/internal/alloy"
-	"deepthermo/internal/comm"
 	"deepthermo/internal/lattice"
 	"deepthermo/internal/mc"
 	"deepthermo/internal/nn"
 	"deepthermo/internal/rng"
 	"deepthermo/internal/tensor"
+	"deepthermo/internal/transport"
 	"deepthermo/internal/vae"
 	"deepthermo/internal/workload"
 )
@@ -198,11 +198,17 @@ func gradsFinite(gs []float64) bool {
 	return true
 }
 
-// FitDDP trains with `workers` data-parallel replicas over a comm.World
-// ring allreduce and returns the converged model (identical on all
+// FitDDP trains with `workers` data-parallel replicas over the in-process
+// transport backend and returns the converged model (identical on all
 // replicas) plus rank-0 epoch statistics. The per-step effective batch is
 // workers × BatchSize, as in the paper's scaled training.
 func FitDDP(cfg vae.Config, ds *workload.Dataset, workers int, opts Options) (*vae.Model, []EpochStats, error) {
+	return FitDDPContext(context.Background(), cfg, ds, workers, opts)
+}
+
+// FitDDPContext is FitDDP with cooperative cancellation: a cancelled
+// context aborts the replicas at their next communication operation.
+func FitDDPContext(ctx context.Context, cfg vae.Config, ds *workload.Dataset, workers int, opts Options) (*vae.Model, []EpochStats, error) {
 	opts.setDefaults()
 	if workers < 1 {
 		return nil, nil, fmt.Errorf("train: need at least one worker")
@@ -210,7 +216,7 @@ func FitDDP(cfg vae.Config, ds *workload.Dataset, workers int, opts Options) (*v
 	if ds.Len() < workers {
 		return nil, nil, fmt.Errorf("train: dataset of %d samples cannot shard over %d workers", ds.Len(), workers)
 	}
-	world := comm.NewWorld(workers)
+	world := transport.NewChanWorld(workers)
 
 	// All replicas start from identical weights: same init stream.
 	models := make([]*vae.Model, workers)
@@ -222,16 +228,19 @@ func FitDDP(cfg vae.Config, ds *workload.Dataset, workers int, opts Options) (*v
 		models[i] = m
 	}
 
-	statsCh := make(chan []EpochStats, 1)
+	allStats := make([][]EpochStats, workers)
 	errCh := make(chan error, workers)
 	var wg sync.WaitGroup
 	for r := 0; r < workers; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			if err := ddpWorker(models[rank], world.Rank(rank), ds, workers, opts, statsCh); err != nil {
+			stats, err := FitDDPEndpoint(ctx, models[rank], world.Endpoint(rank), ds, opts)
+			if err != nil {
 				errCh <- err
+				return
 			}
+			allStats[rank] = stats
 		}(r)
 	}
 	wg.Wait()
@@ -239,18 +248,28 @@ func FitDDP(cfg vae.Config, ds *workload.Dataset, workers int, opts Options) (*v
 	if err := <-errCh; err != nil {
 		return nil, nil, err
 	}
-	return models[0], <-statsCh, nil
+	return models[0], allStats[0], nil
 }
 
-// ddpWorker runs one replica's training loop. Determinism note: every
-// replica shuffles its own shard with its own stream; the allreduced
-// gradients (and therefore the weights) are identical on all replicas at
-// every step because averaging commutes with the shard order.
-func ddpWorker(model *vae.Model, c *comm.Comm, full *workload.Dataset, workers int, opts Options, statsCh chan<- []EpochStats) error {
-	rank := c.Rank()
+// FitDDPEndpoint runs one replica's DDP training loop over any transport
+// endpoint — the unit one OS process (cmd/dtworker) executes when the
+// world spans machines. model must be initialized identically on every
+// rank (same config, same init seed); ds is the FULL dataset, sharded here
+// by the endpoint's rank. Epoch statistics are returned on rank 0 and nil
+// elsewhere.
+//
+// Determinism note: every replica shuffles its own shard with its own
+// stream; the allreduced gradients (and therefore the weights) are
+// identical on all replicas at every step because averaging commutes with
+// the shard order — and because the ring allreduce schedule is identical
+// across transport backends, the trajectory is bit-identical whether the
+// ranks are goroutines or processes.
+func FitDDPEndpoint(ctx context.Context, model *vae.Model, ep transport.Endpoint, full *workload.Dataset, opts Options) ([]EpochStats, error) {
+	opts.setDefaults()
+	rank, workers := ep.Rank(), ep.Size()
 	shard := full.Shard(rank, workers).Copy() // local shuffles stay local
 	if shard.Len() == 0 {
-		return fmt.Errorf("train: rank %d received an empty shard", rank)
+		return nil, fmt.Errorf("train: rank %d received an empty shard", rank)
 	}
 	src := rng.New(opts.Seed + uint64(rank)*0x9e37)
 	opt := nn.NewAdam(opts.LR)
@@ -277,9 +296,13 @@ func ddpWorker(model *vae.Model, c *comm.Comm, full *workload.Dataset, workers i
 			if opts.ClipNorm > 0 {
 				nn.ClipGradNorm(params, opts.ClipNorm)
 			}
-			// Gradient averaging across replicas: the DDP allreduce.
+			// Gradient averaging across replicas: the DDP allreduce. The
+			// fault-aware variant keeps a dead or disconnected peer from
+			// hanging the surviving replicas forever.
 			nn.FlattenGrads(params, grads)
-			c.Allreduce(grads, comm.Sum)
+			if err := ep.AllreduceCtx(ctx, grads, transport.Sum); err != nil {
+				return nil, fmt.Errorf("train: rank %d: allreduce at epoch %d step %d: %w", rank, epoch, step, err)
+			}
 			tensor.Scale(1/float64(workers), grads)
 			// Divergence guard: the allreduced gradients are identical on
 			// every replica, so every rank takes this branch in lockstep
@@ -287,7 +310,7 @@ func ddpWorker(model *vae.Model, c *comm.Comm, full *workload.Dataset, workers i
 			// rollback protocol, so fail loudly instead of stepping a NaN
 			// into every replica.
 			if !gradsFinite(grads) {
-				return fmt.Errorf("train: rank %d: non-finite allreduced gradient at epoch %d step %d", rank, epoch, step)
+				return nil, fmt.Errorf("train: rank %d: non-finite allreduced gradient at epoch %d step %d", rank, epoch, step)
 			}
 			nn.SetGrads(params, grads)
 			opt.Step(params)
@@ -303,12 +326,11 @@ func ddpWorker(model *vae.Model, c *comm.Comm, full *workload.Dataset, workers i
 				Accuracy: agg.Accuracy / float64(stepsPerEpoch),
 			})
 		}
-		c.Barrier()
+		if err := ep.BarrierCtx(ctx); err != nil {
+			return nil, fmt.Errorf("train: rank %d: barrier after epoch %d: %w", rank, epoch, err)
+		}
 	}
-	if rank == 0 {
-		statsCh <- stats
-	}
-	return nil
+	return stats, nil
 }
 
 // ActiveLoopOptions configures the sample→train→propose cycle.

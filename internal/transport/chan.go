@@ -1,0 +1,105 @@
+package transport
+
+// The chan backend: Endpoint over an in-process comm.World. Every
+// operation delegates to the corresponding comm.Comm method, so code moved
+// from package comm to this interface behaves bit-identically — same ring
+// and tree schedules, same payload copying, same fault-injection operation
+// sequencing.
+
+import (
+	"context"
+	"time"
+
+	"deepthermo/internal/comm"
+)
+
+// ChanWorld is an in-process world of goroutine ranks backed by a
+// comm.World. Configure timeouts and fault plans (on the world or on the
+// endpoints, equivalently) before the ranks start communicating.
+type ChanWorld struct {
+	w *comm.World
+}
+
+// NewChanWorld creates an in-process world with n ranks.
+func NewChanWorld(n int) *ChanWorld {
+	return &ChanWorld{w: comm.NewWorld(n)}
+}
+
+// Comm returns the underlying comm.World, for callers that need its
+// world-level controls (FailRank, FailedRanks, …).
+func (cw *ChanWorld) Comm() *comm.World { return cw.w }
+
+// Size returns the number of ranks.
+func (cw *ChanWorld) Size() int { return cw.w.Size() }
+
+// BytesSent returns the world-wide cumulative payload bytes.
+func (cw *ChanWorld) BytesSent() int64 { return cw.w.BytesSent() }
+
+// SetFaultInjector installs a fault plan for all ranks. Call before the
+// ranks start communicating.
+func (cw *ChanWorld) SetFaultInjector(fi FaultInjector) { cw.w.SetFaultInjector(fi) }
+
+// SetTimeout bounds every Ctx operation of every rank. Call before the
+// ranks start communicating.
+func (cw *ChanWorld) SetTimeout(d time.Duration) { cw.w.SetTimeout(d) }
+
+// FailRank marks rank r permanently failed (see comm.World.FailRank).
+func (cw *ChanWorld) FailRank(r int) { cw.w.FailRank(r) }
+
+// Endpoint returns rank r's communicator.
+func (cw *ChanWorld) Endpoint(r int) Endpoint {
+	return &chanEndpoint{cw: cw, c: cw.w.Rank(r)}
+}
+
+// chanEndpoint adapts comm.Comm to the Endpoint interface.
+type chanEndpoint struct {
+	cw *ChanWorld
+	c  *comm.Comm
+}
+
+func (e *chanEndpoint) Rank() int { return e.c.Rank() }
+func (e *chanEndpoint) Size() int { return e.c.Size() }
+
+func (e *chanEndpoint) Send(dst int, data []float64) { e.c.Send(dst, data) }
+func (e *chanEndpoint) Recv(src int) []float64       { return e.c.Recv(src) }
+func (e *chanEndpoint) Barrier()                     { e.c.Barrier() }
+func (e *chanEndpoint) Broadcast(root int, buf []float64) {
+	e.c.Broadcast(root, buf)
+}
+func (e *chanEndpoint) Allreduce(buf []float64, op Op) { e.c.Allreduce(buf, op) }
+func (e *chanEndpoint) Allgather(contrib, dst []float64) {
+	e.c.Allgather(contrib, dst)
+}
+
+func (e *chanEndpoint) SendCtx(ctx context.Context, dst int, data []float64) error {
+	return e.c.SendCtx(ctx, dst, data)
+}
+func (e *chanEndpoint) RecvCtx(ctx context.Context, src int) ([]float64, error) {
+	return e.c.RecvCtx(ctx, src)
+}
+func (e *chanEndpoint) BarrierCtx(ctx context.Context) error { return e.c.BarrierCtx(ctx) }
+func (e *chanEndpoint) BroadcastCtx(ctx context.Context, root int, buf []float64) error {
+	return e.c.BroadcastCtx(ctx, root, buf)
+}
+func (e *chanEndpoint) AllreduceCtx(ctx context.Context, buf []float64, op Op) error {
+	return e.c.AllreduceCtx(ctx, buf, op)
+}
+func (e *chanEndpoint) AllgatherCtx(ctx context.Context, contrib, dst []float64) error {
+	return e.c.AllgatherCtx(ctx, contrib, dst)
+}
+
+// SetTimeout delegates to the world; the setting is world-wide on this
+// backend, so call it from one goroutine before communication starts.
+func (e *chanEndpoint) SetTimeout(d time.Duration) { e.cw.SetTimeout(d) }
+
+// SetFaultInjector delegates to the world; the plan is world-wide on this
+// backend, so call it from one goroutine before communication starts.
+func (e *chanEndpoint) SetFaultInjector(fi FaultInjector) { e.cw.SetFaultInjector(fi) }
+
+// BytesSent reports the world-wide total: ranks share process memory, so
+// per-rank accounting adds nothing here (see Endpoint docs).
+func (e *chanEndpoint) BytesSent() int64 { return e.cw.BytesSent() }
+
+func (e *chanEndpoint) PeerFailed(r int) bool { return e.cw.w.RankFailed(r) }
+
+func (e *chanEndpoint) Close() error { return nil }

@@ -1,0 +1,132 @@
+package transport
+
+// Collective schedules shared by non-chan backends. These are the exact
+// algorithms of package comm — binomial-tree broadcast, ring
+// reduce-scatter/allgather allreduce, ring allgather — expressed over an
+// endpoint's point-to-point Ctx operations, so a collective computed over
+// TCP is bit-identical (same arithmetic, same order) to one computed over
+// the in-process backend.
+
+import (
+	"context"
+	"fmt"
+)
+
+// p2p is the minimal surface the collective schedules need.
+type p2p interface {
+	Rank() int
+	Size() int
+	SendCtx(ctx context.Context, dst int, data []float64) error
+	RecvCtx(ctx context.Context, src int) ([]float64, error)
+}
+
+// applyOp mirrors comm's reduction application (same element order).
+func applyOp(op Op, dst, src []float64) {
+	switch op {
+	case Sum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case Max:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case Min:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+// broadcastCtx is comm's binomial-tree broadcast.
+func broadcastCtx(ctx context.Context, c p2p, root int, buf []float64) error {
+	n, me := c.Size(), c.Rank()
+	vr := (me - root + n) % n
+	mask := 1
+	for mask < n {
+		if vr < mask {
+			partner := vr | mask
+			if partner < n {
+				if err := c.SendCtx(ctx, (partner+root)%n, buf); err != nil {
+					return err
+				}
+			}
+		} else if vr < mask<<1 {
+			msg, err := c.RecvCtx(ctx, (vr-mask+root)%n)
+			if err != nil {
+				return err
+			}
+			copy(buf, msg)
+		}
+		mask <<= 1
+	}
+	return nil
+}
+
+// allreduceCtx is comm's bandwidth-optimal ring allreduce
+// (reduce-scatter, then allgather).
+func allreduceCtx(ctx context.Context, c p2p, buf []float64, op Op) error {
+	n, me := c.Size(), c.Rank()
+	if n == 1 {
+		return nil
+	}
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	off := make([]int, n+1)
+	for k := 0; k <= n; k++ {
+		off[k] = k * len(buf) / n
+	}
+	chunk := func(k int) []float64 {
+		k = ((k % n) + n) % n
+		return buf[off[k]:off[k+1]]
+	}
+	for s := 0; s < n-1; s++ {
+		if err := c.SendCtx(ctx, right, chunk(me-s)); err != nil {
+			return err
+		}
+		in, err := c.RecvCtx(ctx, left)
+		if err != nil {
+			return err
+		}
+		applyOp(op, chunk(me-s-1), in)
+	}
+	for s := 0; s < n-1; s++ {
+		if err := c.SendCtx(ctx, right, chunk(me+1-s)); err != nil {
+			return err
+		}
+		in, err := c.RecvCtx(ctx, left)
+		if err != nil {
+			return err
+		}
+		copy(chunk(me-s), in)
+	}
+	return nil
+}
+
+// allgatherCtx is comm's ring allgather.
+func allgatherCtx(ctx context.Context, c p2p, contrib, dst []float64) error {
+	n, me := c.Size(), c.Rank()
+	if len(dst) != len(contrib)*n {
+		return fmt.Errorf("transport: Allgather dst %d != contrib %d × %d ranks", len(dst), len(contrib), n)
+	}
+	copy(dst[me*len(contrib):], contrib)
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	cur := me
+	for s := 0; s < n-1; s++ {
+		if err := c.SendCtx(ctx, right, dst[cur*len(contrib):(cur+1)*len(contrib)]); err != nil {
+			return err
+		}
+		cur = (cur - 1 + n) % n
+		in, err := c.RecvCtx(ctx, left)
+		if err != nil {
+			return err
+		}
+		copy(dst[cur*len(contrib):(cur+1)*len(contrib)], in)
+	}
+	return nil
+}

@@ -1,0 +1,533 @@
+package transport
+
+// Backend conformance suite: every behavioral contract of the Endpoint
+// interface — message ordering, payload copy/aliasing semantics, BytesSent
+// accounting parity, collective results, fault propagation, context
+// cancellation, barrier semantics — verified against both backends with
+// the same scripts, so REWL and DDP code written against the interface
+// behaves identically in one process and across processes.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"deepthermo/internal/chaos"
+)
+
+// fixture is one instantiated world of a backend under test.
+type fixture struct {
+	name       string
+	eps        []Endpoint
+	worldBytes func() int64 // world-wide payload bytes (see Endpoint.BytesSent)
+	failRank   func(r int)  // simulate a permanent rank death
+	close      func()
+}
+
+// fixtureConfig is applied before any endpoint communicates.
+type fixtureConfig struct {
+	timeout time.Duration
+	inject  FaultInjector
+}
+
+func newChanFixture(t *testing.T, n int, cfg fixtureConfig) *fixture {
+	t.Helper()
+	cw := NewChanWorld(n)
+	if cfg.timeout > 0 {
+		cw.SetTimeout(cfg.timeout)
+	}
+	if cfg.inject != nil {
+		cw.SetFaultInjector(cfg.inject)
+	}
+	eps := make([]Endpoint, n)
+	for r := 0; r < n; r++ {
+		eps[r] = cw.Endpoint(r)
+	}
+	return &fixture{
+		name:       "chan",
+		eps:        eps,
+		worldBytes: cw.BytesSent,
+		failRank:   cw.FailRank,
+		close:      func() {},
+	}
+}
+
+func newTCPFixture(t *testing.T, n int, cfg fixtureConfig) *fixture {
+	t.Helper()
+	co, err := NewCoordinator("127.0.0.1:0", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := make([]Endpoint, n)
+	tcps := make([]*TCPEndpoint, n)
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep, err := Join(context.Background(), co.Addr(), JoinOptions{Timeout: 20 * time.Second})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if cfg.timeout > 0 {
+				ep.SetTimeout(cfg.timeout)
+			}
+			if cfg.inject != nil {
+				ep.SetFaultInjector(cfg.inject)
+			}
+			eps[ep.Rank()] = ep
+			tcps[ep.Rank()] = ep
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		co.Close()
+		t.Fatal(err)
+	default:
+	}
+	return &fixture{
+		name: "tcp",
+		eps:  eps,
+		worldBytes: func() int64 {
+			var total int64
+			for _, ep := range eps {
+				total += ep.BytesSent()
+			}
+			return total
+		},
+		failRank: func(r int) { tcps[r].Kill() },
+		close: func() {
+			for _, ep := range eps {
+				ep.Close()
+			}
+			co.Close()
+		},
+	}
+}
+
+// eachBackend runs fn against a fresh world of each backend.
+func eachBackend(t *testing.T, n int, cfg fixtureConfig, fn func(t *testing.T, fx *fixture)) {
+	t.Helper()
+	for _, mk := range []func(*testing.T, int, fixtureConfig) *fixture{newChanFixture, newTCPFixture} {
+		fx := mk(t, n, cfg)
+		t.Run(fx.name, func(t *testing.T) {
+			defer fx.close()
+			fn(t, fx)
+		})
+	}
+}
+
+// runRanks drives one function per rank concurrently and fails the test on
+// any returned error.
+func runRanks(t *testing.T, fx *fixture, fn func(ep Endpoint) error) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(fx.eps))
+	for _, ep := range fx.eps {
+		wg.Add(1)
+		go func(ep Endpoint) {
+			defer wg.Done()
+			if err := fn(ep); err != nil {
+				errCh <- err
+			}
+		}(ep)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+func TestConformanceOrdering(t *testing.T) {
+	const msgs = 32
+	eachBackend(t, 2, fixtureConfig{}, func(t *testing.T, fx *fixture) {
+		runRanks(t, fx, func(ep Endpoint) error {
+			ctx := context.Background()
+			switch ep.Rank() {
+			case 0:
+				for i := 0; i < msgs; i++ {
+					if err := ep.SendCtx(ctx, 1, []float64{float64(i), float64(2 * i)}); err != nil {
+						return err
+					}
+				}
+			case 1:
+				for i := 0; i < msgs; i++ {
+					msg, err := ep.RecvCtx(ctx, 0)
+					if err != nil {
+						return err
+					}
+					if len(msg) != 2 || msg[0] != float64(i) || msg[1] != float64(2*i) {
+						t.Errorf("message %d out of order or corrupt: %v", i, msg)
+					}
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestConformanceAliasing(t *testing.T) {
+	eachBackend(t, 2, fixtureConfig{}, func(t *testing.T, fx *fixture) {
+		runRanks(t, fx, func(ep Endpoint) error {
+			ctx := context.Background()
+			switch ep.Rank() {
+			case 0:
+				buf := []float64{1, 2, 3}
+				if err := ep.SendCtx(ctx, 1, buf); err != nil {
+					return err
+				}
+				// The payload must be copied at send time: mutating the
+				// buffer after Send returns must not affect the message.
+				buf[0], buf[1], buf[2] = -1, -2, -3
+				if err := ep.SendCtx(ctx, 1, buf); err != nil {
+					return err
+				}
+			case 1:
+				first, err := ep.RecvCtx(ctx, 0)
+				if err != nil {
+					return err
+				}
+				if first[0] != 1 || first[1] != 2 || first[2] != 3 {
+					t.Errorf("first message corrupted by sender mutation: %v", first)
+				}
+				// The received slice must be private: mutating it must not
+				// bleed into later messages.
+				first[0] = 99
+				second, err := ep.RecvCtx(ctx, 0)
+				if err != nil {
+					return err
+				}
+				if second[0] != -1 || second[1] != -2 || second[2] != -3 {
+					t.Errorf("second message wrong: %v", second)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestConformanceCollectives(t *testing.T) {
+	const n = 4
+	type results struct {
+		mu   sync.Mutex
+		sum  [][]float64
+		max  [][]float64
+		bc   [][]float64
+		gath [][]float64
+	}
+	perBackend := map[string]*results{}
+
+	eachBackend(t, n, fixtureConfig{}, func(t *testing.T, fx *fixture) {
+		res := &results{
+			sum:  make([][]float64, n),
+			max:  make([][]float64, n),
+			bc:   make([][]float64, n),
+			gath: make([][]float64, n),
+		}
+		perBackend[fx.name] = res
+		runRanks(t, fx, func(ep Endpoint) error {
+			ctx := context.Background()
+			r := ep.Rank()
+			sum := []float64{float64(r), float64(r) * 0.5, -float64(r)}
+			if err := ep.AllreduceCtx(ctx, sum, Sum); err != nil {
+				return err
+			}
+			max := []float64{float64((r * 7) % n), -float64(r)}
+			if err := ep.AllreduceCtx(ctx, max, Max); err != nil {
+				return err
+			}
+			bc := make([]float64, 3)
+			if r == 2 {
+				bc[0], bc[1], bc[2] = math.Pi, math.Inf(-1), math.Copysign(0, -1)
+			}
+			if err := ep.BroadcastCtx(ctx, 2, bc); err != nil {
+				return err
+			}
+			contrib := []float64{float64(r * 10), float64(r*10 + 1)}
+			gath := make([]float64, 2*n)
+			if err := ep.AllgatherCtx(ctx, contrib, gath); err != nil {
+				return err
+			}
+			res.mu.Lock()
+			res.sum[r], res.max[r], res.bc[r], res.gath[r] = sum, max, bc, gath
+			res.mu.Unlock()
+			return nil
+		})
+
+		// Exact expected values on every rank.
+		wantSum := []float64{0 + 1 + 2 + 3, 0.5 * (0 + 1 + 2 + 3), -(0.0 + 1 + 2 + 3)}
+		for r := 0; r < n; r++ {
+			for i := range wantSum {
+				if res.sum[r][i] != wantSum[i] {
+					t.Errorf("rank %d allreduce sum[%d] = %v, want %v", r, i, res.sum[r][i], wantSum[i])
+				}
+			}
+			if res.bc[r][0] != math.Pi || !math.IsInf(res.bc[r][1], -1) {
+				t.Errorf("rank %d broadcast got %v", r, res.bc[r])
+			}
+			if math.Signbit(res.bc[r][2]) != true {
+				t.Errorf("rank %d broadcast lost signed zero", r)
+			}
+			for q := 0; q < n; q++ {
+				if res.gath[r][2*q] != float64(q*10) || res.gath[r][2*q+1] != float64(q*10+1) {
+					t.Errorf("rank %d allgather slot %d = %v", r, q, res.gath[r][2*q:2*q+2])
+				}
+			}
+		}
+	})
+
+	// Bit-identity across backends.
+	ch, tc := perBackend["chan"], perBackend["tcp"]
+	if ch == nil || tc == nil {
+		t.Fatal("missing backend results")
+	}
+	for r := 0; r < n; r++ {
+		for i := range ch.sum[r] {
+			if math.Float64bits(ch.sum[r][i]) != math.Float64bits(tc.sum[r][i]) {
+				t.Errorf("allreduce sum not bit-identical across backends at rank %d elem %d", r, i)
+			}
+		}
+		for i := range ch.max[r] {
+			if math.Float64bits(ch.max[r][i]) != math.Float64bits(tc.max[r][i]) {
+				t.Errorf("allreduce max not bit-identical across backends at rank %d elem %d", r, i)
+			}
+		}
+	}
+}
+
+// TestConformanceBytesSent runs an identical op schedule on both backends
+// and requires the world-wide byte accounting to agree exactly.
+func TestConformanceBytesSent(t *testing.T) {
+	const n = 3
+	script := func(fx *fixture) {
+		runRanks(t, fx, func(ep Endpoint) error {
+			ctx := context.Background()
+			r := ep.Rank()
+			// At most 4 eager sends: the in-process backend buffers 4
+			// messages per (src,dst) pair, and the conformance contract
+			// only guarantees that much slack.
+			for i := 0; i < 4; i++ {
+				if err := ep.SendCtx(ctx, (r+1)%n, make([]float64, 7)); err != nil {
+					return err
+				}
+			}
+			for i := 0; i < 4; i++ {
+				if _, err := ep.RecvCtx(ctx, (r-1+n)%n); err != nil {
+					return err
+				}
+			}
+			buf := make([]float64, 12)
+			if err := ep.AllreduceCtx(ctx, buf, Sum); err != nil {
+				return err
+			}
+			return nil
+		})
+	}
+	var totals []int64
+	eachBackend(t, n, fixtureConfig{}, func(t *testing.T, fx *fixture) {
+		script(fx)
+		totals = append(totals, fx.worldBytes())
+	})
+	if len(totals) != 2 {
+		t.Fatalf("expected 2 backend totals, got %d", len(totals))
+	}
+	if totals[0] != totals[1] {
+		t.Errorf("BytesSent accounting differs: chan=%d tcp=%d", totals[0], totals[1])
+	}
+	// Point-to-point floor: 3 ranks × 4 msgs × 7 floats × 8 bytes, plus
+	// collective traffic on top.
+	if floor := int64(3 * 4 * 7 * 8); totals[0] <= floor {
+		t.Errorf("BytesSent %d does not exceed p2p floor %d (collectives unaccounted?)", totals[0], floor)
+	}
+}
+
+func TestConformanceFaultCrashPropagation(t *testing.T) {
+	// Rank 1 crashes at its third operation; rank 0 must observe the death
+	// as ErrPeerFailed instead of hanging.
+	plan := chaos.NewPlan(chaos.Fault{Rank: 1, Step: 2, Kind: chaos.Crash})
+	eachBackend(t, 2, fixtureConfig{inject: plan, timeout: 5 * time.Second}, func(t *testing.T, fx *fixture) {
+		runRanks(t, fx, func(ep Endpoint) error {
+			ctx := context.Background()
+			switch ep.Rank() {
+			case 1:
+				for i := 0; i < 3; i++ {
+					err := ep.SendCtx(ctx, 0, []float64{float64(i)})
+					if i < 2 && err != nil {
+						return err
+					}
+					if i == 2 {
+						if !errors.Is(err, ErrRankFailed) {
+							t.Errorf("crashed rank's own op: got %v, want ErrRankFailed", err)
+						}
+					}
+				}
+			case 0:
+				for i := 0; i < 2; i++ {
+					msg, err := ep.RecvCtx(ctx, 1)
+					if err != nil {
+						return err
+					}
+					if msg[0] != float64(i) {
+						t.Errorf("pre-crash message %d corrupt: %v", i, msg)
+					}
+				}
+				if _, err := ep.RecvCtx(ctx, 1); !errors.Is(err, ErrPeerFailed) {
+					t.Errorf("recv from crashed peer: got %v, want ErrPeerFailed", err)
+				}
+				if !ep.PeerFailed(1) {
+					t.Error("PeerFailed(1) false after observing the crash")
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestConformanceFaultDropSend(t *testing.T) {
+	// Rank 0's second send (seq 1) is dropped: the receiver sees messages
+	// 0 and 2, and the dropped payload still counts as sent bytes on both
+	// backends ("sent, then lost in the network").
+	mkPlan := func() *chaos.Plan {
+		return chaos.NewPlan(chaos.Fault{Rank: 0, Step: 1, Kind: chaos.DropSend})
+	}
+	var totals []int64
+	eachBackend(t, 2, fixtureConfig{inject: mkPlan()}, func(t *testing.T, fx *fixture) {
+		runRanks(t, fx, func(ep Endpoint) error {
+			ctx := context.Background()
+			switch ep.Rank() {
+			case 0:
+				for i := 0; i < 3; i++ {
+					if err := ep.SendCtx(ctx, 1, []float64{float64(i)}); err != nil {
+						return err
+					}
+				}
+			case 1:
+				want := []float64{0, 2}
+				for _, w := range want {
+					msg, err := ep.RecvCtx(ctx, 0)
+					if err != nil {
+						return err
+					}
+					if msg[0] != w {
+						t.Errorf("got message %v, want %v (drop not applied by sequence)", msg[0], w)
+					}
+				}
+			}
+			return nil
+		})
+		totals = append(totals, fx.worldBytes())
+	})
+	if totals[0] != totals[1] || totals[0] != 3*1*8 {
+		t.Errorf("dropped-send byte accounting: chan=%d tcp=%d, want both %d", totals[0], totals[1], 3*8)
+	}
+}
+
+func TestConformanceContextCancellation(t *testing.T) {
+	eachBackend(t, 2, fixtureConfig{}, func(t *testing.T, fx *fixture) {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(30 * time.Millisecond)
+			cancel()
+		}()
+		start := time.Now()
+		_, err := fx.eps[0].RecvCtx(ctx, 1)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled recv: got %v, want context.Canceled", err)
+		}
+		if time.Since(start) > 2*time.Second {
+			t.Error("cancellation not prompt")
+		}
+	})
+}
+
+func TestConformanceOpTimeout(t *testing.T) {
+	eachBackend(t, 2, fixtureConfig{timeout: 40 * time.Millisecond}, func(t *testing.T, fx *fixture) {
+		_, err := fx.eps[0].RecvCtx(context.Background(), 1)
+		if !errors.Is(err, ErrTimeout) {
+			t.Errorf("timed-out recv: got %v, want ErrTimeout", err)
+		}
+	})
+}
+
+func TestConformanceBarrier(t *testing.T) {
+	const n = 3
+	eachBackend(t, n, fixtureConfig{}, func(t *testing.T, fx *fixture) {
+		counter := make(chan int, n*4)
+		runRanks(t, fx, func(ep Endpoint) error {
+			ctx := context.Background()
+			for round := 0; round < 4; round++ {
+				// Stagger arrivals so the barrier actually gates.
+				time.Sleep(time.Duration(ep.Rank()*5) * time.Millisecond)
+				counter <- round
+				if err := ep.BarrierCtx(ctx); err != nil {
+					return err
+				}
+				// After the barrier every rank's token for this round must
+				// already be in the channel.
+				if len(counter) < (round+1)*n-n {
+					t.Errorf("barrier released early in round %d", round)
+				}
+			}
+			return nil
+		})
+	})
+}
+
+func TestConformanceBarrierWithFailedRank(t *testing.T) {
+	const n = 3
+	eachBackend(t, n, fixtureConfig{timeout: 500 * time.Millisecond}, func(t *testing.T, fx *fixture) {
+		fx.failRank(2)
+		time.Sleep(50 * time.Millisecond) // let the death propagate
+		runRanks(t, fx, func(ep Endpoint) error {
+			if ep.Rank() == 2 {
+				return nil
+			}
+			if err := ep.BarrierCtx(context.Background()); err == nil {
+				t.Errorf("rank %d: barrier with a dead rank returned nil", ep.Rank())
+			}
+			return nil
+		})
+	})
+}
+
+func TestConformanceBlockingOpsHealthyWorld(t *testing.T) {
+	eachBackend(t, 2, fixtureConfig{}, func(t *testing.T, fx *fixture) {
+		runRanks(t, fx, func(ep Endpoint) error {
+			r := ep.Rank()
+			if r == 0 {
+				ep.Send(1, []float64{42})
+			} else {
+				if msg := ep.Recv(0); msg[0] != 42 {
+					t.Errorf("blocking recv got %v", msg)
+				}
+			}
+			buf := []float64{float64(r + 1)}
+			ep.Allreduce(buf, Sum)
+			if buf[0] != 3 {
+				t.Errorf("blocking allreduce got %v", buf[0])
+			}
+			ep.Barrier()
+			b := []float64{0}
+			if r == 0 {
+				b[0] = 7
+			}
+			ep.Broadcast(0, b)
+			if b[0] != 7 {
+				t.Errorf("blocking broadcast got %v", b[0])
+			}
+			g := make([]float64, 2)
+			ep.Allgather([]float64{float64(r)}, g)
+			if g[0] != 0 || g[1] != 1 {
+				t.Errorf("blocking allgather got %v", g)
+			}
+			return nil
+		})
+	})
+}

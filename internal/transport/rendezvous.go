@@ -1,0 +1,385 @@
+package transport
+
+// Rendezvous coordinator of the TCP backend. Workers join a world by
+// dialing the coordinator; the coordinator assigns ranks in join order,
+// exchanges the workers' mesh listen addresses, and then stays up for the
+// life of the job serving two control-plane duties:
+//
+//   - barriers: a worker enters a barrier by sending frameBarrierEnter;
+//     when every live rank has entered, the coordinator broadcasts
+//     frameBarrierRelease carrying the count of failed ranks (a non-zero
+//     count turns the waiters' BarrierCtx into ErrPeerFailed);
+//   - failure detection: a worker connection that drops without a
+//     frameGoodbye marks the rank permanently failed — the kill -9 path —
+//     and the coordinator broadcasts framePeerFailed so every surviving
+//     worker observes the death even without direct traffic to it.
+//
+// The coordinator carries no data-plane traffic: point-to-point sends and
+// the collectives built on them flow over the worker↔worker mesh.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Coordinator is the rendezvous and control-plane server of one TCP world.
+type Coordinator struct {
+	ln   net.Listener
+	size int
+	logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	workers  []*coordWorker // by rank, nil until joined
+	addrs    []string       // mesh addresses, by rank
+	joined   int
+	ready    int
+	started  bool
+	failed   map[int]bool
+	departed map[int]bool
+	entered  map[int]bool // current barrier generation
+	baSeq    uint64
+	done     chan struct{} // closed when every rank has departed or failed
+	closed   bool
+}
+
+// coordWorker is the coordinator's handle on one joined worker.
+type coordWorker struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+}
+
+func (w *coordWorker) write(typ byte, payload []byte) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	if err := writeFrame(w.bw, typ, payload); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// NewCoordinator starts a rendezvous coordinator for a world of size ranks
+// listening on addr (host:port; port 0 picks a free port). It serves in
+// the background; use Addr to learn the bound address and Wait to block
+// until the job ends.
+func NewCoordinator(addr string, size int) (*Coordinator, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("transport: world size must be positive, got %d", size)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: coordinator listen %s: %w", addr, err)
+	}
+	co := &Coordinator{
+		ln:       ln,
+		size:     size,
+		logf:     func(string, ...any) {},
+		workers:  make([]*coordWorker, size),
+		addrs:    make([]string, size),
+		failed:   make(map[int]bool),
+		departed: make(map[int]bool),
+		entered:  make(map[int]bool),
+		done:     make(chan struct{}),
+	}
+	go co.acceptLoop()
+	return co, nil
+}
+
+// SetLogf installs a progress logger (e.g. log.Printf). The default
+// discards.
+func (co *Coordinator) SetLogf(f func(format string, args ...any)) {
+	if f == nil {
+		f = func(string, ...any) {}
+	}
+	co.logf = f
+}
+
+// Addr returns the coordinator's bound address.
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// Wait blocks until every rank has departed (clean goodbye) or failed, or
+// ctx is cancelled. It returns the ranks that failed; a non-empty list
+// with a nil error means the job ended degraded but ended.
+func (co *Coordinator) Wait(ctx context.Context) ([]int, error) {
+	select {
+	case <-co.done:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	var failed []int
+	for r := 0; r < co.size; r++ {
+		if co.failed[r] {
+			failed = append(failed, r)
+		}
+	}
+	return failed, nil
+}
+
+// Close shuts the coordinator down, closing the listener and all worker
+// connections.
+func (co *Coordinator) Close() error {
+	co.mu.Lock()
+	co.closed = true
+	workers := append([]*coordWorker(nil), co.workers...)
+	co.mu.Unlock()
+	err := co.ln.Close()
+	for _, w := range workers {
+		if w != nil {
+			w.conn.Close()
+		}
+	}
+	return err
+}
+
+func (co *Coordinator) acceptLoop() {
+	for {
+		conn, err := co.ln.Accept()
+		if err != nil {
+			co.mu.Lock()
+			closed := co.closed
+			co.mu.Unlock()
+			if !closed {
+				co.logf("coordinator: accept: %v", err)
+			}
+			return
+		}
+		go co.handshake(conn)
+	}
+}
+
+// handshake reads a worker's hello, assigns it the next rank, and — once
+// the world is complete — broadcasts the rank/address assignment.
+func (co *Coordinator) handshake(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReader(conn)
+	typ, payload, err := readFrame(br)
+	if err != nil || typ != frameHello {
+		co.logf("coordinator: bad hello from %s: type=%d err=%v", conn.RemoteAddr(), typ, err)
+		conn.Close()
+		return
+	}
+	meshAddr, _, err := decodeString(payload)
+	if err != nil {
+		co.logf("coordinator: bad hello payload from %s: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+
+	co.mu.Lock()
+	if co.joined >= co.size {
+		co.mu.Unlock()
+		co.logf("coordinator: rejecting extra worker %s (world of %d is full)", conn.RemoteAddr(), co.size)
+		conn.Close()
+		return
+	}
+	rank := co.joined
+	co.joined++
+	w := &coordWorker{conn: conn, bw: bufio.NewWriter(conn)}
+	co.workers[rank] = w
+	co.addrs[rank] = meshAddr
+	complete := co.joined == co.size
+	var assign []byte
+	if complete {
+		assign = co.encodeAssignLocked()
+	}
+	co.mu.Unlock()
+
+	co.logf("coordinator: rank %d joined from %s (mesh %s)", rank, conn.RemoteAddr(), meshAddr)
+	if complete {
+		co.mu.Lock()
+		workers := append([]*coordWorker(nil), co.workers...)
+		co.mu.Unlock()
+		for r, wk := range workers {
+			msg := make([]byte, len(assign))
+			copy(msg, assign)
+			// Patch in the receiver's rank (first 4 bytes).
+			msg[0], msg[1], msg[2], msg[3] = 0, 0, byte(r>>8), byte(r)
+			if err := wk.write(frameAssign, msg); err != nil {
+				co.logf("coordinator: assign to rank %d: %v", r, err)
+			}
+		}
+		co.logf("coordinator: world of %d assembled", co.size)
+	}
+	go co.serveWorker(rank, w, br)
+}
+
+// encodeAssignLocked builds the assignment payload with a placeholder rank.
+func (co *Coordinator) encodeAssignLocked() []byte {
+	b := make([]byte, 0, 8+16*co.size)
+	b = append(b, 0, 0, 0, 0) // rank, patched per receiver
+	b = append(b, 0, 0, byte(co.size>>8), byte(co.size))
+	for _, a := range co.addrs {
+		b = encodeString(b, a)
+	}
+	return b
+}
+
+// serveWorker is the per-worker control loop: readiness, barriers, goodbye,
+// and failure detection on connection error.
+func (co *Coordinator) serveWorker(rank int, w *coordWorker, br *bufio.Reader) {
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			co.mu.Lock()
+			gone := co.departed[rank] || co.closed
+			co.mu.Unlock()
+			if !gone {
+				co.logf("coordinator: rank %d connection lost: %v", rank, err)
+				co.failRank(rank)
+			}
+			return
+		}
+		switch typ {
+		case frameReady:
+			co.mu.Lock()
+			co.ready++
+			start := co.ready == co.size && !co.started
+			if start {
+				co.started = true
+			}
+			workers := append([]*coordWorker(nil), co.workers...)
+			co.mu.Unlock()
+			if start {
+				for r, wk := range workers {
+					if err := wk.write(frameStart, nil); err != nil {
+						co.logf("coordinator: start to rank %d: %v", r, err)
+					}
+				}
+			}
+		case frameBarrierEnter:
+			var seq uint64
+			if len(payload) >= 8 {
+				seq = beUint64(payload)
+			}
+			co.barrierEnter(rank, seq)
+		case frameGoodbye:
+			co.mu.Lock()
+			co.departed[rank] = true
+			co.mu.Unlock()
+			co.logf("coordinator: rank %d departed cleanly", rank)
+			// A departed rank no longer gates barriers.
+			co.checkBarrier()
+			co.checkDone()
+			return
+		default:
+			co.logf("coordinator: rank %d sent unexpected frame type %d", rank, typ)
+		}
+	}
+}
+
+// failRank marks a rank permanently failed, tells the survivors, and
+// releases any barrier the dead rank was gating.
+func (co *Coordinator) failRank(rank int) {
+	co.mu.Lock()
+	if co.failed[rank] {
+		co.mu.Unlock()
+		return
+	}
+	co.failed[rank] = true
+	workers := append([]*coordWorker(nil), co.workers...)
+	co.mu.Unlock()
+	payload := []byte{0, 0, byte(rank >> 8), byte(rank)}
+	for r, wk := range workers {
+		if r == rank || wk == nil {
+			continue
+		}
+		if err := wk.write(framePeerFailed, payload); err != nil {
+			co.logf("coordinator: peer-failed notice to rank %d: %v", r, err)
+		}
+	}
+	co.checkBarrier()
+	co.checkDone()
+}
+
+// barrierEnter records an arrival and releases the generation when every
+// live rank has entered.
+func (co *Coordinator) barrierEnter(rank int, seq uint64) {
+	co.mu.Lock()
+	co.entered[rank] = true
+	if seq > co.baSeq {
+		co.baSeq = seq
+	}
+	co.mu.Unlock()
+	co.checkBarrier()
+}
+
+// checkBarrier releases the pending barrier generation if every rank that
+// can still arrive has arrived.
+func (co *Coordinator) checkBarrier() {
+	co.mu.Lock()
+	waiting := 0
+	for r := 0; r < co.size; r++ {
+		if co.failed[r] || co.departed[r] {
+			continue
+		}
+		if !co.entered[r] {
+			co.mu.Unlock()
+			return
+		}
+		waiting++
+	}
+	if waiting == 0 {
+		co.mu.Unlock()
+		return
+	}
+	nFailed := len(co.failed)
+	seq := co.baSeq
+	var release []*coordWorker
+	for r := 0; r < co.size; r++ {
+		if co.entered[r] && !co.failed[r] && !co.departed[r] {
+			release = append(release, co.workers[r])
+		}
+		delete(co.entered, r)
+	}
+	co.mu.Unlock()
+
+	payload := make([]byte, 12)
+	putUint64(payload, seq)
+	payload[8], payload[9], payload[10], payload[11] = 0, 0, byte(nFailed>>8), byte(nFailed)
+	for _, wk := range release {
+		if err := wk.write(frameBarrierRelease, payload); err != nil {
+			co.logf("coordinator: barrier release: %v", err)
+		}
+	}
+}
+
+// checkDone closes done once every rank has departed or failed.
+func (co *Coordinator) checkDone() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.joined < co.size {
+		return
+	}
+	for r := 0; r < co.size; r++ {
+		if !co.departed[r] && !co.failed[r] {
+			return
+		}
+	}
+	select {
+	case <-co.done:
+	default:
+		close(co.done)
+	}
+}
+
+func beUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}

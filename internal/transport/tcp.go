@@ -1,0 +1,700 @@
+package transport
+
+// TCP backend: an Endpoint whose ranks are OS processes (or goroutines in
+// tests) connected by a full mesh of TCP connections, assembled through a
+// rendezvous Coordinator (rendezvous.go) and speaking the length-prefixed
+// frame format of wire.go.
+//
+// Topology. Rank j dials every lower rank i < j after the coordinator's
+// address exchange, so each pair shares exactly one connection. Frames on
+// a connection are FIFO, which gives the same per-pair message ordering as
+// the chan backend's channels. A per-peer reader goroutine decodes frames
+// into a buffered inbox channel; Recv semantics (including draining
+// messages that arrived before a peer died) therefore match comm.Comm.
+//
+// Failure model. A connection error or EOF without a clean goodbye marks
+// the peer permanently failed — exactly comm.World.FailRank, but detected
+// by the kernel instead of declared by a test. The coordinator broadcasts
+// framePeerFailed so ranks with no direct traffic to the dead peer also
+// observe the death, and barriers release with a failure count instead of
+// hanging. Injected faults (SetFaultInjector) are applied at the socket
+// layer: a crash abruptly closes every connection (the kill -9 wire
+// signature), a dropped send is a frame never written, a delayed send is a
+// stalled write — so a chaos.Plan exercised on the chan backend replays
+// over real sockets.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// inboxDepth buffers decoded frames per peer so a sender running slightly
+// ahead never stalls on the receiver's op loop; beyond it, TCP
+// backpressure applies.
+const inboxDepth = 64
+
+// JoinOptions configures Join.
+type JoinOptions struct {
+	// Bind is the mesh listen address (default "127.0.0.1:0"). Use a
+	// routable host for multi-machine worlds.
+	Bind string
+	// Advertise overrides the host the mesh address is announced with
+	// (the bound port is appended); empty announces the bound address.
+	Advertise string
+	// Timeout bounds the whole rendezvous (default 30s).
+	Timeout time.Duration
+	// Logf receives progress lines (default discards).
+	Logf func(format string, args ...any)
+}
+
+// peerConn is one mesh or coordinator connection with serialized writes.
+type peerConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+}
+
+func (p *peerConn) write(deadline time.Time, typ byte, payload []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	p.conn.SetWriteDeadline(deadline)
+	if err := writeFrame(p.bw, typ, payload); err != nil {
+		return err
+	}
+	return p.bw.Flush()
+}
+
+// barrierRelease is a decoded frameBarrierRelease.
+type barrierRelease struct {
+	seq     uint64
+	nFailed int
+}
+
+// TCPEndpoint is one rank of a TCP world. See Endpoint for the contract;
+// like an MPI rank it belongs to a single thread of execution.
+type TCPEndpoint struct {
+	rank, size int
+	logf       func(format string, args ...any)
+
+	coord     *peerConn
+	peers     []*peerConn // by rank; nil at rank
+	inbox     []chan []float64
+	failCh    []chan struct{}
+	failed    []atomic.Bool
+	coordDead chan struct{}
+	coordOnce sync.Once
+
+	bytesSent atomic.Int64
+	sendSeq   int64
+	recvSeq   int64
+	inject    FaultInjector
+	timeout   time.Duration
+
+	barrierCh  chan barrierRelease
+	barrierSeq uint64
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+}
+
+// Join enters the world coordinated at coordAddr: it binds a mesh
+// listener, registers with the coordinator, receives its rank and the
+// peer addresses, establishes the connection mesh, and returns once the
+// coordinator has confirmed every rank is connected.
+func Join(ctx context.Context, coordAddr string, opts JoinOptions) (*TCPEndpoint, error) {
+	if opts.Bind == "" {
+		opts.Bind = "127.0.0.1:0"
+	}
+	if opts.Timeout == 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithTimeout(ctx, opts.Timeout)
+	defer cancel()
+
+	ln, err := net.Listen("tcp", opts.Bind)
+	if err != nil {
+		return nil, fmt.Errorf("transport: mesh listen %s: %w", opts.Bind, err)
+	}
+	meshAddr := ln.Addr().String()
+	if opts.Advertise != "" {
+		_, port, perr := net.SplitHostPort(meshAddr)
+		if perr != nil {
+			ln.Close()
+			return nil, perr
+		}
+		meshAddr = net.JoinHostPort(opts.Advertise, port)
+	}
+
+	var d net.Dialer
+	cc, err := d.DialContext(ctx, "tcp", coordAddr)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("transport: dial coordinator %s: %w", coordAddr, err)
+	}
+	tuneConn(cc)
+	coord := &peerConn{conn: cc, bw: bufio.NewWriter(cc)}
+	coordReader := bufio.NewReader(cc)
+	deadline, _ := ctx.Deadline()
+	if err := coord.write(deadline, frameHello, encodeString(nil, meshAddr)); err != nil {
+		ln.Close()
+		cc.Close()
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+
+	cc.SetReadDeadline(deadline)
+	typ, payload, err := readFrame(coordReader)
+	if err != nil || typ != frameAssign {
+		ln.Close()
+		cc.Close()
+		return nil, fmt.Errorf("transport: waiting for assignment: type=%d err=%v", typ, err)
+	}
+	rank, size, addrs, err := decodeAssign(payload)
+	if err != nil {
+		ln.Close()
+		cc.Close()
+		return nil, err
+	}
+	logf("transport: joined as rank %d of %d (mesh %s)", rank, size, meshAddr)
+
+	e := &TCPEndpoint{
+		rank:      rank,
+		size:      size,
+		logf:      logf,
+		coord:     coord,
+		peers:     make([]*peerConn, size),
+		inbox:     make([]chan []float64, size),
+		failCh:    make([]chan struct{}, size),
+		failed:    make([]atomic.Bool, size),
+		coordDead: make(chan struct{}),
+		barrierCh: make(chan barrierRelease, 8),
+	}
+	for r := 0; r < size; r++ {
+		e.inbox[r] = make(chan []float64, inboxDepth)
+		e.failCh[r] = make(chan struct{})
+	}
+
+	if err := e.assembleMesh(ctx, ln, addrs); err != nil {
+		ln.Close()
+		cc.Close()
+		return nil, err
+	}
+	ln.Close() // mesh complete; no further inbound connections expected
+
+	// Confirm readiness and wait for the world-wide start signal.
+	if err := coord.write(deadline, frameReady, nil); err != nil {
+		e.abortConns()
+		return nil, fmt.Errorf("transport: ready: %w", err)
+	}
+	typ, _, err = readFrame(coordReader)
+	if err != nil || typ != frameStart {
+		e.abortConns()
+		return nil, fmt.Errorf("transport: waiting for start: type=%d err=%v", typ, err)
+	}
+	cc.SetReadDeadline(time.Time{})
+
+	// The world is live: start the reader loops.
+	for r := 0; r < size; r++ {
+		if p := e.peers[r]; p != nil {
+			go e.peerReadLoop(r, p)
+		}
+	}
+	go e.coordReadLoop(coordReader)
+	return e, nil
+}
+
+func decodeAssign(b []byte) (rank, size int, addrs []string, err error) {
+	if len(b) < 8 {
+		return 0, 0, nil, fmt.Errorf("transport: truncated assignment")
+	}
+	rank = int(b[2])<<8 | int(b[3])
+	size = int(b[6])<<8 | int(b[7])
+	if size < 1 || rank < 0 || rank >= size {
+		return 0, 0, nil, fmt.Errorf("transport: bad assignment rank=%d size=%d", rank, size)
+	}
+	b = b[8:]
+	addrs = make([]string, size)
+	for i := 0; i < size; i++ {
+		addrs[i], b, err = decodeString(b)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+	}
+	return rank, size, addrs, nil
+}
+
+// assembleMesh connects this rank to every peer: dial lower ranks, accept
+// from higher ranks.
+func (e *TCPEndpoint) assembleMesh(ctx context.Context, ln net.Listener, addrs []string) error {
+	deadline, _ := ctx.Deadline()
+	type accepted struct {
+		rank int
+		pc   *peerConn
+		err  error
+	}
+	expect := e.size - 1 - e.rank // inbound connections from higher ranks
+	acceptCh := make(chan accepted, expect)
+	if expect > 0 {
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		go func() {
+			for i := 0; i < expect; i++ {
+				conn, err := ln.Accept()
+				if err != nil {
+					acceptCh <- accepted{err: err}
+					return
+				}
+				tuneConn(conn)
+				br := bufio.NewReader(conn)
+				conn.SetReadDeadline(deadline)
+				typ, payload, err := readFrame(br)
+				if err != nil || typ != frameMeshHello || len(payload) < 4 {
+					conn.Close()
+					acceptCh <- accepted{err: fmt.Errorf("transport: bad mesh hello: type=%d err=%v", typ, err)}
+					return
+				}
+				conn.SetReadDeadline(time.Time{})
+				r := int(payload[2])<<8 | int(payload[3])
+				acceptCh <- accepted{rank: r, pc: &peerConn{conn: conn, bw: bufio.NewWriter(conn)}}
+			}
+		}()
+	}
+
+	var d net.Dialer
+	for r := 0; r < e.rank; r++ {
+		conn, err := d.DialContext(ctx, "tcp", addrs[r])
+		if err != nil {
+			return fmt.Errorf("transport: dial rank %d at %s: %w", r, addrs[r], err)
+		}
+		tuneConn(conn)
+		pc := &peerConn{conn: conn, bw: bufio.NewWriter(conn)}
+		hello := []byte{0, 0, byte(e.rank >> 8), byte(e.rank)}
+		if err := pc.write(deadline, frameMeshHello, hello); err != nil {
+			conn.Close()
+			return fmt.Errorf("transport: mesh hello to rank %d: %w", r, err)
+		}
+		e.peers[r] = pc
+	}
+	for i := 0; i < expect; i++ {
+		select {
+		case a := <-acceptCh:
+			if a.err != nil {
+				return a.err
+			}
+			if a.rank <= e.rank || a.rank >= e.size || e.peers[a.rank] != nil {
+				a.pc.conn.Close()
+				return fmt.Errorf("transport: unexpected mesh connection claiming rank %d", a.rank)
+			}
+			e.peers[a.rank] = a.pc
+		case <-ctx.Done():
+			return fmt.Errorf("transport: mesh assembly: %w", ctx.Err())
+		}
+	}
+	return nil
+}
+
+func tuneConn(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+		tc.SetKeepAlive(true)
+		tc.SetKeepAlivePeriod(10 * time.Second)
+	}
+}
+
+// peerReadLoop decodes frames from one peer into its inbox; a connection
+// error without a clean local close marks the peer failed.
+func (e *TCPEndpoint) peerReadLoop(r int, p *peerConn) {
+	br := bufio.NewReader(p.conn)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			if !e.closed.Load() {
+				e.markPeerFailed(r)
+			}
+			return
+		}
+		if typ != frameData {
+			e.logf("transport: rank %d sent unexpected frame type %d", r, typ)
+			continue
+		}
+		msg, err := decodeFloats(payload)
+		if err != nil {
+			e.logf("transport: rank %d: %v", r, err)
+			e.markPeerFailed(r)
+			return
+		}
+		e.inbox[r] <- msg
+	}
+}
+
+// coordReadLoop handles control-plane frames for the life of the world.
+func (e *TCPEndpoint) coordReadLoop(br *bufio.Reader) {
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			if !e.closed.Load() {
+				e.coordOnce.Do(func() { close(e.coordDead) })
+			}
+			return
+		}
+		switch typ {
+		case frameBarrierRelease:
+			if len(payload) >= 12 {
+				rel := barrierRelease{
+					seq:     beUint64(payload),
+					nFailed: int(payload[10])<<8 | int(payload[11]),
+				}
+				select {
+				case e.barrierCh <- rel:
+				default: // stale release nobody is waiting for
+				}
+			}
+		case framePeerFailed:
+			if len(payload) >= 4 {
+				e.markPeerFailed(int(payload[2])<<8 | int(payload[3]))
+			}
+		}
+	}
+}
+
+// markPeerFailed records a permanent peer death and wakes its waiters.
+func (e *TCPEndpoint) markPeerFailed(r int) {
+	if r < 0 || r >= e.size || r == e.rank {
+		return
+	}
+	if e.failed[r].CompareAndSwap(false, true) {
+		close(e.failCh[r])
+	}
+}
+
+// Rank returns this endpoint's rank.
+func (e *TCPEndpoint) Rank() int { return e.rank }
+
+// Size returns the world size.
+func (e *TCPEndpoint) Size() int { return e.size }
+
+// BytesSent returns this endpoint's cumulative sent payload bytes.
+func (e *TCPEndpoint) BytesSent() int64 { return e.bytesSent.Load() }
+
+// PeerFailed reports whether rank r is known dead.
+func (e *TCPEndpoint) PeerFailed(r int) bool { return e.failed[r].Load() }
+
+// SetTimeout bounds every Ctx operation (0 = caller's context alone).
+// Call before the endpoint starts communicating.
+func (e *TCPEndpoint) SetTimeout(d time.Duration) { e.timeout = d }
+
+// SetFaultInjector installs a deterministic fault plan for this rank.
+// Call before the endpoint starts communicating.
+func (e *TCPEndpoint) SetFaultInjector(fi FaultInjector) { e.inject = fi }
+
+// opCtx applies the endpoint timeout to ctx.
+func (e *TCPEndpoint) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.timeout > 0 {
+		return context.WithTimeout(ctx, e.timeout)
+	}
+	return ctx, func() {}
+}
+
+// opDeadline converts the operation context into a socket write deadline.
+func (e *TCPEndpoint) opDeadline(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	return time.Time{}
+}
+
+// mapCtxErr mirrors comm's timeout-vs-cancellation disambiguation.
+func mapCtxErr(outer context.Context, op string, peer int) error {
+	if outer.Err() != nil {
+		return outer.Err()
+	}
+	return fmt.Errorf("%w: %s involving rank %d", ErrTimeout, op, peer)
+}
+
+// checkFaults consumes one operation step, mirroring comm.Comm.checkFaults:
+// self-failure first, then a scheduled crash keyed on the rank's cumulative
+// operation count. An injected crash closes every connection abruptly, so
+// peers observe the same wire signature as a killed process.
+func (e *TCPEndpoint) checkFaults() error {
+	if e.failed[e.rank].Load() {
+		return fmt.Errorf("%w: rank %d", ErrRankFailed, e.rank)
+	}
+	if e.inject != nil && e.inject.ShouldCrash(e.rank, e.sendSeq+e.recvSeq) {
+		e.Kill()
+		return fmt.Errorf("%w: rank %d (injected crash)", ErrRankFailed, e.rank)
+	}
+	return nil
+}
+
+// Kill abruptly terminates this endpoint without a goodbye: every
+// connection is closed with a zero linger (RST on most stacks), which is
+// the closest a live process gets to its own kill -9. Peers observe
+// ErrPeerFailed; the coordinator marks the rank failed. Used by injected
+// crashes and by chaos tests.
+func (e *TCPEndpoint) Kill() {
+	e.failed[e.rank].Store(true)
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		for _, p := range e.peers {
+			if p != nil {
+				abort(p.conn)
+			}
+		}
+		abort(e.coord.conn)
+	})
+	// From the killed endpoint's own perspective every peer is now
+	// unreachable; waking its blocked operations immediately keeps
+	// in-process death simulations from hanging until the op timeout.
+	for r := 0; r < e.size; r++ {
+		if r != e.rank {
+			e.markPeerFailed(r)
+		}
+	}
+}
+
+func abort(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// Close announces a clean departure to the coordinator and closes every
+// connection. Safe to call more than once.
+func (e *TCPEndpoint) Close() error {
+	var err error
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		err = e.coord.write(time.Now().Add(5*time.Second), frameGoodbye, nil)
+		for _, p := range e.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+		e.coord.conn.Close()
+	})
+	return err
+}
+
+// SendCtx delivers data to dst or returns an error; semantics mirror
+// comm.Comm.SendCtx, including fault injection by send sequence number.
+func (e *TCPEndpoint) SendCtx(ctx context.Context, dst int, data []float64) error {
+	if dst < 0 || dst >= e.size {
+		return fmt.Errorf("transport: send to rank %d outside world of %d", dst, e.size)
+	}
+	if err := e.checkFaults(); err != nil {
+		return err
+	}
+	seq := e.sendSeq
+	e.sendSeq++
+	opCtx, cancel := e.opCtx(ctx)
+	defer cancel()
+	if e.inject != nil {
+		drop, delay := e.inject.SendFault(e.rank, seq)
+		if delay > 0 {
+			if err := sleepCtx(opCtx, delay); err != nil {
+				return mapCtxErr(ctx, "send", dst)
+			}
+		}
+		if drop {
+			e.bytesSent.Add(int64(8 * len(data))) // sent, then lost on the wire
+			return nil
+		}
+	}
+	if e.failed[dst].Load() {
+		return fmt.Errorf("%w: send to rank %d", ErrPeerFailed, dst)
+	}
+	if dst == e.rank {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		select {
+		case e.inbox[dst] <- cp:
+			e.bytesSent.Add(int64(8 * len(data)))
+			return nil
+		case <-opCtx.Done():
+			return mapCtxErr(ctx, "send", dst)
+		}
+	}
+	deadline := e.opDeadline(opCtx)
+	if err := e.peers[dst].write(deadline, frameData, encodeFloats(data)); err != nil {
+		if opCtx.Err() != nil {
+			return mapCtxErr(ctx, "send", dst)
+		}
+		e.markPeerFailed(dst)
+		return fmt.Errorf("%w: send to rank %d: %v", ErrPeerFailed, dst, err)
+	}
+	e.bytesSent.Add(int64(8 * len(data)))
+	return nil
+}
+
+// RecvCtx returns the next message from src, draining frames that arrived
+// before a peer death, or ErrPeerFailed once src is dead and drained.
+func (e *TCPEndpoint) RecvCtx(ctx context.Context, src int) ([]float64, error) {
+	if src < 0 || src >= e.size {
+		return nil, fmt.Errorf("transport: recv from rank %d outside world of %d", src, e.size)
+	}
+	if err := e.checkFaults(); err != nil {
+		return nil, err
+	}
+	e.recvSeq++
+	select {
+	case msg := <-e.inbox[src]:
+		return msg, nil
+	default:
+	}
+	opCtx, cancel := e.opCtx(ctx)
+	defer cancel()
+	var failCh <-chan struct{}
+	if src != e.rank {
+		failCh = e.failCh[src]
+	}
+	select {
+	case msg := <-e.inbox[src]:
+		return msg, nil
+	case <-failCh:
+		// One more drain: the reader loop may have delivered between our
+		// first check and the failure close.
+		select {
+		case msg := <-e.inbox[src]:
+			return msg, nil
+		default:
+		}
+		return nil, fmt.Errorf("%w: recv from rank %d", ErrPeerFailed, src)
+	case <-opCtx.Done():
+		return nil, mapCtxErr(ctx, "recv", src)
+	}
+}
+
+// BarrierCtx blocks until every live rank has entered the barrier. If any
+// rank in the world has failed, the release reports it and BarrierCtx
+// returns ErrPeerFailed — the prompt-detection analogue of comm's
+// timeout-based dead-rank discovery.
+func (e *TCPEndpoint) BarrierCtx(ctx context.Context) error {
+	if err := e.checkFaults(); err != nil {
+		return err
+	}
+	e.barrierSeq++
+	seq := e.barrierSeq
+	opCtx, cancel := e.opCtx(ctx)
+	defer cancel()
+	var payload [8]byte
+	putUint64(payload[:], seq)
+	if err := e.coord.write(e.opDeadline(opCtx), frameBarrierEnter, payload[:]); err != nil {
+		return fmt.Errorf("%w: barrier (coordinator unreachable): %v", ErrPeerFailed, err)
+	}
+	for {
+		select {
+		case rel := <-e.barrierCh:
+			if rel.seq < seq {
+				continue // stale release from an abandoned barrier
+			}
+			if rel.nFailed > 0 {
+				return fmt.Errorf("%w: barrier released with %d failed ranks", ErrPeerFailed, rel.nFailed)
+			}
+			return nil
+		case <-e.coordDead:
+			return fmt.Errorf("%w: barrier (coordinator lost)", ErrPeerFailed)
+		case <-opCtx.Done():
+			return mapCtxErr(ctx, "barrier", -1)
+		}
+	}
+}
+
+// BroadcastCtx, AllreduceCtx, and AllgatherCtx run the shared collective
+// schedules (collectives.go) over this endpoint's point-to-point ops —
+// the same binomial tree and ring as package comm, so results are
+// bit-identical across backends.
+func (e *TCPEndpoint) BroadcastCtx(ctx context.Context, root int, buf []float64) error {
+	return broadcastCtx(ctx, e, root, buf)
+}
+
+// AllreduceCtx reduces buf elementwise across all ranks (ring schedule).
+func (e *TCPEndpoint) AllreduceCtx(ctx context.Context, buf []float64, op Op) error {
+	return allreduceCtx(ctx, e, buf, op)
+}
+
+// AllgatherCtx concatenates per-rank contributions into dst (ring schedule).
+func (e *TCPEndpoint) AllgatherCtx(ctx context.Context, contrib, dst []float64) error {
+	return allgatherCtx(ctx, e, contrib, dst)
+}
+
+// Blocking variants: healthy-world wrappers over the Ctx operations. A
+// failure (dead peer, closed socket) panics — distributed code should use
+// the Ctx variants.
+
+// Send delivers data to dst, panicking on transport failure.
+func (e *TCPEndpoint) Send(dst int, data []float64) {
+	if err := e.SendCtx(context.Background(), dst, data); err != nil {
+		panic(fmt.Sprintf("transport: blocking Send over TCP failed (use SendCtx): %v", err))
+	}
+}
+
+// Recv returns the next message from src, panicking on transport failure.
+func (e *TCPEndpoint) Recv(src int) []float64 {
+	msg, err := e.RecvCtx(context.Background(), src)
+	if err != nil {
+		panic(fmt.Sprintf("transport: blocking Recv over TCP failed (use RecvCtx): %v", err))
+	}
+	return msg
+}
+
+// Barrier blocks until every rank enters, panicking on transport failure.
+func (e *TCPEndpoint) Barrier() {
+	if err := e.BarrierCtx(context.Background()); err != nil {
+		panic(fmt.Sprintf("transport: blocking Barrier over TCP failed (use BarrierCtx): %v", err))
+	}
+}
+
+// Broadcast copies root's buf to every rank, panicking on failure.
+func (e *TCPEndpoint) Broadcast(root int, buf []float64) {
+	if err := e.BroadcastCtx(context.Background(), root, buf); err != nil {
+		panic(fmt.Sprintf("transport: blocking Broadcast over TCP failed (use BroadcastCtx): %v", err))
+	}
+}
+
+// Allreduce reduces buf across ranks, panicking on failure.
+func (e *TCPEndpoint) Allreduce(buf []float64, op Op) {
+	if err := e.AllreduceCtx(context.Background(), buf, op); err != nil {
+		panic(fmt.Sprintf("transport: blocking Allreduce over TCP failed (use AllreduceCtx): %v", err))
+	}
+}
+
+// Allgather concatenates contributions into dst, panicking on failure.
+func (e *TCPEndpoint) Allgather(contrib, dst []float64) {
+	if err := e.AllgatherCtx(context.Background(), contrib, dst); err != nil {
+		panic(fmt.Sprintf("transport: blocking Allgather over TCP failed (use AllgatherCtx): %v", err))
+	}
+}
+
+// abortConns tears down a partially joined endpoint.
+func (e *TCPEndpoint) abortConns() {
+	for _, p := range e.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	e.coord.conn.Close()
+}
+
+// sleepCtx waits for d respecting cancellation.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+var _ Endpoint = (*TCPEndpoint)(nil)

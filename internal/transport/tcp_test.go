@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func joinWorld(t *testing.T, co *Coordinator, n int) []*TCPEndpoint {
+	t.Helper()
+	eps := make([]*TCPEndpoint, n)
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep, err := Join(context.Background(), co.Addr(), JoinOptions{Timeout: 20 * time.Second})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			eps[ep.Rank()] = ep
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	return eps
+}
+
+func TestRendezvousRankAssignment(t *testing.T) {
+	const n = 4
+	co, err := NewCoordinator("127.0.0.1:0", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	eps := joinWorld(t, co, n)
+	seen := map[int]bool{}
+	for _, ep := range eps {
+		if ep == nil {
+			t.Fatal("a join produced no endpoint")
+		}
+		if ep.Size() != n {
+			t.Errorf("size = %d, want %d", ep.Size(), n)
+		}
+		if seen[ep.Rank()] {
+			t.Errorf("rank %d assigned twice", ep.Rank())
+		}
+		seen[ep.Rank()] = true
+	}
+	for r := 0; r < n; r++ {
+		if !seen[r] {
+			t.Errorf("rank %d never assigned", r)
+		}
+	}
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+func TestCoordinatorWaitCleanShutdown(t *testing.T) {
+	const n = 3
+	co, err := NewCoordinator("127.0.0.1:0", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	eps := joinWorld(t, co, n)
+	for _, ep := range eps {
+		ep.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	failed, err := co.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 0 {
+		t.Errorf("clean shutdown reported failed ranks %v", failed)
+	}
+}
+
+func TestCoordinatorDetectsKilledWorker(t *testing.T) {
+	const n = 3
+	co, err := NewCoordinator("127.0.0.1:0", n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	eps := joinWorld(t, co, n)
+
+	// Rank 1 dies abruptly — the kill -9 signature: RST, no goodbye.
+	eps[1].Kill()
+
+	// Survivors must observe the death without any direct traffic to the
+	// dead rank, via the coordinator's framePeerFailed broadcast.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, r := range []int{0, 2} {
+		for !eps[r].PeerFailed(1) {
+			if time.Now().After(deadline) {
+				t.Fatalf("rank %d never observed rank 1's death", r)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Survivors can still talk to each other.
+	ctx := context.Background()
+	done := make(chan error, 2)
+	go func() { done <- eps[0].SendCtx(ctx, 2, []float64{3.5}) }()
+	go func() {
+		msg, err := eps[2].RecvCtx(ctx, 0)
+		if err == nil && msg[0] != 3.5 {
+			t.Errorf("survivor traffic corrupt: %v", msg)
+		}
+		done <- err
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Errorf("survivor traffic failed: %v", err)
+		}
+	}
+
+	eps[0].Close()
+	eps[2].Close()
+	ctx2, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	failed, err := co.Wait(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failed) != 1 || failed[0] != 1 {
+		t.Errorf("Wait reported failed=%v, want [1]", failed)
+	}
+}
+
+func TestJoinTimeoutWhenWorldIncomplete(t *testing.T) {
+	co, err := NewCoordinator("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	// Only one worker joins a world of two: Join must give up, not hang.
+	_, err = Join(context.Background(), co.Addr(), JoinOptions{Timeout: 300 * time.Millisecond})
+	if err == nil {
+		t.Fatal("Join succeeded with an incomplete world")
+	}
+}
+
+func TestWireFloatRoundTrip(t *testing.T) {
+	in := []float64{0, math.Copysign(0, -1), 1.5, -math.Pi, math.Inf(1), math.Inf(-1), math.NaN(), math.MaxFloat64, math.SmallestNonzeroFloat64}
+	out, err := decodeFloats(encodeFloats(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("length %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if math.Float64bits(out[i]) != math.Float64bits(in[i]) {
+			t.Errorf("elem %d: %x != %x", i, math.Float64bits(out[i]), math.Float64bits(in[i]))
+		}
+	}
+}
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {1}, bytes.Repeat([]byte{0xab}, 1000)}
+	for i, p := range payloads {
+		if err := writeFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&buf)
+	for i, p := range payloads {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(payload, p) {
+			t.Errorf("frame %d: type %d payload %d bytes", i, typ, len(payload))
+		}
+	}
+}
+
+func TestWireRejectsOversizeFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // length ≫ maxFrameLen
+	if _, _, err := readFrame(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("oversize frame accepted")
+	}
+}
+
+func TestWireStringRoundTrip(t *testing.T) {
+	b := encodeString(nil, "127.0.0.1:9999")
+	b = encodeString(b, "")
+	s1, rest, err := decodeString(b)
+	if err != nil || s1 != "127.0.0.1:9999" {
+		t.Fatalf("s1=%q err=%v", s1, err)
+	}
+	s2, rest, err := decodeString(rest)
+	if err != nil || s2 != "" || len(rest) != 0 {
+		t.Fatalf("s2=%q rest=%d err=%v", s2, len(rest), err)
+	}
+}

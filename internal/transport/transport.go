@@ -1,0 +1,109 @@
+// Package transport abstracts the message-passing layer behind a backend
+// interface so the same parallel code — the REWL driver (package rewl), the
+// DDP trainer (package train) — runs unchanged over goroutine channels in
+// one process or over TCP sockets spanning OS processes and machines.
+//
+// The operation set mirrors package comm, which mirrors MPI: point-to-point
+// sends, barriers, binomial-tree broadcast, ring allreduce/allgather, each
+// in a blocking flavor (healthy-world BSP code) and a Ctx flavor
+// (cancellation, timeouts, failed-peer observation, deterministic fault
+// injection — see comm/faults.go). Two backends implement it:
+//
+//   - the chan backend (chan.go) wraps a comm.World: every operation
+//     delegates to the corresponding comm.Comm method, so in-process runs
+//     are bit-identical to code written against package comm directly;
+//   - the TCP backend (tcp.go, rendezvous.go, wire.go) carries the same
+//     operations over length-prefixed binary frames between processes that
+//     met through a rendezvous coordinator.
+//
+// Chaos plans (package chaos) plug into either backend through the shared
+// comm.FaultInjector interface, so a fault schedule exercised in-process
+// replays over real sockets: a crash closes the rank's connections
+// mid-protocol, a dropped send is a frame never written, a delayed send is
+// a stalled socket write.
+package transport
+
+import (
+	"context"
+	"time"
+
+	"deepthermo/internal/comm"
+)
+
+// Op re-exports the reduction operator type so transport users need not
+// import comm.
+type Op = comm.Op
+
+// Reduction operators.
+const (
+	Sum = comm.Sum
+	Max = comm.Max
+	Min = comm.Min
+)
+
+// Errors re-exported from package comm: both backends report failures
+// through the same sentinel values, so callers' errors.Is checks are
+// backend-independent.
+var (
+	ErrRankFailed = comm.ErrRankFailed
+	ErrPeerFailed = comm.ErrPeerFailed
+	ErrTimeout    = comm.ErrTimeout
+)
+
+// FaultInjector is the per-operation fault oracle shared with package comm;
+// chaos.Plan satisfies it.
+type FaultInjector = comm.FaultInjector
+
+// Endpoint is one rank's communicator. Like an MPI rank (and like
+// comm.Comm), an Endpoint belongs to one thread of execution and is not
+// safe for concurrent use by multiple goroutines.
+//
+// The blocking operations assume a healthy world; on the TCP backend they
+// panic if the underlying operation fails (a dead peer, a closed socket),
+// so distributed code should use the Ctx variants, which return errors.
+// SetTimeout and SetFaultInjector must be called before the endpoint
+// starts communicating.
+type Endpoint interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the world size.
+	Size() int
+
+	// Blocking operations (healthy-world BSP code).
+	Send(dst int, data []float64)
+	Recv(src int) []float64
+	Barrier()
+	Broadcast(root int, buf []float64)
+	Allreduce(buf []float64, op Op)
+	Allgather(contrib, dst []float64)
+
+	// Fault-aware operations: cancellation, timeout, failed-peer
+	// observation, fault injection.
+	SendCtx(ctx context.Context, dst int, data []float64) error
+	RecvCtx(ctx context.Context, src int) ([]float64, error)
+	BarrierCtx(ctx context.Context) error
+	BroadcastCtx(ctx context.Context, root int, buf []float64) error
+	AllreduceCtx(ctx context.Context, buf []float64, op Op) error
+	AllgatherCtx(ctx context.Context, contrib, dst []float64) error
+
+	// SetTimeout bounds every Ctx operation (0 = caller's context alone).
+	SetTimeout(d time.Duration)
+	// SetFaultInjector installs a deterministic fault plan for this rank's
+	// operations (nil disables injection).
+	SetFaultInjector(fi FaultInjector)
+
+	// BytesSent reports cumulative payload bytes, for communication-volume
+	// assertions: the chan backend reports the world-wide total (shared
+	// process memory), the TCP backend this process's endpoint alone, so
+	// the world total is the sum over endpoints.
+	BytesSent() int64
+
+	// PeerFailed reports whether rank r is known to have permanently
+	// failed (crashed, disconnected, or fault-injected dead).
+	PeerFailed(r int) bool
+
+	// Close releases the endpoint. On the TCP backend it announces a clean
+	// departure to the coordinator and closes the mesh connections; on the
+	// chan backend it is a no-op.
+	Close() error
+}

@@ -1,0 +1,114 @@
+#!/usr/bin/env bash
+# Multi-process smoke test for the TCP transport and distributed REWL.
+#
+# Scenario 1 (bit-identity): a coordinator plus two dtworker processes
+# run the seeded REWL job over real sockets; the leader's DOS checksum
+# must equal the single-process reference checksum from `dtworker -local`.
+#
+# Scenario 2 (fault tolerance): a three-process world starts a
+# non-converging run, one non-leader worker is killed with SIGKILL
+# mid-run, and the leader must still finish — reporting the dead rank's
+# windows as degraded — while the coordinator reports the failed rank.
+#
+# Usage: scripts/distributed_smoke.sh
+# Exits nonzero on any mismatch or timeout.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+log() { echo "smoke: $*"; }
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+# wait_for FILE PATTERN SECONDS — poll FILE until PATTERN appears.
+wait_for() {
+    local file="$1" pat="$2" deadline=$((SECONDS + $3))
+    until grep -q "$pat" "$file" 2>/dev/null; do
+        ((SECONDS < deadline)) || fail "timed out waiting for '$pat' in $file"
+        sleep 0.2
+    done
+}
+
+log "building dtworker"
+go build -o "$tmp/dtworker" ./cmd/dtworker
+
+# --- Scenario 1: 2-process TCP run reproduces the local checksum -----------
+
+log "scenario 1: local reference run"
+"$tmp/dtworker" -local -job rewl >"$tmp/local.log" 2>&1
+ref=$(grep -o 'dos_checksum=[0-9a-f]*' "$tmp/local.log") ||
+    fail "no dos_checksum in local output"
+log "reference $ref"
+
+log "scenario 1: coordinator + 2 workers over TCP"
+"$tmp/dtworker" -coordinate -listen 127.0.0.1:0 -world 2 >"$tmp/coord1.log" 2>&1 &
+pids+=($!)
+wait_for "$tmp/coord1.log" 'listening on' 20
+addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$tmp/coord1.log")
+log "coordinator at $addr"
+
+"$tmp/dtworker" -join "$addr" -job rewl >"$tmp/w1a.log" 2>&1 &
+w1a=$!; pids+=("$w1a")
+"$tmp/dtworker" -join "$addr" -job rewl >"$tmp/w1b.log" 2>&1 &
+w1b=$!; pids+=("$w1b")
+wait "$w1a" || fail "worker A exited nonzero"
+wait "$w1b" || fail "worker B exited nonzero"
+wait_for "$tmp/coord1.log" 'world finished cleanly' 20
+
+got=$(grep -ho 'dos_checksum=[0-9a-f]*' "$tmp/w1a.log" "$tmp/w1b.log" | head -1) ||
+    fail "no dos_checksum in worker output"
+[[ "$got" == "$ref" ]] ||
+    fail "distributed checksum $got != local reference $ref"
+log "scenario 1 OK: distributed run reproduced $ref"
+
+# --- Scenario 2: kill -9 one worker, leader degrades and finishes ----------
+
+log "scenario 2: 3-process world, SIGKILL one worker mid-run"
+"$tmp/dtworker" -coordinate -listen 127.0.0.1:0 -world 3 >"$tmp/coord2.log" 2>&1 &
+pids+=($!)
+wait_for "$tmp/coord2.log" 'listening on' 20
+addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$tmp/coord2.log")
+
+# A target ln f of 1e-300 never converges, so the run spans the full
+# round budget and the kill lands while sweeps are still in flight.
+job=(-join "$addr" -job rewl -windows 3 -lnf 1e-300 -max-rounds 4000 -v)
+declare -A wpid
+for w in a b c; do
+    "$tmp/dtworker" "${job[@]}" >"$tmp/w2$w.log" 2>&1 &
+    wpid[$w]=$!; pids+=("${wpid[$w]}")
+done
+
+# Rank assignment follows join order, which is racy — map log files back
+# to ranks, find the leader (rank 0), and pick a non-leader victim.
+leader="" victim=""
+for w in a b c; do
+    wait_for "$tmp/w2$w.log" 'joined world' 20
+    if grep -q 'rank 0' "$tmp/w2$w.log"; then leader=$w; fi
+    if grep -q 'rank 1' "$tmp/w2$w.log"; then victim=$w; fi
+done
+[[ -n "$leader" && -n "$victim" ]] || fail "could not map workers to ranks"
+
+wait_for "$tmp/w2$leader.log" 'round 3:' 30
+log "killing rank 1 (worker $victim, pid ${wpid[$victim]})"
+kill -9 "${wpid[$victim]}"
+{ wait "${wpid[$victim]}" || true; } 2>/dev/null
+
+wait "${wpid[$leader]}" || fail "leader exited nonzero after worker death"
+wait_for "$tmp/coord2.log" 'failed ranks' 30
+
+grep -q 'degraded_windows=[1-9]' "$tmp/w2$leader.log" ||
+    fail "leader summary reports no degraded windows: $(grep 'rewl done' "$tmp/w2$leader.log" || true)"
+grep -q 'failed_walkers=[1-9]' "$tmp/w2$leader.log" ||
+    fail "leader summary reports no failed walkers"
+log "scenario 2 OK: $(grep -o 'degraded_windows=[0-9]*' "$tmp/w2$leader.log" | head -1) after SIGKILL"
+
+log "all scenarios passed"
