@@ -20,11 +20,21 @@
 // channels and TCP over loopback — at world sizes 2 and 4, with an 8 KiB
 // float payload per rank. The comm report goes to BENCH_6.json.
 //
+// With -dlbatch, dtbench sweeps the batched cross-walker inference engine:
+// at each walker width (1, 2, 4, 8, 16) it measures per-walker-step cost of
+// W interleaved sequential walkers (each on a private weight copy — the
+// pre-batching REWL execution shape) against W walkers sharing one engine,
+// on both the golden test shape (Hidden 16, comparable to the BENCH_5
+// baseline) and the serving shape (Hidden 96, Latent 6) where weight
+// streaming dominates. The sweep goes to BENCH_7.json.
+//
 // Usage:
 //
 //	dtbench -preset small -out BENCH_5.json
 //	dtbench -comm -out BENCH_6.json      # transport collectives suite
+//	dtbench -dlbatch -out BENCH_7.json   # batched-inference sweep
 //	dtbench -max-dl-allocs 0             # CI gate: fail if the DL hot path allocates
+//	dtbench -dlbatch -max-batch-allocs 40  # CI gate on engine-path allocs/walker-step
 //	dtbench -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
@@ -43,6 +53,7 @@ import (
 
 	"deepthermo/internal/alloy"
 	"deepthermo/internal/dos"
+	"deepthermo/internal/infer"
 	"deepthermo/internal/lattice"
 	"deepthermo/internal/mc"
 	"deepthermo/internal/rewl"
@@ -74,6 +85,22 @@ type Report struct {
 	Baseline    *Result           `json:"pre_refactor_baseline,omitempty"`
 	Results     []Result          `json:"results"`
 	DLAllocsMax int64             `json:"dl_allocs_budget,omitempty"`
+	Batch       []BatchRow        `json:"batch_sweep,omitempty"`
+}
+
+// BatchRow summarizes one width of the -dlbatch sweep: per-walker-step
+// cost sequential vs. engine, and the resulting speedup.
+type BatchRow struct {
+	Shape        string  `json:"shape"`
+	Width        int     `json:"width"`
+	SeqNsPerStep float64 `json:"seq_ns_per_walker_step"`
+	EngNsPerStep float64 `json:"eng_ns_per_walker_step"`
+	Speedup      float64 `json:"speedup"`
+	// SpeedupVsBaseline compares the engine path against the BENCH_5
+	// pre-refactor per-walker baseline; only set on the golden shape,
+	// which runs the identical workload.
+	SpeedupVsBaseline float64 `json:"speedup_vs_bench5_baseline,omitempty"`
+	EngAllocsPerStep  float64 `json:"eng_allocs_per_walker_step"`
 }
 
 func main() {
@@ -82,15 +109,20 @@ func main() {
 
 	preset := flag.String("preset", "small", "small | large (lattice size for the local-proposal sweeps)")
 	comm := flag.Bool("comm", false, "benchmark the transport collectives (chan and TCP backends) instead of the sampling hot paths")
-	out := flag.String("out", "", "output JSON path (- for stdout only; default BENCH_5.json, BENCH_6.json with -comm)")
+	dlbatch := flag.Bool("dlbatch", false, "sweep the batched cross-walker inference engine across walker widths instead of the sampling hot paths")
+	out := flag.String("out", "", "output JSON path (- for stdout only; default BENCH_5.json, BENCH_6.json with -comm, BENCH_7.json with -dlbatch)")
 	maxDLAllocs := flag.Int64("max-dl-allocs", -1, "fail (exit 1) if the DL walk proposal exceeds this allocs/op budget; -1 disables")
+	maxBatchAllocs := flag.Float64("max-batch-allocs", -1, "fail (exit 1) if the engine path exceeds this allocs per walker-step at full width; -1 disables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit")
 	flag.Parse()
 	if *out == "" {
-		if *comm {
+		switch {
+		case *comm:
 			*out = "BENCH_6.json"
-		} else {
+		case *dlbatch:
+			*out = "BENCH_7.json"
+		default:
 			*out = "BENCH_5.json"
 		}
 	}
@@ -127,7 +159,8 @@ func main() {
 		rep.DLAllocsMax = *maxDLAllocs
 	}
 
-	if *comm {
+	switch {
+	case *comm:
 		rep.Schema = "deepthermo-commbench/1"
 		rep.Preset = "comm"
 		rep.Seeds = nil
@@ -140,7 +173,53 @@ func main() {
 				)
 			}
 		}
-	} else {
+	case *dlbatch:
+		rep.Schema = "deepthermo-batchbench/1"
+		rep.Preset = "dlbatch"
+		rep.Seeds = map[string]uint64{"dl_model": 101, "dl_chain_base": 202}
+		// The golden shape (Hidden 16) runs the exact BENCH_5 workload per
+		// walker; the serving shape (Hidden 96, Latent 6) is the deployed
+		// model size, where streaming the ~360 KiB weight set once per
+		// flush instead of once per walker-step dominates.
+		shapes := []struct {
+			name           string
+			latent, hidden int
+			widths         []int
+		}{
+			{"golden-h16", 4, 16, []int{8}},
+			{"serving-h96", 6, 96, []int{1, 2, 4, 8, 16}},
+		}
+		for _, sh := range shapes {
+			for _, w := range sh.widths {
+				seq, eng := benchDLBatch(sh.latent, sh.hidden, w)
+				// run() reports per benchmark op (one full round of
+				// batchBenchSteps steps on every walker); rescale to
+				// per-walker-step, the unit BENCH_5 uses.
+				steps := int64(batchBenchSteps * w)
+				row := BatchRow{
+					Shape:            sh.name,
+					Width:            w,
+					EngAllocsPerStep: float64(eng.AllocsPerOp) / float64(steps),
+				}
+				for _, r := range []*Result{&seq, &eng} {
+					r.NsPerOp /= float64(steps)
+					r.BytesPerOp /= steps
+					r.AllocsPerOp /= steps
+				}
+				row.SeqNsPerStep = seq.NsPerOp
+				row.EngNsPerStep = eng.NsPerOp
+				row.Speedup = seq.NsPerOp / eng.NsPerOp
+				seq.Name = fmt.Sprintf("dlb-seq-%s-w%d", sh.name, w)
+				eng.Name = fmt.Sprintf("dlb-eng-%s-w%d", sh.name, w)
+				if sh.name == "golden-h16" && rep.Baseline != nil {
+					row.SpeedupVsBaseline = rep.Baseline.NsPerOp / eng.NsPerOp
+				}
+				eng.Note = fmt.Sprintf("%.2fx vs %d interleaved sequential walkers", row.Speedup, w)
+				rep.Results = append(rep.Results, seq, eng)
+				rep.Batch = append(rep.Batch, row)
+			}
+		}
+	default:
 		cells := 8
 		if *preset == "small" {
 			cells = 4
@@ -193,6 +272,150 @@ func main() {
 			}
 		}
 	}
+	if *maxBatchAllocs >= 0 {
+		// Gate the widest serving-shape engine row: per-walker-step allocs
+		// must stay within budget so coalescing never regresses into
+		// per-request heap churn.
+		var widest *BatchRow
+		for i := range rep.Batch {
+			row := &rep.Batch[i]
+			if row.Shape == "serving-h96" && (widest == nil || row.Width > widest.Width) {
+				widest = row
+			}
+		}
+		if widest == nil {
+			log.Fatal("-max-batch-allocs requires the -dlbatch sweep")
+		}
+		if widest.EngAllocsPerStep > *maxBatchAllocs {
+			log.Fatalf("engine path allocates %.1f allocs per walker-step at width %d, budget is %.1f",
+				widest.EngAllocsPerStep, widest.Width, *maxBatchAllocs)
+		}
+	}
+}
+
+// batchBenchSteps is the number of canonical MC steps each walker takes
+// per benchmark op in the -dlbatch sweep; one op = every walker finishing
+// a round, matching the REWL sweep-phase quorum granularity.
+const batchBenchSteps = 8
+
+// batchSamplers builds width DL walk-posterior samplers over the 54-site
+// NbMoTaW quota. With an engine, every sampler gets a client of the one
+// shared model; otherwise each gets a private copy of the same weights —
+// the pre-batching REWL execution shape.
+func batchSamplers(latent, hidden, width int, eng *infer.Engine) []*mc.Sampler {
+	lat := lattice.MustNew(lattice.BCC, 3, 3, 3)
+	m := alloy.NbMoTaW(lat)
+	quota := []int{14, 14, 13, 13}
+	model, err := vae.New(vae.Config{Sites: 54, Species: 4, Latent: latent, Hidden: hidden, BetaKL: 1}, rng.New(101))
+	if err != nil {
+		log.Fatal(err)
+	}
+	samplers := make([]*mc.Sampler, width)
+	for i := range samplers {
+		var backend mc.Inferencer = model.CloneWeights(rng.New(uint64(1000 + i)))
+		if eng != nil {
+			backend = eng.NewClient()
+		}
+		prop := mc.NewGlobalProposalWith(backend, m, quota, mc.CondForT(1200))
+		prop.SetMode(mc.WalkPosterior)
+		src := rng.New(uint64(202 + i))
+		cfg := make(lattice.Config, 0, 54)
+		for sp, q := range quota {
+			for j := 0; j < q; j++ {
+				cfg = append(cfg, lattice.Species(sp))
+			}
+		}
+		src.Shuffle(len(cfg), func(a, b int) { cfg[a], cfg[b] = cfg[b], cfg[a] })
+		samplers[i] = mc.NewSampler(m, cfg, prop, src)
+	}
+	return samplers
+}
+
+// benchDLBatch measures one round (batchBenchSteps steps on each of width
+// walkers) per benchmark op, sequential-interleaved vs. engine-batched.
+// The sequential comparator interleaves walkers step-by-step, touching a
+// different weight copy every step, exactly as the single-core REWL sweep
+// phase schedules per-walker goroutines.
+func benchDLBatch(latent, hidden, width int) (seq, eng Result) {
+	beta := 1 / (alloy.KB * 1200)
+	note := fmt.Sprintf("%d walkers x %d steps per op, hidden %d", width, batchBenchSteps, hidden)
+
+	ss := batchSamplers(latent, hidden, width, nil)
+	seq = bestOf(batchBenchReps, func() Result {
+		return run("dlb-seq", 0, note, seqBenchFn(ss, beta))
+	})
+
+	engine := infer.NewEngine(mustModel(latent, hidden))
+	es := batchSamplers(latent, hidden, width, engine)
+	eng = bestOf(batchBenchReps, func() Result {
+		return run("dlb-eng", 0, note, engBenchFn(es, beta))
+	})
+	return seq, eng
+}
+
+// batchBenchReps repeats every -dlbatch measurement and keeps the fastest
+// run. The minimum is the least-interfered sample — the right estimator
+// on shared or single-core machines where a noisy neighbor can inflate
+// any individual 1-second benchmark window by 30% or more.
+const batchBenchReps = 3
+
+func bestOf(reps int, f func() Result) Result {
+	best := f()
+	for i := 1; i < reps; i++ {
+		if r := f(); r.NsPerOp < best.NsPerOp {
+			best = r
+		}
+	}
+	return best
+}
+
+func seqBenchFn(ss []*mc.Sampler, beta float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		for _, s := range ss {
+			s.StepCanonical(beta) // warm-up: lazily sized scratch
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for st := 0; st < batchBenchSteps; st++ {
+				for _, s := range ss {
+					s.StepCanonical(beta)
+				}
+			}
+		}
+	}
+}
+
+func engBenchFn(es []*mc.Sampler, beta float64) func(b *testing.B) {
+	return func(b *testing.B) {
+		for _, s := range es {
+			s.StepCanonical(beta)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for w, s := range es {
+				bp := es[w].Proposal.(mc.BatchParticipant)
+				bp.BeginBatch() // pre-spawn, as the REWL sweep phase does
+				wg.Add(1)
+				go func(s *mc.Sampler, bp mc.BatchParticipant) {
+					defer wg.Done()
+					defer bp.EndBatch()
+					for st := 0; st < batchBenchSteps; st++ {
+						s.StepCanonical(beta)
+					}
+				}(s, bp)
+			}
+			wg.Wait()
+		}
+	}
+}
+
+func mustModel(latent, hidden int) *vae.Model {
+	model, err := vae.New(vae.Config{Sites: 54, Species: 4, Latent: latent, Hidden: hidden, BetaKL: 1}, rng.New(101))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return model
 }
 
 // run executes fn under testing.Benchmark and converts the result. bytes,

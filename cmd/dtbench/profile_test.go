@@ -1,0 +1,59 @@
+package main
+
+// Profiling entry points for the -dlbatch hot paths: the same
+// engine-batched vs sequential-interleaved workloads the sweep measures,
+// exposed as ordinary Go benchmarks so they compose with -cpuprofile /
+// -memprofile (testing.Benchmark, which the sweep uses, does not).
+//
+//	go test -run=NONE -bench=EngServingW8 -cpuprofile=eng.prof ./cmd/dtbench/
+
+import (
+	"sync"
+	"testing"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/infer"
+	"deepthermo/internal/mc"
+)
+
+func BenchmarkEngServingW8(b *testing.B) {
+	beta := 1 / (alloy.KB * 1200)
+	engine := infer.NewEngine(mustModel(6, 96))
+	es := batchSamplers(6, 96, 8, engine)
+	for _, s := range es {
+		s.StepCanonical(beta)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for w, s := range es {
+			bp := es[w].Proposal.(mc.BatchParticipant)
+			bp.BeginBatch()
+			wg.Add(1)
+			go func(s *mc.Sampler, bp mc.BatchParticipant) {
+				defer wg.Done()
+				defer bp.EndBatch()
+				for st := 0; st < batchBenchSteps; st++ {
+					s.StepCanonical(beta)
+				}
+			}(s, bp)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkSeqServingW8(b *testing.B) {
+	beta := 1 / (alloy.KB * 1200)
+	ss := batchSamplers(6, 96, 8, nil)
+	for _, s := range ss {
+		s.StepCanonical(beta)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for st := 0; st < batchBenchSteps; st++ {
+			for _, s := range ss {
+				s.StepCanonical(beta)
+			}
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"deepthermo/internal/alloy"
 	"deepthermo/internal/chaos"
 	"deepthermo/internal/dos"
+	"deepthermo/internal/infer"
 	"deepthermo/internal/lattice"
 	"deepthermo/internal/mc"
 	"deepthermo/internal/rewl"
@@ -226,6 +227,16 @@ type DOSConfig struct {
 	DLWeight float64 // DL share of the proposal mixture (default 0.15; 0 disables DL even with a trained model)
 	NoDL     bool    // force the pure local-swap baseline
 
+	// BatchInference routes every walker's DL-proposal forwards through one
+	// shared batched inference engine (package infer) instead of per-walker
+	// weight clones: requests from all walkers in a sweep round coalesce
+	// into batch-major matmuls on a single hot copy of the weights. The
+	// sampled DOS is bit-identical to the per-walker path — the engine's
+	// kernels are row-independent and the proposal factory burns exactly the
+	// RNG draws the replaced per-walker clone would have consumed (see
+	// vae.WeightDraws) — so this is purely a throughput switch.
+	BatchInference bool
+
 	// CheckpointDir enables crash-safe checkpoint/restart: the full REWL
 	// run state is written atomically to this directory every
 	// CheckpointEvery rounds (default 10 when a dir is set). With Resume,
@@ -260,7 +271,14 @@ type DOSResult struct {
 	// contributed only their last consensus (Converged is then false).
 	FailedWalkers   int
 	DegradedWindows int
+	// Batch reports the batched inference engine's activity when
+	// DOSConfig.BatchInference was set (nil otherwise).
+	Batch *BatchStats
 }
+
+// BatchStats aliases infer.Stats, the batched-engine activity counters
+// surfaced on DOSResult and in server job results.
+type BatchStats = infer.Stats
 
 // SampleDOS runs REWL over the system's reachable energy range, using the
 // DL-accelerated proposal mixture when a trained model is available.
@@ -304,11 +322,28 @@ func (s *System) SampleDOSContext(ctx context.Context, cfg DOSConfig) (*DOSResul
 		return nil, err
 	}
 
+	// With BatchInference, one engine owns a single weight copy and every
+	// walker gets a coalescing client; the factory burns exactly the
+	// Float64 draws CloneWeights would have taken from the walker's stream,
+	// so every downstream draw — and therefore the whole run — stays
+	// bit-identical to the per-walker-clone path.
+	var engine *infer.Engine
+	if cfg.BatchInference && !cfg.NoDL && s.Model != nil {
+		engine = infer.NewEngine(s.Model.CloneWeights(rng.New(s.cfg.Seed + 31)))
+	}
 	factory := func(win, widx int, wsrc *rng.Source) mc.Proposal {
 		if cfg.NoDL || s.Model == nil {
 			return mc.NewSwapProposal(s.Ham)
 		}
-		gp := mc.NewGlobalProposal(s.Model.CloneWeights(wsrc), s.Ham, s.Quota, mc.CondForT(1000))
+		var gp *mc.GlobalProposal
+		if engine != nil {
+			for i, n := 0, vae.WeightDraws(s.Model.Config()); i < n; i++ {
+				wsrc.Float64()
+			}
+			gp = mc.NewGlobalProposalWith(engine.NewClient(), s.Ham, s.Quota, mc.CondForT(1000))
+		} else {
+			gp = mc.NewGlobalProposal(s.Model.CloneWeights(wsrc), s.Ham, s.Quota, mc.CondForT(1000))
+		}
 		return mc.NewMixture(
 			[]mc.Proposal{mc.NewSwapProposal(s.Ham), gp},
 			[]float64{1 - cfg.DLWeight, cfg.DLWeight},
@@ -341,6 +376,10 @@ func (s *System) SampleDOSContext(ctx context.Context, cfg DOSConfig) (*DOSResul
 		Resumed:         run.Resumed,
 		FailedWalkers:   run.FailedWalkers,
 		DegradedWindows: run.DegradedWindows,
+	}
+	if engine != nil {
+		st := engine.Stats()
+		res.Batch = &st
 	}
 	return res, runErr
 }

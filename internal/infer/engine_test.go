@@ -1,0 +1,231 @@
+package infer
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/vae"
+)
+
+func testModel(tb testing.TB, seed uint64) *vae.Model {
+	tb.Helper()
+	m, err := vae.New(vae.Config{Sites: 8, Species: 3, Latent: 4, Hidden: 16, BetaKL: 1}, rng.New(seed))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+func randomCfg(n, k int, src *rng.Source) lattice.Config {
+	cfg := make(lattice.Config, n)
+	for i := range cfg {
+		cfg[i] = lattice.Species(src.Intn(k))
+	}
+	return cfg
+}
+
+// TestPassThroughOutsideBracket: calls without BeginBatch run batch-1 and
+// match a reference model bit-for-bit, and count as pass-throughs.
+func TestPassThroughOutsideBracket(t *testing.T) {
+	eng := NewEngine(testModel(t, 11))
+	ref := testModel(t, 11)
+	c := eng.NewClient()
+	src := rng.New(12)
+	vc := c.Config()
+
+	for i := 0; i < 5; i++ {
+		cfg := randomCfg(vc.Sites, vc.Species, src)
+		cond := src.Float64()
+		mu, lv := c.EncodeInto(cfg, cond, nil, nil)
+		wantMu, wantLv := ref.EncodeInto(cfg, cond, nil, nil)
+		for j := range mu {
+			if math.Float64bits(mu[j]) != math.Float64bits(wantMu[j]) ||
+				math.Float64bits(lv[j]) != math.Float64bits(wantLv[j]) {
+				t.Fatalf("pass-through encode %d diverged", i)
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.PassThrough != 5 || st.Batches != 0 {
+		t.Fatalf("stats = %+v, want 5 pass-throughs and no batches", st)
+	}
+}
+
+// TestQuorumFlushCoalesces: W bracketed clients each submitting one request
+// are served in one flush, with results bit-identical to the reference.
+func TestQuorumFlushCoalesces(t *testing.T) {
+	const w = 6
+	eng := NewEngine(testModel(t, 21))
+	ref := testModel(t, 21)
+	vc := eng.Model().Config()
+	src := rng.New(22)
+
+	cfgs := make([]lattice.Config, w)
+	conds := make([]float64, w)
+	for i := range cfgs {
+		cfgs[i] = randomCfg(vc.Sites, vc.Species, src)
+		conds[i] = src.Float64()
+	}
+	mus := make([][]float64, w)
+	lvs := make([][]float64, w)
+	var wg sync.WaitGroup
+	for i := 0; i < w; i++ {
+		// Join the quorum before spawning (the REWL sweep-phase pattern) so
+		// no client can flush solo before its siblings are scheduled.
+		c := eng.NewClient()
+		c.BeginBatch()
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			defer c.EndBatch()
+			mus[i], lvs[i] = c.EncodeInto(cfgs[i], conds[i], nil, nil)
+		}(i, c)
+	}
+	wg.Wait()
+	for i := 0; i < w; i++ {
+		wantMu, wantLv := ref.EncodeInto(cfgs[i], conds[i], nil, nil)
+		for j := range mus[i] {
+			if math.Float64bits(mus[i][j]) != math.Float64bits(wantMu[j]) ||
+				math.Float64bits(lvs[i][j]) != math.Float64bits(wantLv[j]) {
+				t.Fatalf("client %d result diverged from reference", i)
+			}
+		}
+	}
+	st := eng.Stats()
+	if st.Requests != w {
+		t.Fatalf("served %d requests, want %d", st.Requests, w)
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("no coalescing happened: max batch %d", st.MaxBatch)
+	}
+}
+
+// TestEndBatchReleasesQuorum: a client that leaves without submitting must
+// not strand the remaining blocked clients (the EndBatch-triggered flush).
+func TestEndBatchReleasesQuorum(t *testing.T) {
+	eng := NewEngine(testModel(t, 31))
+	vc := eng.Model().Config()
+	src := rng.New(32)
+	cfg := randomCfg(vc.Sites, vc.Species, src)
+
+	blocker := eng.NewClient()
+	leaver := eng.NewClient()
+	blocker.BeginBatch()
+	leaver.BeginBatch()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer blocker.EndBatch()
+		blocker.EncodeInto(cfg, 0.5, nil, nil) // parks: quorum is 2, only 1 blocked
+	}()
+	time.Sleep(20 * time.Millisecond) // let the blocker park
+	leaver.EndBatch()                 // quorum shrinks to 1 ⇒ flush fires
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked client was stranded after the other left the quorum")
+	}
+}
+
+// TestRepeatedRoundsQuorumAccounting drives many rounds of mixed
+// encode/decode traffic and checks the blocked-counter accounting never
+// lets a fast client trigger premature solo flushes: with W clients each
+// submitting R requests per round, every flush while all W are active must
+// carry at least 1 request and the engine must serve exactly W·R·rounds.
+func TestRepeatedRoundsQuorumAccounting(t *testing.T) {
+	const w, reqs, rounds = 4, 6, 10
+	eng := NewEngine(testModel(t, 41))
+	vc := eng.Model().Config()
+	clients := make([]*Client, w)
+	for i := range clients {
+		clients[i] = eng.NewClient()
+	}
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for i, c := range clients {
+			c.BeginBatch()
+			wg.Add(1)
+			go func(i int, c *Client) {
+				defer wg.Done()
+				src := rng.New(uint64(1000*round + i))
+				defer c.EndBatch()
+				z := make([]float64, vc.Latent)
+				probs := vae.NewProbs(vc.Sites, vc.Species)
+				for r := 0; r < reqs; r++ {
+					if r%2 == 0 {
+						c.EncodeInto(randomCfg(vc.Sites, vc.Species, src), src.Float64(), nil, nil)
+					} else {
+						for j := range z {
+							z[j] = src.NormFloat64()
+						}
+						c.DecodeProbsInto(z, src.Float64(), probs)
+					}
+				}
+			}(i, c)
+		}
+		wg.Wait()
+	}
+	st := eng.Stats()
+	if want := int64(w * reqs * rounds); st.Requests != want {
+		t.Fatalf("served %d requests, want %d", st.Requests, want)
+	}
+	if st.Encodes+st.Decodes != st.Requests {
+		t.Fatalf("phase counts %d+%d != total %d", st.Encodes, st.Decodes, st.Requests)
+	}
+	if st.MaxBatch < 2 {
+		t.Fatalf("no coalescing across %d clients: max batch %d", w, st.MaxBatch)
+	}
+	// The quorum protocol admits flushes below full width only when clients
+	// are mid-End; with all clients issuing identical request counts the
+	// average batch must comfortably exceed 1 (premature tiny flushes from
+	// stale counters would drag it toward 1).
+	if avg := float64(st.Requests) / float64(st.Batches); avg < 1.5 {
+		t.Fatalf("average flush width %.2f suggests stale-quorum tiny batches", avg)
+	}
+}
+
+// TestFlushPanicSettlesQuorum: a malformed request that panics the batched
+// kernel must propagate to the submitting client but still wake the other
+// parked clients (the deferred queue settle), not deadlock the engine.
+func TestFlushPanicSettlesQuorum(t *testing.T) {
+	eng := NewEngine(testModel(t, 51))
+	vc := eng.Model().Config()
+	src := rng.New(52)
+	good := eng.NewClient()
+	bad := eng.NewClient()
+	good.BeginBatch()
+	bad.BeginBatch()
+
+	goodDone := make(chan struct{})
+	go func() {
+		defer close(goodDone)
+		defer good.EndBatch()
+		good.EncodeInto(randomCfg(vc.Sites, vc.Species, src), 0.1, nil, nil)
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	panicked := make(chan any, 1)
+	go func() {
+		defer bad.EndBatch()
+		defer func() { panicked <- recover() }()
+		bad.DecodeProbsInto(make([]float64, vc.Latent+3), 0.2, nil) // wrong latent size
+	}()
+	select {
+	case r := <-panicked:
+		if r == nil {
+			t.Fatal("malformed request did not panic")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("panicking client never returned")
+	}
+	select {
+	case <-goodDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("well-formed client stranded after sibling's kernel panic")
+	}
+}

@@ -1,13 +1,46 @@
 package mc
 
 import (
-	"math"
-
 	"deepthermo/internal/alloy"
 	"deepthermo/internal/lattice"
 	"deepthermo/internal/rng"
 	"deepthermo/internal/vae"
 )
+
+// Inferencer is the model backend a GlobalProposal runs inference through:
+// the three calls the proposal hot path makes. *vae.Model satisfies it
+// directly (the sequential per-walker path); *infer.Client satisfies it by
+// coalescing calls from many walkers into batched forwards on shared
+// weights. Both produce bit-identical results for identical inputs (see
+// the batch golden-trace tests).
+type Inferencer interface {
+	Config() vae.Config
+	EncodeInto(cfg lattice.Config, cond float64, mu, logvar []float64) ([]float64, []float64)
+	DecodeProbsInto(z []float64, cond float64, dst [][]float64) [][]float64
+}
+
+// FusedInferencer is the optional fast path of Inferencer: the whole
+// walk-posterior forward (encode, reparameterize with pre-drawn normals,
+// decode) in one call. Through an infer.Client that is one engine
+// round-trip — one park/wake per step instead of two — and through a
+// *vae.Model it is the same three calls inlined. Results are bit-identical
+// to the unfused sequence either way, so Propose uses it whenever the
+// backend offers it.
+type FusedInferencer interface {
+	EncodeSampleDecode(cfg lattice.Config, cond float64, eps, mu, lv, z []float64, probs [][]float64)
+}
+
+// BatchParticipant is implemented by proposals (and inference backends)
+// that take part in a cross-walker batching quorum. The REWL sweep phase
+// brackets each walker's sweep with BeginBatch/EndBatch when the walker's
+// proposal implements it; proposals that merely wrap others (Mixture,
+// GlobalProposal over an engine client) forward the calls down to the
+// backend. Both methods must be idempotent-safe in the sense the engine
+// defines: EndBatch without a matching BeginBatch is a no-op.
+type BatchParticipant interface {
+	BeginBatch()
+	EndBatch()
+}
 
 // GlobalMode selects how the DL proposal draws its latent vector.
 type GlobalMode int
@@ -57,7 +90,7 @@ func (m GlobalMode) String() string {
 // decoding), keeping the chain in the canonical fixed-concentration
 // ensemble the paper evaluates.
 type GlobalProposal struct {
-	model    *vae.Model
+	model    Inferencer
 	ham      *alloy.Model
 	cond     float64
 	condFunc func(e float64) float64
@@ -65,6 +98,7 @@ type GlobalProposal struct {
 	mode     GlobalMode
 
 	z      []float64
+	eps    []float64 // pre-drawn standard normals for the reparameterized z
 	backup lattice.Config
 
 	// Per-walker scratch arenas (see DESIGN.md, "Performance
@@ -108,6 +142,15 @@ type GlobalProposal struct {
 // (counts per species, summing to the lattice size); cond is the
 // conditioning scalar (see CondForT).
 func NewGlobalProposal(model *vae.Model, ham *alloy.Model, quota []int, cond float64) *GlobalProposal {
+	return NewGlobalProposalWith(model, ham, quota, cond)
+}
+
+// NewGlobalProposalWith is NewGlobalProposal over any inference backend —
+// in particular an infer.Client, which batches this walker's forwards with
+// every other walker sharing the engine. The backend must be exclusively
+// this walker's (clients are single-goroutine handles; models are
+// per-walker replicas).
+func NewGlobalProposalWith(model Inferencer, ham *alloy.Model, quota []int, cond float64) *GlobalProposal {
 	q := make([]int, len(quota))
 	copy(q, quota)
 	vc := model.Config()
@@ -115,6 +158,7 @@ func NewGlobalProposal(model *vae.Model, ham *alloy.Model, quota []int, cond flo
 	return &GlobalProposal{
 		model: model, ham: ham, cond: cond, quota: q, mode: WalkPosterior,
 		z:           make([]float64, l),
+		eps:         make([]float64, l),
 		backup:      make(lattice.Config, n),
 		order:       make([]int, n),
 		cand:        make(lattice.Config, n),
@@ -128,6 +172,22 @@ func NewGlobalProposal(model *vae.Model, ham *alloy.Model, quota []int, cond flo
 		encCacheCfg: make(lattice.Config, n),
 		encCacheMu:  make([]float64, l),
 		encCacheLv:  make([]float64, l),
+	}
+}
+
+// BeginBatch implements BatchParticipant by forwarding to the inference
+// backend when it participates in a batching quorum; with a plain
+// *vae.Model backend it is a no-op.
+func (p *GlobalProposal) BeginBatch() {
+	if bp, ok := p.model.(BatchParticipant); ok {
+		bp.BeginBatch()
+	}
+}
+
+// EndBatch implements BatchParticipant; see BeginBatch.
+func (p *GlobalProposal) EndBatch() {
+	if bp, ok := p.model.(BatchParticipant); ok {
+		bp.EndBatch()
 	}
 }
 
@@ -188,26 +248,39 @@ func (p *GlobalProposal) Propose(cfg lattice.Config, curE float64, src *rng.Sour
 	}
 
 	// Draw the auxiliary latent; remember the encoder term of ln r(u|x).
+	// The standard normals are drawn BEFORE the encode — the encode consumes
+	// no randomness, so the walker's rng stream is identical either way —
+	// which lets the encode, the reparameterized z, and the forward decode
+	// fuse into one backend call (one engine round-trip) when the backend
+	// supports it.
 	var logRX float64 // ln of the x-dependent part of r(u|x)
+	decoded := false
 	switch p.mode {
 	case JumpPrior:
 		for i := range p.z {
 			p.z[i] = src.NormFloat64()
 		}
 	case WalkPosterior:
+		for i := range p.eps {
+			p.eps[i] = src.NormFloat64()
+		}
 		if p.encCacheValid && p.encCacheCond == condX && configsEqual(p.encCacheCfg, cfg) {
 			copy(p.muX, p.encCacheMu)
 			copy(p.lvX, p.encCacheLv)
+			vae.SampleLatent(p.z, p.muX, p.lvX, p.eps)
+		} else if f, ok := p.model.(FusedInferencer); ok {
+			f.EncodeSampleDecode(cfg, condX, p.eps, p.muX, p.lvX, p.z, p.probsFwd)
+			decoded = true
 		} else {
 			p.muX, p.lvX = p.model.EncodeInto(cfg, condX, p.muX, p.lvX)
-		}
-		for i := range p.z {
-			p.z[i] = p.muX[i] + src.NormFloat64()*math.Exp(0.5*p.lvX[i])
+			vae.SampleLatent(p.z, p.muX, p.lvX, p.eps)
 		}
 		logRX = vae.LogNormalPDF(p.z, p.muX, p.lvX)
 	}
 
-	p.probsFwd = p.model.DecodeProbsInto(p.z, condX, p.probsFwd)
+	if !decoded {
+		p.probsFwd = p.model.DecodeProbsInto(p.z, condX, p.probsFwd)
+	}
 	order := p.permInto(src, n)
 	copy(p.backup, cfg)
 

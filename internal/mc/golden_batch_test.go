@@ -1,0 +1,157 @@
+package mc_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"deepthermo/internal/infer"
+	"deepthermo/internal/mc"
+	"deepthermo/internal/testfix"
+)
+
+// The batch golden traces pin the cross-walker batched inference engine
+// bit-for-bit against the sequential per-walker-model path: the fixture's
+// 8-walker population is recorded running sequentially (each walker on its
+// own copy of the shared weights), and the batched runs — at every tested
+// batch size — must reproduce every walker's accept/reject stream and
+// per-step energies exactly. Regenerate only when a change is *meant* to
+// alter the chains:
+//
+//	go test ./internal/mc/ -run TestGoldenBatchTrace -update-batch-golden
+var updateBatchGolden = flag.Bool("update-batch-golden", false, "rewrite batched golden traces")
+
+const (
+	batchWalkers    = 8
+	batchRounds     = 8
+	batchRoundSteps = 25 // rounds × steps = 200, matching the PR 5 traces
+	batchTotalSteps = batchRounds * batchRoundSteps
+)
+
+func batchGoldenPath(name string) string {
+	return filepath.Join("testdata", "dl_batch_"+name+".golden")
+}
+
+// runSequentialWalker records the reference trace: the spec's walker on a
+// private model holding the fixture's shared weights.
+func runSequentialWalker(f testfix.Fixture, spec testfix.WalkerSpec) []testfix.TraceStep {
+	s := f.NewSampler(spec, f.NewModel())
+	beta := spec.Beta()
+	trace := make([]testfix.TraceStep, batchTotalSteps)
+	for i := range trace {
+		acc := s.StepCanonical(beta)
+		trace[i] = testfix.TraceStep{Accepted: acc, E: s.E}
+	}
+	return trace
+}
+
+// runBatchedGroup drives a group of walkers concurrently through one shared
+// engine, bracketing each round with BeginBatch/EndBatch exactly as the
+// REWL sweep phase does, and returns each walker's trace.
+func runBatchedGroup(t *testing.T, f testfix.Fixture, specs []testfix.WalkerSpec) ([][]testfix.TraceStep, infer.Stats) {
+	t.Helper()
+	eng := infer.NewEngine(f.NewModel())
+	samplers := make([]*mc.Sampler, len(specs))
+	for i, spec := range specs {
+		samplers[i] = f.NewSampler(spec, eng.NewClient())
+	}
+	traces := make([][]testfix.TraceStep, len(specs))
+	for i := range traces {
+		traces[i] = make([]testfix.TraceStep, 0, batchTotalSteps)
+	}
+	for round := 0; round < batchRounds; round++ {
+		var wg sync.WaitGroup
+		for i := range samplers {
+			// Join the quorum before spawning, as the REWL sweep phase does,
+			// so the first request already sees the full quorum.
+			bp := samplers[i].Proposal.(mc.BatchParticipant)
+			bp.BeginBatch()
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer bp.EndBatch()
+				s := samplers[i]
+				beta := specs[i].Beta()
+				for st := 0; st < batchRoundSteps; st++ {
+					acc := s.StepCanonical(beta)
+					traces[i] = append(traces[i], testfix.TraceStep{Accepted: acc, E: s.E})
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	return traces, eng.Stats()
+}
+
+// TestGoldenBatchTrace proves the batched engine is bit-identical to the
+// sequential path at batch sizes 1, 2, 4, and the full walker count: every
+// walker's 200-step trace must match its recorded sequential golden at
+// every batch size (group membership cannot affect any walker's chain).
+func TestGoldenBatchTrace(t *testing.T) {
+	f := testfix.Small()
+	specs := testfix.Walkers(batchWalkers)
+
+	if *updateBatchGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range specs {
+			trace := runSequentialWalker(f, spec)
+			path := batchGoldenPath(spec.Name)
+			if err := os.WriteFile(path, []byte(testfix.FormatTrace(trace)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+
+	golden := make([][]testfix.TraceStep, len(specs))
+	for i, spec := range specs {
+		data, err := os.ReadFile(batchGoldenPath(spec.Name))
+		if err != nil {
+			t.Fatalf("missing batch golden (run with -update-batch-golden to record): %v", err)
+		}
+		golden[i], err = testfix.ParseTrace(string(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The sequential path itself must still match its recording (guards the
+	// goldens against silent staleness before they gate the batched runs).
+	t.Run("sequential", func(t *testing.T) {
+		for i, spec := range specs {
+			if d := testfix.DiffTraces(runSequentialWalker(f, spec), golden[i]); d != "" {
+				t.Fatalf("walker %s: sequential path diverged from golden: %s", spec.Name, d)
+			}
+		}
+	})
+
+	for _, b := range []int{1, 2, 4, batchWalkers} {
+		b := b
+		t.Run(fmt.Sprintf("batch%d", b), func(t *testing.T) {
+			for lo := 0; lo < len(specs); lo += b {
+				hi := lo + b
+				if hi > len(specs) {
+					hi = len(specs)
+				}
+				traces, stats := runBatchedGroup(t, f, specs[lo:hi])
+				for i, trace := range traces {
+					spec := specs[lo+i]
+					if d := testfix.DiffTraces(trace, golden[lo+i]); d != "" {
+						t.Fatalf("walker %s at batch size %d: batched trace diverged: %s", spec.Name, b, d)
+					}
+				}
+				if stats.Requests == 0 {
+					t.Fatalf("batch group [%d,%d): engine served no requests (walkers bypassed the engine)", lo, hi)
+				}
+				if b == batchWalkers && stats.MaxBatch < 2 {
+					t.Fatalf("full-population group never coalesced: max batch %d", stats.MaxBatch)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,74 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"deepthermo/internal/rng"
+	"deepthermo/internal/tensor"
+)
+
+// TestForwardOneHotBatchBitIdentity checks the batched sparse forward
+// against both the batch-1 sparse forward and the dense kernel on
+// materialized inputs, row by row and bit by bit.
+func TestForwardOneHotBatchBitIdentity(t *testing.T) {
+	const in, out, sites = 13, 7, 4 // in = sites*species(3) + 1
+	src := rng.New(7)
+	d := NewDense(in, out, src)
+	ref := NewDense(in, out, rng.New(7))
+
+	for _, b := range []int{1, 4, 2, 6} {
+		ones := make([][]int, b)
+		conds := make([]float64, b)
+		for i := 0; i < b; i++ {
+			row := make([]int, sites)
+			for s := range row {
+				row[s] = s*3 + src.Intn(3)
+			}
+			ones[i] = row
+			if i%2 == 0 {
+				conds[i] = src.Float64()
+			}
+		}
+		got := d.ForwardOneHotBatch(ones, conds)
+		if got.Rows != b || got.Cols != out {
+			t.Fatalf("batch %d: got %dx%d", b, got.Rows, got.Cols)
+		}
+		for i := 0; i < b; i++ {
+			// Batch-1 sparse reference.
+			want := ref.ForwardOneHot(ones[i], conds[i])
+			for j := 0; j < out; j++ {
+				if math.Float64bits(got.At(i, j)) != math.Float64bits(want.At(0, j)) {
+					t.Fatalf("batch %d row %d col %d: %x != sparse %x", b, i, j, got.At(i, j), want.At(0, j))
+				}
+			}
+			// Dense reference on the materialized vector.
+			x := tensor.NewMatrix(1, in)
+			for _, idx := range ones[i] {
+				x.Set(0, idx, 1)
+			}
+			x.Set(0, in-1, conds[i])
+			dense := ref.Forward(x)
+			for j := 0; j < out; j++ {
+				if math.Float64bits(got.At(i, j)) != math.Float64bits(dense.At(0, j)) {
+					t.Fatalf("batch %d row %d col %d: %x != dense %x", b, i, j, got.At(i, j), dense.At(0, j))
+				}
+			}
+		}
+	}
+}
+
+// TestForwardOneHotBatchEmptyRow covers the all-zero-input row: no one-hot
+// indices and a zero condition must yield exactly the bias.
+func TestForwardOneHotBatchEmptyRow(t *testing.T) {
+	d := NewDense(5, 3, rng.New(9))
+	for i := range d.B {
+		d.B[i] = float64(i) + 0.5
+	}
+	got := d.ForwardOneHotBatch([][]int{{}, {1}}, []float64{0, 0})
+	for j, bias := range d.B {
+		if got.At(0, j) != bias {
+			t.Fatalf("empty row col %d: %v != bias %v", j, got.At(0, j), bias)
+		}
+	}
+}

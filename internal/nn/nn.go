@@ -128,6 +128,52 @@ func (d *Dense) ForwardOneHot(ones []int, cond float64) *tensor.Matrix {
 	return d.out
 }
 
+// ForwardOneHotBatch is the batch-major form of ForwardOneHot: row i of the
+// result is the forward of the implicit sparse input with ones[i] set to 1,
+// x[In-1] = conds[i], and 0 elsewhere. Each output row is produced by
+// exactly the per-row accumulation sequence ForwardOneHot performs for the
+// same (ones, cond) pair — copy the first weight row, Axpy the rest, scale
+// the condition row, then AddBias — so row i is bit-identical to a batch-1
+// ForwardOneHot(ones[i], conds[i]) call (the batch golden-trace tests pin
+// this). Inference-only; returns layer-owned reused scratch.
+func (d *Dense) ForwardOneHotBatch(ones [][]int, conds []float64) *tensor.Matrix {
+	if len(conds) != len(ones) {
+		panic("nn: ForwardOneHotBatch ones/conds length mismatch")
+	}
+	d.lastX = nil
+	d.out = tensor.Ensure(d.out, len(ones), d.Out)
+	for i, rowOnes := range ones {
+		drow := d.out.Row(i)
+		first := true
+		for _, idx := range rowOnes {
+			wrow := d.W.Row(idx)
+			if first {
+				copy(drow, wrow)
+				first = false
+			} else {
+				tensor.Axpy(1, wrow, drow)
+			}
+		}
+		if cond := conds[i]; cond != 0 {
+			if first {
+				for j, wv := range d.W.Row(d.In - 1) {
+					drow[j] = cond * wv
+				}
+				first = false
+			} else {
+				tensor.Axpy(cond, d.W.Row(d.In-1), drow)
+			}
+		}
+		if first {
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+	}
+	tensor.AddBias(d.out, d.B)
+	return d.out
+}
+
 // Backward accumulates ∂L/∂W = xᵀ·g and ∂L/∂b = Σrows g, and returns
 // ∂L/∂x = g·Wᵀ.
 func (d *Dense) Backward(gradOut *tensor.Matrix) *tensor.Matrix {

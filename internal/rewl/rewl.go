@@ -424,6 +424,19 @@ func sweepPhase(ctx context.Context, opts Options, winOffset int, walkers [][]*w
 			deadFlags[local].Store(false)
 			participants = append(participants, local)
 			wg.Add(1)
+			// Join the cross-walker batching quorum for this round when the
+			// proposal batches (engine-backed DL proposals; a no-op
+			// otherwise). Joining happens HERE, before the goroutine spawns,
+			// so the quorum is complete when the first walker submits a
+			// request — otherwise early-scheduled walkers would flush solo
+			// until the scheduler got around to starting the rest. The
+			// goroutine's deferred EndBatch runs on every exit path — normal
+			// completion, cancellation, injected crash, panic — so a dying
+			// walker can never strand the quorum.
+			bp, batching := w.Sampler().Proposal.(mc.BatchParticipant)
+			if batching {
+				bp.BeginBatch()
+			}
 			go func(w *wanglandau.Walker, local, slot int) {
 				defer wg.Done()
 				defer doneFlags[local].Store(true)
@@ -432,6 +445,9 @@ func sweepPhase(ctx context.Context, opts Options, winOffset int, walkers [][]*w
 						deadFlags[local].Store(true)
 					}
 				}()
+				if batching {
+					defer bp.EndBatch()
+				}
 				for s := 0; s < opts.ExchangeInterval; s++ {
 					select {
 					case <-done:

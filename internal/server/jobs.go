@@ -86,6 +86,11 @@ type DOSSpec struct {
 	LnFFinal float64 `json:"lnf_final,omitempty"`
 	DLWeight float64 `json:"dl_weight,omitempty"`
 	NoDL     bool    `json:"no_dl,omitempty"`
+	// BatchInference routes all walkers' DL-proposal network evaluations
+	// through one shared batched inference engine instead of per-walker
+	// model copies. Results are bit-identical either way; the engine's
+	// coalescing stats are reported in the job result.
+	BatchInference bool `json:"batch_inference,omitempty"`
 	// CheckpointEvery overrides how often (in REWL rounds) the run
 	// checkpoints when the server has a DataDir; 0 takes the default.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`

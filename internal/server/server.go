@@ -752,6 +752,8 @@ func (s *Server) runJob(ctx context.Context, jb Job) (map[string]any, []string, 
 			LnFFinal: spec.DOS.LnFFinal,
 			DLWeight: spec.DOS.DLWeight,
 			NoDL:     spec.DOS.NoDL,
+
+			BatchInference: spec.DOS.BatchInference,
 		}
 		ckptDir := ""
 		if s.cfg.DataDir != "" {
@@ -793,6 +795,11 @@ func (s *Server) runJob(ctx context.Context, jb Job) (map[string]any, []string, 
 		if res.FailedWalkers > 0 {
 			result["failed_walkers"] = res.FailedWalkers
 			result["degraded_windows"] = res.DegradedWindows
+		}
+		if res.Batch != nil {
+			result["batch_requests"] = res.Batch.Requests
+			result["batch_flushes"] = res.Batch.Batches
+			result["batch_max"] = res.Batch.MaxBatch
 		}
 		s.logf("job %s produced %s (converged=%v sweeps=%d resumed=%v)", jb.ID, info.ID, res.Converged, res.Sweeps, res.Resumed)
 		if runErr != nil {

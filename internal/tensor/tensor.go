@@ -86,6 +86,27 @@ func LeaveNested() {
 // Nested reports whether any caller has declared a nested-parallel context.
 func Nested() bool { return nestedDepth.Load() > 0 }
 
+// batchParallel counts callers that are executing a coalesced cross-walker
+// batch while the walkers themselves are parked (the batched inference
+// engine's flush: every walker in the quorum is blocked waiting on the
+// result, so the cores the nested hint was protecting are idle). While it
+// is positive the nested hint is overridden — kernels may fan out again if
+// the work and core count justify it. Like nestedDepth it nests.
+var batchParallel atomic.Int32
+
+// EnterBatchParallel overrides the nested-parallel hint until the matching
+// LeaveBatchParallel: kernels large enough to parallelize will do so even
+// inside an EnterNested bracket. Callers must guarantee the surrounding
+// parallel region is quiescent (all its goroutines blocked on this batch).
+func EnterBatchParallel() { batchParallel.Add(1) }
+
+// LeaveBatchParallel undoes one EnterBatchParallel.
+func LeaveBatchParallel() {
+	if batchParallel.Add(-1) < 0 {
+		panic("tensor: LeaveBatchParallel without EnterBatchParallel")
+	}
+}
+
 // serialRows reports whether a kernel over rows rows and flops total work
 // should run serially: small work items, single-row (batch-1 inference)
 // shapes, a nested-parallel context, or a single-P runtime. Callers check
@@ -93,7 +114,8 @@ func Nested() bool { return nestedDepth.Load() > 0 }
 // allocates nothing (a closure handed to parallelRows escapes to the heap
 // because goroutines capture it).
 func serialRows(rows, flops int) bool {
-	return flops < parallelThreshold || rows < 2 || nestedDepth.Load() > 0 ||
+	return flops < parallelThreshold || rows < 2 ||
+		(nestedDepth.Load() > 0 && batchParallel.Load() == 0) ||
 		runtime.GOMAXPROCS(0) < 2
 }
 
@@ -136,6 +158,10 @@ func MatMul(dst, a, b *Matrix) {
 }
 
 func matMulRange(dst, a, b *Matrix, lo, hi int) {
+	if hi-lo >= 2 {
+		matMulRangeKOuter(dst, a, b, lo, hi)
+		return
+	}
 	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
@@ -164,6 +190,100 @@ func matMulRange(dst, a, b *Matrix, lo, hi int) {
 	}
 }
 
+// matMulRangeKOuter is the multi-row form of matMulRange with the k loop
+// hoisted outside the row loop: each b row is streamed through the cache
+// once and applied to every output row, instead of re-streaming all of b
+// for every row as the i-outer form does. For a batch of B rows this cuts
+// b's memory traffic B-fold — the win the batched inference engine exists
+// for. Per output row the (k, scale-vs-saxpy) op sequence is exactly the
+// i-outer form's — k still ascends, the first contributing k still assigns
+// — so results are bit-identical row for row (the batch golden traces pin
+// this).
+func matMulRangeKOuter(dst, a, b *Matrix, lo, hi int) {
+	var firstArr [64]bool
+	var first []bool
+	if hi-lo <= len(firstArr) {
+		first = firstArr[:hi-lo]
+	} else {
+		first = make([]bool, hi-lo)
+	}
+	for i := range first {
+		first[i] = true
+	}
+	acols, dcols := a.Cols, dst.Cols
+	ad, dd := a.Data, dst.Data
+	for k := 0; k < b.Rows; k++ {
+		brow := b.Row(k)
+		i := lo
+		for i < hi {
+			// Group up to 4 consecutive plain-accumulate rows (nonzero
+			// coefficient, past their first k) so they share a single
+			// streaming pass over brow: one x load feeds 4 independent
+			// accumulator chains instead of 1. Row grouping only changes
+			// the interleaving ACROSS rows — each dst element still
+			// receives the identical op at the identical k — so results
+			// stay bit-for-bit. In steady state (dense activations) the
+			// 4-wide path takes nearly every iteration.
+			if i+7 < hi &&
+				!first[i-lo] && !first[i+1-lo] && !first[i+2-lo] && !first[i+3-lo] &&
+				!first[i+4-lo] && !first[i+5-lo] && !first[i+6-lo] && !first[i+7-lo] {
+				a0, a1 := ad[i*acols+k], ad[(i+1)*acols+k]
+				a2, a3 := ad[(i+2)*acols+k], ad[(i+3)*acols+k]
+				a4, a5 := ad[(i+4)*acols+k], ad[(i+5)*acols+k]
+				a6, a7 := ad[(i+6)*acols+k], ad[(i+7)*acols+k]
+				if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 &&
+					a4 != 0 && a5 != 0 && a6 != 0 && a7 != 0 {
+					saxpy8(a0, a1, a2, a3, a4, a5, a6, a7, brow,
+						dd[i*dcols:(i+1)*dcols], dd[(i+1)*dcols:(i+2)*dcols],
+						dd[(i+2)*dcols:(i+3)*dcols], dd[(i+3)*dcols:(i+4)*dcols],
+						dd[(i+4)*dcols:(i+5)*dcols], dd[(i+5)*dcols:(i+6)*dcols],
+						dd[(i+6)*dcols:(i+7)*dcols], dd[(i+7)*dcols:(i+8)*dcols])
+					i += 8
+					continue
+				}
+			}
+			if i+3 < hi && !first[i-lo] && !first[i+1-lo] && !first[i+2-lo] && !first[i+3-lo] {
+				a0, a1 := ad[i*acols+k], ad[(i+1)*acols+k]
+				a2, a3 := ad[(i+2)*acols+k], ad[(i+3)*acols+k]
+				if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 {
+					saxpy4(a0, a1, a2, a3, brow,
+						dd[i*dcols:(i+1)*dcols], dd[(i+1)*dcols:(i+2)*dcols],
+						dd[(i+2)*dcols:(i+3)*dcols], dd[(i+3)*dcols:(i+4)*dcols])
+					i += 4
+					continue
+				}
+			}
+			if i+1 < hi && !first[i-lo] && !first[i+1-lo] {
+				a0, a1 := ad[i*acols+k], ad[(i+1)*acols+k]
+				if a0 != 0 && a1 != 0 {
+					saxpy2(a0, a1, brow,
+						dd[i*dcols:(i+1)*dcols], dd[(i+1)*dcols:(i+2)*dcols])
+					i += 2
+					continue
+				}
+			}
+			av := ad[i*acols+k]
+			if av != 0 {
+				if first[i-lo] {
+					scale(av, brow, dst.Row(i))
+					first[i-lo] = false
+				} else {
+					saxpy(av, brow, dst.Row(i))
+				}
+			}
+			i++
+		}
+	}
+	for i, f := range first {
+		if f {
+			drow := dst.Row(lo + i)
+			for j := range drow {
+				drow[j] = 0
+			}
+		}
+	}
+}
+
 // saxpy computes y += alpha*x with a 4-way unroll. Each y[j] receives the
 // same single fused add per call as the naive loop, so results are
 // bit-identical to it (the golden-trace tests rely on this).
@@ -179,6 +299,63 @@ func saxpy(alpha float64, x, y []float64) {
 	}
 	for ; j < n; j++ {
 		y[j] += alpha * x[j]
+	}
+}
+
+// saxpy2 computes y0 += a0*x and y1 += a1*x in one streaming pass over x.
+// Every element update is the same single expression saxpy performs, so
+// results are bit-identical to two saxpy calls; the fusion exists to load
+// each x[j] once for two accumulator rows.
+func saxpy2(a0, a1 float64, x, y0, y1 []float64) {
+	n := len(x)
+	y0 = y0[:n]
+	y1 = y1[:n]
+	for j := 0; j < n; j++ {
+		xv := x[j]
+		y0[j] += a0 * xv
+		y1[j] += a1 * xv
+	}
+}
+
+// saxpy4 is saxpy2 over four rows: one x load feeds four independent
+// multiply-add chains, the inner kernel of the batched k-outer matmul.
+func saxpy4(a0, a1, a2, a3 float64, x, y0, y1, y2, y3 []float64) {
+	n := len(x)
+	y0 = y0[:n]
+	y1 = y1[:n]
+	y2 = y2[:n]
+	y3 = y3[:n]
+	for j := 0; j < n; j++ {
+		xv := x[j]
+		y0[j] += a0 * xv
+		y1[j] += a1 * xv
+		y2[j] += a2 * xv
+		y3[j] += a3 * xv
+	}
+}
+
+// saxpy8 is saxpy2 over eight rows — one x load per eight multiply-add
+// chains, so a full REWL window of 8 walkers is a single streaming group.
+func saxpy8(a0, a1, a2, a3, a4, a5, a6, a7 float64, x, y0, y1, y2, y3, y4, y5, y6, y7 []float64) {
+	n := len(x)
+	y0 = y0[:n]
+	y1 = y1[:n]
+	y2 = y2[:n]
+	y3 = y3[:n]
+	y4 = y4[:n]
+	y5 = y5[:n]
+	y6 = y6[:n]
+	y7 = y7[:n]
+	for j := 0; j < n; j++ {
+		xv := x[j]
+		y0[j] += a0 * xv
+		y1[j] += a1 * xv
+		y2[j] += a2 * xv
+		y3[j] += a3 * xv
+		y4[j] += a4 * xv
+		y5[j] += a5 * xv
+		y6[j] += a6 * xv
+		y7[j] += a7 * xv
 	}
 }
 

@@ -497,6 +497,73 @@ func TestConformanceBarrierWithFailedRank(t *testing.T) {
 	})
 }
 
+// TestConformanceLargePayloadCollectives pushes ~1 MiB frames — 131072
+// float64s, the magnitude of a batched gradient allreduce or a full-model
+// broadcast — through Allgather and Broadcast on both backends. Small-frame
+// tests never exercise the TCP backend's framing across partial reads and
+// writev boundaries; a single wrong length prefix or short-read bug shows
+// up here as element-level corruption.
+func TestConformanceLargePayloadCollectives(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MiB-scale collective frames in -short mode")
+	}
+	const (
+		n       = 3
+		perRank = 131072 // 1 MiB of float64s per rank
+	)
+	elem := func(r, i int) float64 {
+		// Rank- and position-dependent, irregular enough that any frame
+		// slicing error misaligns it, including non-finite payloads.
+		switch i % 1024 {
+		case 512:
+			return math.Inf(+1)
+		case 513:
+			return math.Copysign(0, -1)
+		}
+		return float64(r+1)*1e6 + float64(i) + 1/float64(i+3)
+	}
+	eachBackend(t, n, fixtureConfig{}, func(t *testing.T, fx *fixture) {
+		runRanks(t, fx, func(ep Endpoint) error {
+			ctx := context.Background()
+			r := ep.Rank()
+
+			contrib := make([]float64, perRank)
+			for i := range contrib {
+				contrib[i] = elem(r, i)
+			}
+			gath := make([]float64, n*perRank)
+			if err := ep.AllgatherCtx(ctx, contrib, gath); err != nil {
+				return err
+			}
+			for q := 0; q < n; q++ {
+				for i := 0; i < perRank; i++ {
+					if got, want := gath[q*perRank+i], elem(q, i); math.Float64bits(got) != math.Float64bits(want) {
+						t.Errorf("rank %d allgather slot %d elem %d: got %v, want %v", r, q, i, got, want)
+						return nil // one misalignment floods; first instance is enough
+					}
+				}
+			}
+
+			bc := make([]float64, perRank)
+			if r == 1 {
+				for i := range bc {
+					bc[i] = elem(7, i)
+				}
+			}
+			if err := ep.BroadcastCtx(ctx, 1, bc); err != nil {
+				return err
+			}
+			for i := range bc {
+				if math.Float64bits(bc[i]) != math.Float64bits(elem(7, i)) {
+					t.Errorf("rank %d broadcast elem %d: got %v, want %v", r, i, bc[i], elem(7, i))
+					return nil
+				}
+			}
+			return nil
+		})
+	})
+}
+
 func TestConformanceBlockingOpsHealthyWorld(t *testing.T) {
 	eachBackend(t, 2, fixtureConfig{}, func(t *testing.T, fx *fixture) {
 		runRanks(t, fx, func(ep Endpoint) error {

@@ -1,0 +1,153 @@
+package vae
+
+import (
+	"math"
+
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/nn"
+	"deepthermo/internal/tensor"
+)
+
+// This file holds the batch-major inference entry points used by the
+// cross-walker batching engine (package infer). The identity contract they
+// provide is the foundation of the batched engine's correctness argument:
+//
+//	row i of a batched forward  ≡  the batch-1 forward of request i, bit for bit.
+//
+// It holds because every kernel on the inference path is row-independent —
+// tensor.MatMul computes each output row by the same zero-skipping
+// scale-then-saxpy sequence regardless of how many other rows share the
+// call, AddBias and Tanh are per-row/per-element, and ForwardOneHotBatch
+// replicates ForwardOneHot's accumulation order per row (see nn). The batch
+// golden-trace tests in internal/mc pin the contract end to end.
+
+// EncodeBatchInto encodes B configurations under B conditions in one
+// batched pass through the encoder, writing the posterior mean and clamped
+// log-variance of request i into mu[i] and logvar[i] (each of length
+// Latent, caller-allocated). Row i is bit-identical to
+// EncodeInto(cfgs[i], conds[i], ...). A steady-state call performs no
+// allocations once the model's batch scratch has grown to the batch size.
+func (m *Model) EncodeBatchInto(cfgs []lattice.Config, conds []float64, mu, logvar [][]float64) {
+	b := len(cfgs)
+	if len(conds) != b || len(mu) != b || len(logvar) != b {
+		panic("vae: EncodeBatchInto batch size mismatch")
+	}
+	if b == 0 {
+		return
+	}
+	n, k, l := m.cfg.Sites, m.cfg.Species, m.cfg.Latent
+	m.ensureBatchOnes(b, n)
+	for i, cfg := range cfgs {
+		if len(cfg) != n {
+			panic("vae: configuration size mismatch")
+		}
+		row := m.batOnes[i]
+		for site, a := range cfg {
+			row[site] = site*k + int(a)
+		}
+	}
+	first := m.enc.Layers[0].(*nn.Dense)
+	x := first.ForwardOneHotBatch(m.batOnes[:b], conds)
+	for _, layer := range m.enc.Layers[1:] {
+		x = layer.Forward(x)
+	}
+	for i := 0; i < b; i++ {
+		out := x.Row(i)
+		if len(mu[i]) != l || len(logvar[i]) != l {
+			panic("vae: EncodeBatchInto destination size mismatch")
+		}
+		copy(mu[i], out[:l])
+		for j := 0; j < l; j++ {
+			logvar[i][j] = clamp(out[l+j], -logvarClamp, logvarClamp)
+		}
+	}
+}
+
+// DecodeProbsBatchInto decodes B latent vectors under B conditions in one
+// batched pass through the decoder, writing the per-site categorical
+// distributions of request i into dst[i] (a NewProbs-style table with Sites
+// rows of Species entries, caller-allocated). Row i is bit-identical to
+// DecodeProbsInto(zs[i], conds[i], dst[i]). A steady-state call performs no
+// allocations.
+func (m *Model) DecodeProbsBatchInto(zs [][]float64, conds []float64, dst [][][]float64) {
+	b := len(zs)
+	if len(conds) != b || len(dst) != b {
+		panic("vae: DecodeProbsBatchInto batch size mismatch")
+	}
+	if b == 0 {
+		return
+	}
+	n, k, l := m.cfg.Sites, m.cfg.Species, m.cfg.Latent
+	m.decIn = tensor.Ensure(m.decIn, b, l+1)
+	for i, z := range zs {
+		if len(z) != l {
+			panic("vae: latent size mismatch")
+		}
+		row := m.decIn.Row(i)
+		copy(row, z)
+		row[l] = conds[i]
+	}
+	logits := m.dec.Forward(m.decIn)
+	for i := 0; i < b; i++ {
+		lrow := logits.Row(i)
+		probs := dst[i]
+		if len(probs) != n {
+			panic("vae: DecodeProbsBatchInto dst size mismatch")
+		}
+		for site := 0; site < n; site++ {
+			softmax(lrow[site*k:(site+1)*k], probs[site])
+		}
+	}
+}
+
+// SampleLatent draws the reparameterized latent z = mu + eps·exp(lv/2)
+// elementwise. It is THE latent-sampling formula of the DL proposal: the
+// per-walker path, the fused Model pass, and the batching engine all call
+// it, so a z computed from the same (mu, lv, eps) is bit-identical
+// everywhere.
+func SampleLatent(z, mu, lv, eps []float64) {
+	for i := range z {
+		z[i] = mu[i] + eps[i]*math.Exp(0.5*lv[i])
+	}
+}
+
+// EncodeSampleDecode runs the full walk-posterior proposal forward —
+// encode cfg, reparameterize with the caller's pre-drawn standard normals
+// eps, decode the resulting z — in one call, writing into the
+// caller-allocated mu, lv, z, and probs. Through an infer.Client this is
+// ONE engine round-trip instead of two, halving quorum synchronization per
+// walker step. Results are bit-identical to the unfused
+// EncodeInto + SampleLatent + DecodeProbsInto sequence.
+func (m *Model) EncodeSampleDecode(cfg lattice.Config, cond float64, eps, mu, lv, z []float64, probs [][]float64) {
+	m.EncodeInto(cfg, cond, mu, lv)
+	SampleLatent(z, mu, lv, eps)
+	m.DecodeProbsInto(z, cond, probs)
+}
+
+// ensureBatchOnes grows the batched one-hot index scratch to at least b
+// rows of n indices each, preserving nothing (rows are fully overwritten by
+// the caller).
+func (m *Model) ensureBatchOnes(b, n int) {
+	if len(m.batOnes) >= b && (b == 0 || len(m.batOnes[0]) == n) {
+		return
+	}
+	m.batOnesBack = make([]int, b*n)
+	m.batOnes = make([][]int, b)
+	for i := range m.batOnes {
+		m.batOnes[i] = m.batOnesBack[i*n : (i+1)*n]
+	}
+}
+
+// WeightDraws returns the number of rng.Source.Float64 draws New consumes
+// initializing a model with this config: one per weight of each of the six
+// Dense layers (biases start at zero and draw nothing). The batched-engine
+// proposal factory burns exactly this many draws from each walker's stream
+// in place of the per-walker CloneWeights it replaces, keeping every
+// downstream draw of the walker bit-identical to the sequential path.
+func WeightDraws(cfg Config) int {
+	in := cfg.Sites*cfg.Species + 1
+	h, l, nk := cfg.Hidden, cfg.Latent, cfg.Sites*cfg.Species
+	enc := in*h + h*h + h*2*l
+	dec := (l+1)*h + h*h + h*nk
+	return enc + dec
+}

@@ -1,0 +1,263 @@
+package vae
+
+import (
+	"math"
+	"testing"
+
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/nn"
+	"deepthermo/internal/rng"
+)
+
+// randomCfg draws a random (unconstrained) configuration.
+func randomCfg(n, k int, src *rng.Source) lattice.Config {
+	cfg := make(lattice.Config, n)
+	for i := range cfg {
+		cfg[i] = lattice.Species(src.Intn(k))
+	}
+	return cfg
+}
+
+// TestEncodeBatchBitIdentity: row i of a batched encode must equal the
+// batch-1 encode of request i, bit for bit, across batch sizes including a
+// grow-then-shrink sequence that exercises the scratch resize paths.
+func TestEncodeBatchBitIdentity(t *testing.T) {
+	cfg := testConfig()
+	m, err := New(cfg, rng.New(41))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := New(cfg, rng.New(41)) // same seed ⇒ same weights; no scratch sharing
+	src := rng.New(42)
+	n, k, l := cfg.Sites, cfg.Species, cfg.Latent
+
+	for _, b := range []int{1, 3, 8, 2, 8, 1} { // grow, shrink, regrow
+		cfgs := make([]lattice.Config, b)
+		conds := make([]float64, b)
+		mu := make([][]float64, b)
+		lv := make([][]float64, b)
+		for i := 0; i < b; i++ {
+			cfgs[i] = randomCfg(n, k, src)
+			conds[i] = src.Float64() * 2
+			if i%3 == 0 {
+				conds[i] = 0 // exercise the zero-cond branch of the sparse forward
+			}
+			mu[i] = make([]float64, l)
+			lv[i] = make([]float64, l)
+		}
+		m.EncodeBatchInto(cfgs, conds, mu, lv)
+		for i := 0; i < b; i++ {
+			wantMu, wantLv := ref.EncodeInto(cfgs[i], conds[i], nil, nil)
+			for j := 0; j < l; j++ {
+				if math.Float64bits(mu[i][j]) != math.Float64bits(wantMu[j]) {
+					t.Fatalf("batch %d row %d mu[%d]: %x != %x", b, i, j, mu[i][j], wantMu[j])
+				}
+				if math.Float64bits(lv[i][j]) != math.Float64bits(wantLv[j]) {
+					t.Fatalf("batch %d row %d lv[%d]: %x != %x", b, i, j, lv[i][j], wantLv[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeProbsBatchBitIdentity is the decoder-side twin of
+// TestEncodeBatchBitIdentity, interleaving batched and batch-1 calls on the
+// SAME model so the shared decIn scratch resize path is exercised too.
+func TestDecodeProbsBatchBitIdentity(t *testing.T) {
+	cfg := testConfig()
+	m, err := New(cfg, rng.New(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := New(cfg, rng.New(43))
+	src := rng.New(44)
+	n, k, l := cfg.Sites, cfg.Species, cfg.Latent
+
+	for _, b := range []int{2, 7, 1, 7, 3} {
+		zs := make([][]float64, b)
+		conds := make([]float64, b)
+		dst := make([][][]float64, b)
+		for i := 0; i < b; i++ {
+			z := make([]float64, l)
+			for j := range z {
+				z[j] = src.NormFloat64()
+			}
+			zs[i] = z
+			conds[i] = src.Float64()
+			dst[i] = NewProbs(n, k)
+		}
+		m.DecodeProbsBatchInto(zs, conds, dst)
+		for i := 0; i < b; i++ {
+			want := ref.DecodeProbsInto(zs[i], conds[i], nil)
+			for site := 0; site < n; site++ {
+				for sp := 0; sp < k; sp++ {
+					if math.Float64bits(dst[i][site][sp]) != math.Float64bits(want[site][sp]) {
+						t.Fatalf("batch %d row %d site %d sp %d: %x != %x",
+							b, i, site, sp, dst[i][site][sp], want[site][sp])
+					}
+				}
+			}
+		}
+		// A batch-1 call on the batched model between batch sizes must also
+		// stay bit-identical (shared decIn scratch reshapes both ways).
+		got := m.DecodeProbsInto(zs[0], conds[0], nil)
+		want := ref.DecodeProbsInto(zs[0], conds[0], nil)
+		for site := 0; site < n; site++ {
+			for sp := 0; sp < k; sp++ {
+				if math.Float64bits(got[site][sp]) != math.Float64bits(want[site][sp]) {
+					t.Fatalf("interleaved batch-1 decode diverged at site %d sp %d", site, sp)
+				}
+			}
+		}
+	}
+}
+
+// TestWeightDraws pins the draw-parity contract the batched-engine proposal
+// factory relies on: constructing a model must consume exactly
+// WeightDraws(cfg) Float64 draws, so burning that many draws leaves an RNG
+// stream in the identical state CloneWeights would have left it in.
+func TestWeightDraws(t *testing.T) {
+	for _, cfg := range []Config{
+		testConfig(),
+		{Sites: 54, Species: 4, Latent: 6, Hidden: 96, BetaKL: 1},
+		{Sites: 16, Species: 2, Latent: 2, Hidden: 8, BetaKL: 1},
+	} {
+		a := rng.New(71)
+		if _, err := New(cfg, a); err != nil {
+			t.Fatal(err)
+		}
+		b := rng.New(71)
+		for i, n := 0, WeightDraws(cfg); i < n; i++ {
+			b.Float64()
+		}
+		for i := 0; i < 16; i++ {
+			x, y := a.Float64(), b.Float64()
+			if math.Float64bits(x) != math.Float64bits(y) {
+				t.Fatalf("cfg %+v: streams diverge %d draws after init: %x vs %x", cfg, i, x, y)
+			}
+		}
+	}
+}
+
+// TestStepBatchResizeRegression pins vae.Model.Step across a batch-size
+// grow-then-shrink: a model stepped at B=8 and then at B=3 must produce
+// bit-identical losses and gradients to a fresh model that only ever saw
+// those batches — any stale scratch reuse (partially overwritten Ensure
+// buffers, mis-sized latent intermediates) diverges the comparison.
+func TestStepBatchResizeRegression(t *testing.T) {
+	cfg := testConfig()
+	run := func() []Losses {
+		m, err := New(cfg, rng.New(51))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := rng.New(52)
+		noise := rng.New(53)
+		var out []Losses
+		// Grow then shrink then regrow; reuse one data stream so both runs
+		// see identical batches at each stage.
+		for _, b := range []int{8, 3, 8, 1, 5} {
+			x, conds, targets := testBatch(m, b, data)
+			out = append(out, m.Step(x, conds, targets, noise))
+		}
+		return out
+	}
+	a := run()
+	bLosses := run()
+	for i := range a {
+		if math.Float64bits(a[i].Recon) != math.Float64bits(bLosses[i].Recon) ||
+			math.Float64bits(a[i].KL) != math.Float64bits(bLosses[i].KL) ||
+			a[i].Accuracy != bLosses[i].Accuracy {
+			t.Fatalf("step %d: resize sequence not deterministic: %+v vs %+v", i, a[i], bLosses[i])
+		}
+	}
+
+	// Second claim: the B=3 step after a B=8 step matches the same B=3 step
+	// on a model that was never resized — no stale wide-batch scratch can
+	// leak into the narrow batch. Gradients are compared bit-for-bit.
+	m1, _ := New(cfg, rng.New(51))
+	m2, _ := New(cfg, rng.New(51))
+	data1 := rng.New(52)
+	noise1 := rng.New(53)
+	x8, c8, t8 := testBatch(m1, 8, data1)
+	m1.Step(x8, c8, t8, noise1) // warm m1's scratch at B=8, consuming 8·L normals
+	x3, c3, t3 := testBatch(m1, 3, data1)
+	// Replay m1's RNG position on a fresh noise stream for m2: burn the
+	// draws the B=8 step consumed (Latent normals per row).
+	noise2 := rng.New(53)
+	for i := 0; i < 8*cfg.Latent; i++ {
+		noise2.NormFloat64()
+	}
+	nn1 := m1.Params()
+	nn.ZeroGrads(nn1)
+	l1 := m1.Step(x3, c3, t3, noise1)
+	nn2 := m2.Params()
+	nn.ZeroGrads(nn2)
+	l2 := m2.Step(x3, c3, t3, noise2)
+	if math.Float64bits(l1.Recon) != math.Float64bits(l2.Recon) ||
+		math.Float64bits(l1.KL) != math.Float64bits(l2.KL) {
+		t.Fatalf("B=3 after B=8 diverged from fresh B=3: %+v vs %+v", l1, l2)
+	}
+	for p := range nn1 {
+		for g := range nn1[p].Grad {
+			if math.Float64bits(nn1[p].Grad[g]) != math.Float64bits(nn2[p].Grad[g]) {
+				t.Fatalf("param %d grad %d: %x != %x after resize", p, g, nn1[p].Grad[g], nn2[p].Grad[g])
+			}
+		}
+	}
+}
+
+// TestStepInterleavedWithBatchedInference: alternating training steps and
+// batched inference on one model must not corrupt either — the training
+// scratch and the batched-inference scratch are disjoint, and the shared
+// decIn reshape is overwrite-complete.
+func TestStepInterleavedWithBatchedInference(t *testing.T) {
+	cfg := testConfig()
+	m, err := New(cfg, rng.New(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := New(cfg, rng.New(61))
+	data := rng.New(62)
+	noiseM := rng.New(63)
+	noiseR := rng.New(63)
+	src := rng.New(64)
+	n, k, l := cfg.Sites, cfg.Species, cfg.Latent
+
+	for round := 0; round < 4; round++ {
+		// Batched inference on m only (ref stays pristine weights-wise until
+		// the paired Step below, so run inference BEFORE comparing steps).
+		b := 2 + round
+		cfgs := make([]lattice.Config, b)
+		conds := make([]float64, b)
+		mu := make([][]float64, b)
+		lv := make([][]float64, b)
+		for i := 0; i < b; i++ {
+			cfgs[i] = randomCfg(n, k, src)
+			conds[i] = src.Float64()
+			mu[i] = make([]float64, l)
+			lv[i] = make([]float64, l)
+		}
+		m.EncodeBatchInto(cfgs, conds, mu, lv)
+		for i := 0; i < b; i++ {
+			wantMu, wantLv := ref.EncodeInto(cfgs[i], conds[i], nil, nil)
+			for j := 0; j < l; j++ {
+				if math.Float64bits(mu[i][j]) != math.Float64bits(wantMu[j]) ||
+					math.Float64bits(lv[i][j]) != math.Float64bits(wantLv[j]) {
+					t.Fatalf("round %d row %d: batched encode diverged after training steps", round, i)
+				}
+			}
+		}
+
+		// One training step on both models with identical batches/noise;
+		// losses must stay bit-identical even though m also ran batched
+		// inference between steps.
+		x, c, tg := testBatch(m, 4, data)
+		lm := m.Step(x, c, tg, noiseM)
+		lr := ref.Step(x, c, tg, noiseR)
+		if math.Float64bits(lm.Recon) != math.Float64bits(lr.Recon) ||
+			math.Float64bits(lm.KL) != math.Float64bits(lr.KL) {
+			t.Fatalf("round %d: training step diverged after batched inference: %+v vs %+v", round, lm, lr)
+		}
+	}
+}

@@ -45,8 +45,13 @@ type Model struct {
 	// Inference scratch: batch-1 input matrices reused across
 	// Encode/DecodeProbs calls so steady-state proposal generation does
 	// not allocate. Owned by the model, hence the per-walker clone rule.
-	decIn *tensor.Matrix // 1 × (L+1)
+	decIn *tensor.Matrix // 1 × (L+1); B × (L+1) for batched decodes
 	ones  []int          // nonzero one-hot indices for the sparse encoder path
+
+	// Batched inference scratch (batch.go): per-row one-hot index views over
+	// a flat backing array, grown on demand and reused across batch calls.
+	batOnes     [][]int
+	batOnesBack []int
 
 	// Training scratch: batch-sized intermediates reused across Step
 	// calls (resized when the batch size changes).
