@@ -13,12 +13,19 @@
 //	dtworker -join 127.0.0.1:7601 -job rewl                # terminal 3
 //	dtworker -local -job rewl                              # reference checksum
 //
-// A worker killed mid-run (kill -9) is detected by the coordinator and
-// broadcast to the survivors; the leader degrades the dead rank's
-// windows to their frozen consensus and finishes the run, reporting
+// A worker killed mid-run (kill -9) is detected by the coordinator (TCP
+// disconnect, or -hb-timeout of heartbeat silence for a hung-but-connected
+// rank) and broadcast to the survivors; the leader degrades the dead
+// rank's windows to their frozen consensus and finishes the run, reporting
 // degraded_windows in its summary line. With -checkpoint set, every rank
-// writes per-rank checkpoint files, and restarting the whole world with
-// -resume continues bit-identically from the last completed checkpoint.
+// writes per-round checkpoint files, and restarting the whole world with
+// -resume continues bit-identically from the newest checkpoint round all
+// ranks still hold. With -rejoin-wait additionally set, the world is
+// elastic: a replacement worker that joins the coordinator within the
+// wait takes over the dead rank, the world rolls back to the newest
+// common checkpoint round, and the run finishes with zero degraded
+// windows and rejoins=1 in the summary — bit-identical to a run that
+// never lost the worker.
 package main
 
 import (
@@ -61,6 +68,8 @@ func main() {
 	seed := flag.Uint64("seed", 52, "master RNG seed (must match across the world)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-operation transport timeout")
 	verbose := flag.Bool("v", false, "log per-round progress and rendezvous steps")
+	hbInterval := flag.Duration("hb-interval", 2*time.Second, "coordinator: heartbeat ping period (negative disables)")
+	hbTimeout := flag.Duration("hb-timeout", 20*time.Second, "coordinator: silence before a rank is declared dead")
 
 	// REWL job parameters (must match across the world).
 	nWindows := flag.Int("windows", 2, "rewl: energy windows (≥ world size)")
@@ -70,6 +79,9 @@ func main() {
 	exchangeEvery := flag.Int("exchange-interval", 20, "rewl: sweeps per exchange round")
 	ckptDir := flag.String("checkpoint", "", "rewl: per-rank checkpoint directory (empty disables)")
 	resume := flag.Bool("resume", false, "rewl: resume from -checkpoint files if present")
+	ckptEvery := flag.Int("checkpoint-every", 0, "rewl: rounds between checkpoints (0 = default)")
+	ckptRetain := flag.Int("checkpoint-retain", 0, "rewl: checkpoint rounds each rank keeps (0 = default)")
+	rejoinWait := flag.Duration("rejoin-wait", 0, "rewl: how long the leader waits for a replacement of a dead rank (0 disables elastic rejoin)")
 
 	// DDP job parameters (must match across the world).
 	epochs := flag.Int("epochs", 3, "ddp: training epochs")
@@ -87,17 +99,19 @@ func main() {
 
 	switch {
 	case *coordinate:
-		runCoordinator(ctx, *listen, *world, logf)
+		runCoordinator(ctx, *listen, *world, *hbInterval, *hbTimeout, logf)
 	case *local:
 		runLocal(*job, *world, jobParams{
 			seed: *seed, windows: *nWindows, walkers: *nWalkers, lnf: *lnfFinal,
 			maxRounds: *maxRounds, exchange: *exchangeEvery, ckptDir: *ckptDir, resume: *resume,
+			every: *ckptEvery, retain: *ckptRetain, rejoinWait: *rejoinWait,
 			epochs: *epochs, batch: *batch, lr: *lr, logf: logf,
 		})
 	case *join != "":
 		runWorker(ctx, *join, *bind, *job, *timeout, jobParams{
 			seed: *seed, windows: *nWindows, walkers: *nWalkers, lnf: *lnfFinal,
 			maxRounds: *maxRounds, exchange: *exchangeEvery, ckptDir: *ckptDir, resume: *resume,
+			every: *ckptEvery, retain: *ckptRetain, rejoinWait: *rejoinWait,
 			epochs: *epochs, batch: *batch, lr: *lr, logf: logf,
 		})
 	default:
@@ -115,28 +129,33 @@ type jobParams struct {
 	exchange         int
 	ckptDir          string
 	resume           bool
+	every, retain    int
+	rejoinWait       time.Duration
 	epochs, batch    int
 	lr               float64
 	logf             func(string, ...any)
 }
 
-func runCoordinator(ctx context.Context, listen string, world int, logf func(string, ...any)) {
-	co, err := transport.NewCoordinator(listen, world)
+func runCoordinator(ctx context.Context, listen string, world int, hbInterval, hbTimeout time.Duration, logf func(string, ...any)) {
+	co, err := transport.NewCoordinatorOpts(listen, world, transport.CoordinatorOptions{
+		HeartbeatInterval: hbInterval,
+		HeartbeatTimeout:  hbTimeout,
+		Logf:              logf,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer co.Close()
-	co.SetLogf(logf)
 	fmt.Printf("coordinator: listening on %s for a world of %d\n", co.Addr(), world)
 	failed, err := co.Wait(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if len(failed) > 0 {
-		fmt.Printf("coordinator: world finished, failed ranks: %v\n", failed)
+		fmt.Printf("coordinator: world finished, failed ranks: %v, rejoins: %d\n", failed, co.Rejoins())
 		return
 	}
-	fmt.Println("coordinator: world finished cleanly")
+	fmt.Printf("coordinator: world finished cleanly, rejoins: %d\n", co.Rejoins())
 }
 
 func runWorker(ctx context.Context, coordAddr, bind, job string, timeout time.Duration, p jobParams) {
@@ -145,6 +164,12 @@ func runWorker(ctx context.Context, coordAddr, bind, job string, timeout time.Du
 		log.Fatal(err)
 	}
 	defer ep.Close()
+	// While the leader waits out -rejoin-wait for a replacement, the
+	// survivors sit blocked in their next receive; the per-op timeout must
+	// outlast that wait or survivors would wrongly give up mid-rejoin.
+	if p.rejoinWait > 0 && timeout > 0 && timeout < p.rejoinWait+30*time.Second {
+		timeout = p.rejoinWait + 30*time.Second
+	}
 	ep.SetTimeout(timeout)
 	log.SetPrefix(fmt.Sprintf("dtworker[rank %d]: ", ep.Rank()))
 	log.Printf("joined world of %d via %s", ep.Size(), coordAddr)
@@ -231,6 +256,9 @@ func rewlOptions(p jobParams) rewl.Options {
 		WL:               wanglandau.Options{LnFFinal: p.lnf},
 		CheckpointDir:    p.ckptDir,
 		Resume:           p.resume,
+		CheckpointEvery:  p.every,
+		CheckpointRetain: p.retain,
+		RejoinWait:       p.rejoinWait,
 		Logf:             p.logf,
 	}
 }
@@ -241,9 +269,9 @@ func runREWL(ctx context.Context, ep transport.Endpoint, p jobParams) (*rewl.Res
 }
 
 func printREWLSummary(res *rewl.Result) {
-	fmt.Printf("rewl done rounds=%d converged=%v resumed=%v exchanges=%d/%d round_trips=%d "+
+	fmt.Printf("rewl done rounds=%d converged=%v resumed=%v rejoins=%d exchanges=%d/%d round_trips=%d "+
 		"failed_walkers=%d degraded_windows=%d total_sweeps=%d dos_checksum=%016x\n",
-		res.Rounds, res.AllConverged, res.Resumed, res.ExchangeAccept, res.ExchangeTried,
+		res.Rounds, res.AllConverged, res.Resumed, res.Rejoins, res.ExchangeAccept, res.ExchangeTried,
 		res.RoundTrips, res.FailedWalkers, res.DegradedWindows, res.TotalSweeps, dosChecksum(res.DOS))
 }
 

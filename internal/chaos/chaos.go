@@ -42,6 +42,12 @@ const (
 	// DelaySweep stalls the rank before its configured sweep by Delay (a
 	// straggler walker, detected by the rewl driver's walker timeout).
 	DelaySweep
+	// KillRejoin kills the rank at the configured step exactly like Crash,
+	// and additionally schedules a replacement to rejoin the world Delay
+	// after the kill. The test harness (or smoke script) performs the
+	// actual respawn; the plan is the deterministic script for it —
+	// queried via ShouldCrash for the kill and RejoinDelay for the respawn.
+	KillRejoin
 )
 
 // String returns a short identifier for reports.
@@ -55,6 +61,8 @@ func (k Kind) String() string {
 		return "delay-send"
 	case DelaySweep:
 		return "delay-sweep"
+	case KillRejoin:
+		return "kill-rejoin"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -82,7 +90,7 @@ func NewPlan(faults ...Fault) *Plan {
 	p := &Plan{faults: make(map[int][]Fault), crash: make(map[int]int64)}
 	for _, f := range faults {
 		p.faults[f.Rank] = append(p.faults[f.Rank], f)
-		if f.Kind == Crash {
+		if f.Kind == Crash || f.Kind == KillRejoin {
 			if cur, ok := p.crash[f.Rank]; !ok || f.Step < cur {
 				p.crash[f.Rank] = f.Step
 			}
@@ -192,6 +200,35 @@ func (p *Plan) SendFault(rank int, seq int64) (drop bool, delay time.Duration) {
 		}
 	}
 	return drop, delay
+}
+
+// RejoinDelay reports whether rank is scheduled for kill-then-rejoin,
+// and if so how long after the kill its replacement should be spawned.
+// A rank with several KillRejoin entries rejoins after the earliest one.
+func (p *Plan) RejoinDelay(rank int) (time.Duration, bool) {
+	if p == nil {
+		return 0, false
+	}
+	for _, f := range p.faults[rank] {
+		if f.Kind == KillRejoin {
+			return f.Delay, true
+		}
+	}
+	return 0, false
+}
+
+// NumRejoins counts ranks scheduled for kill-then-rejoin.
+func (p *Plan) NumRejoins() int {
+	if p == nil {
+		return 0
+	}
+	n := 0
+	for r := range p.faults {
+		if _, ok := p.RejoinDelay(r); ok {
+			n++
+		}
+	}
+	return n
 }
 
 // SweepDelay returns the injected stall before rank's sweep-th sweep.

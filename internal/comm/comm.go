@@ -28,11 +28,14 @@ type World struct {
 	bytesSent atomic.Int64
 
 	// Fault machinery (see faults.go). inject and timeout are configured
-	// before the ranks start; failure flags flip at most once per rank.
+	// before the ranks start. A failure flag flips to true at most once
+	// per incarnation; ReviveRank resets it and replaces the rank's fail
+	// channel, so failCh entries are read through failChOf under fmu.
 	inject  FaultInjector
 	timeout time.Duration
 	failed  []atomic.Bool
-	failCh  []chan struct{} // closed when the rank fails permanently
+	fmu     sync.RWMutex
+	failCh  []chan struct{} // closed when the rank's incarnation fails
 }
 
 // NewWorld creates a world with n ranks.

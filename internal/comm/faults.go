@@ -52,13 +52,55 @@ func (w *World) SetFaultInjector(fi FaultInjector) { w.inject = fi }
 // caller's context alone). Call before the ranks start communicating.
 func (w *World) SetTimeout(d time.Duration) { w.timeout = d }
 
-// FailRank marks rank permanently failed: its own operations return
-// ErrRankFailed and peers blocked on it observe ErrPeerFailed. Failing is
-// idempotent and irreversible, like a dead MPI process.
+// FailRank marks rank failed: its own operations return ErrRankFailed and
+// peers blocked on it observe ErrPeerFailed. Failing is idempotent, and —
+// like a dead MPI process — permanent unless an elastic runtime replaces
+// the rank via ReviveRank.
 func (w *World) FailRank(r int) {
 	if w.failed[r].CompareAndSwap(false, true) {
-		close(w.failCh[r])
+		w.fmu.Lock()
+		ch := w.failCh[r]
+		w.fmu.Unlock()
+		close(ch)
 	}
+}
+
+// ReviveRank restores a failed rank for a replacement worker: the failure
+// flag clears, the rank gets a fresh fail channel, and messages buffered
+// to or from the dead incarnation are discarded so the replacement starts
+// with clean mailboxes. The in-process analogue of the TCP backend's
+// rejoin (a fresh connection mesh for the re-issued rank). Call only once
+// the dead incarnation's goroutine has fully stopped communicating.
+func (w *World) ReviveRank(r int) {
+	if !w.failed[r].Load() {
+		return
+	}
+	w.fmu.Lock()
+	w.failCh[r] = make(chan struct{})
+	w.fmu.Unlock()
+	for o := 0; o < w.size; o++ {
+		drainChan(w.ch[r][o]) // inbound to the dead incarnation
+		drainChan(w.ch[o][r]) // outbound from it, not yet consumed
+	}
+	w.failed[r].Store(false)
+}
+
+func drainChan(ch chan []float64) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
+}
+
+// failChOf returns rank r's current fail channel.
+func (w *World) failChOf(r int) chan struct{} {
+	w.fmu.RLock()
+	ch := w.failCh[r]
+	w.fmu.RUnlock()
+	return ch
 }
 
 // RankFailed reports whether rank r has permanently failed.
@@ -152,8 +194,10 @@ func (c *Comm) SendCtx(ctx context.Context, dst int, data []float64) error {
 	case w.ch[dst][c.rank] <- cp:
 		w.bytesSent.Add(int64(8 * len(data)))
 		return nil
-	case <-w.failCh[dst]:
+	case <-w.failChOf(dst):
 		return fmt.Errorf("%w: send to rank %d", ErrPeerFailed, dst)
+	case <-w.failChOf(c.rank):
+		return fmt.Errorf("%w: rank %d", ErrRankFailed, c.rank)
 	case <-opCtx.Done():
 		return mapCtxErr(ctx, opCtx, "send", dst)
 	}
@@ -179,8 +223,10 @@ func (c *Comm) RecvCtx(ctx context.Context, src int) ([]float64, error) {
 	select {
 	case msg := <-w.ch[c.rank][src]:
 		return msg, nil
-	case <-w.failCh[src]:
+	case <-w.failChOf(src):
 		return nil, fmt.Errorf("%w: recv from rank %d", ErrPeerFailed, src)
+	case <-w.failChOf(c.rank):
+		return nil, fmt.Errorf("%w: rank %d", ErrRankFailed, c.rank)
 	case <-opCtx.Done():
 		return nil, mapCtxErr(ctx, opCtx, "recv", src)
 	}

@@ -1,29 +1,33 @@
 package rewl
 
 // Distributed checkpointing. Every rank persists its own windows' walker
-// chains to a per-rank file in the shared CheckpointDir; the leader's file
-// additionally carries the coordination state (coordinator RNG position,
-// the global alive mask, frozen consensus of degraded windows, replica
-// flow, counters). All live ranks write in the same round, so the file set
-// is a consistent world snapshot; Resume restores it bit-identically
-// provided every rank's file is from the same round — the leader verifies
-// that during the start handshake and aborts the world otherwise.
+// chains to per-round files in CheckpointDir (see manifest.go for the
+// retention and checksum machinery); the leader's files additionally carry
+// the coordination state (coordinator RNG position, the global alive mask,
+// frozen consensus of degraded windows, replica flow, counters). All live
+// ranks write in the same round, so each round's file set is a consistent
+// world snapshot. On resume the leader gathers every rank's verifiable
+// rounds, picks the newest round all of them hold, and the world restores
+// that snapshot bit-identically; ranks whose newest rounds are corrupt or
+// lagging simply pull the negotiated round back — nothing aborts.
 
 import (
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 
 	"deepthermo/internal/alloy"
-	"deepthermo/internal/fsx"
 	"deepthermo/internal/rng"
 	"deepthermo/internal/wanglandau"
 )
 
-// DistCheckpointPath returns rank's checkpoint file inside dir.
+// DistCheckpointPath returns rank's legacy single-file checkpoint inside
+// dir. Current checkpoints are per-round files indexed by a manifest
+// (manifest.go); this path is still honored on load so pre-manifest
+// checkpoint dirs resume cleanly.
 func DistCheckpointPath(dir string, rank int) string {
 	return filepath.Join(dir, fmt.Sprintf("rewl-rank%d.ckpt", rank))
 }
@@ -113,8 +117,11 @@ func loadDistCheckpoint(path string, windows []wanglandau.Window, nWalk, rank, s
 	return ck, nil
 }
 
-// saveDistCheckpoint writes the rank's state atomically. coord is the
-// leader's coordination state, nil on workers.
+// saveDistCheckpoint writes the rank's state atomically as one retained
+// round (see manifest.go): the round file plus a manifest entry carrying
+// its size and FNV-64a checksum, pruning rounds beyond
+// Options.CheckpointRetain. coord is the leader's coordination state, nil
+// on workers.
 func (o *ownerState) saveDistCheckpoint(nextRound, rank, size int, coord *distCoordState) error {
 	ck := &distCheckpoint{
 		Version: checkpointVersion,
@@ -140,13 +147,11 @@ func (o *ownerState) saveDistCheckpoint(nextRound, rank, size int, coord *distCo
 		ck.HasCoord = true
 		ck.Coord = *coord
 	}
-	path := DistCheckpointPath(o.opts.CheckpointDir, rank)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ck); err != nil {
 		return err
 	}
-	return fsx.WriteFileAtomic(path, func(w io.Writer) error {
-		return gob.NewEncoder(w).Encode(ck)
-	})
+	return writeDistRound(o.opts.CheckpointDir, rank, nextRound, o.opts.CheckpointRetain, buf.Bytes())
 }
 
 func hiLen(o *ownerState) int { return o.hi - o.lo }

@@ -28,6 +28,7 @@ package rewl
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -43,19 +44,88 @@ import (
 // Protocol opcodes, leader → owner. Every command is a []float64 message;
 // replies (where a command has one) are likewise []float64.
 const (
-	dopSweep         = 1 // [op, round] → report
-	dopQueryExchange = 2 // [op, wi, k, ePartner] → [binOK, lgSelf, lgPartner]
-	dopGetCfg        = 3 // [op, wi, k] → [E, cfg...]
-	dopSetCfg        = 4 // [op, wi, k, E, cfg...] (no reply)
-	dopEndStage      = 5 // [op, wi] (no reply)
-	dopCheckpoint    = 6 // [op, nextRound] → [ok]
-	dopFinish        = 7 // [op] → finish report, then the owner returns
-	dopAbort         = 8 // [op] (no reply); the owner returns an error
+	dopSweep         = 1  // [op, round] → report
+	dopQueryExchange = 2  // [op, wi, k, ePartner] → [binOK, lgSelf, lgPartner]
+	dopGetCfg        = 3  // [op, wi, k] → [E, cfg...]
+	dopSetCfg        = 4  // [op, wi, k, E, cfg...] (no reply)
+	dopEndStage      = 5  // [op, wi] (no reply)
+	dopCheckpoint    = 6  // [op, nextRound] → [ok]
+	dopFinish        = 7  // [op] → finish report, then the owner returns
+	dopAbort         = 8  // [op] (no reply); the owner returns an error
+	dopListRounds    = 9  // [op] → [n, round1..roundN] (verifiable ckpt rounds)
+	dopRollback      = 10 // [op, round] → [ok]; reload state from that round (0 = fresh)
+)
+
+// Start-handshake verdicts, leader → worker, replying to the worker's
+// hello ([n, round1..roundN], its locally restorable checkpoint rounds):
+//
+//	[startFresh, 0]                     build fresh walkers, start at round 0
+//	[startLocal, c]                     restore round c from the local checkpoint
+//	[startShipped, c, nbytes, packed…]  restore round c from the shipped blob
+//	[startAbort, 0]                     abort (malformed hello)
+const (
+	startAbort   = -1
+	startFresh   = 0
+	startLocal   = 1
+	startShipped = 2
 )
 
 // winRange returns the contiguous window block [lo, hi) owned by rank.
 func winRange(nWin, size, rank int) (lo, hi int) {
 	return rank * nWin / size, (rank + 1) * nWin / size
+}
+
+// decodeRoundsList parses a [n, round1..roundN] message (worker hello,
+// dopListRounds reply).
+func decodeRoundsList(msg []float64) ([]int, bool) {
+	if len(msg) < 1 {
+		return nil, false
+	}
+	n := int(msg[0])
+	if n < 0 || len(msg) != 1+n {
+		return nil, false
+	}
+	rs := make([]int, n)
+	for i := range rs {
+		rs[i] = int(msg[1+i])
+	}
+	return rs, true
+}
+
+// encodeRoundsList builds a [n, round1..roundN] message.
+func encodeRoundsList(rounds []int) []float64 {
+	msg := make([]float64, 1, 1+len(rounds))
+	msg[0] = float64(len(rounds))
+	for _, r := range rounds {
+		msg = append(msg, float64(r))
+	}
+	return msg
+}
+
+// packBytes packs a byte blob into float64 words (8 bytes per word,
+// big-endian) so a checkpoint gob can travel over the float-only data
+// plane. Word copies preserve bit patterns exactly, so arbitrary gob
+// bytes — including ones that decode as NaNs — round-trip unchanged.
+func packBytes(b []byte) []float64 {
+	out := make([]float64, (len(b)+7)/8)
+	for i := range out {
+		var w [8]byte
+		copy(w[:], b[8*i:])
+		out[i] = math.Float64frombits(binary.BigEndian.Uint64(w[:]))
+	}
+	return out
+}
+
+// unpackBytes reverses packBytes for a blob of n bytes.
+func unpackBytes(words []float64, n int) ([]byte, error) {
+	if n < 0 || (n+7)/8 != len(words) {
+		return nil, fmt.Errorf("rewl: packed blob of %d words cannot hold %d bytes", len(words), n)
+	}
+	out := make([]byte, 8*len(words))
+	for i, v := range words {
+		binary.BigEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out[:n], nil
 }
 
 // RunDistributed executes REWL across the ranks of a transport world.
@@ -264,45 +334,67 @@ func (o *ownerState) finishReport() []float64 {
 // ---------------------------------------------------------------------------
 // Worker side: a reactive command loop over the endpoint.
 
+// ownerFromStart builds a rank's ownerState according to the leader's
+// start verdict (see the start* constants).
+func ownerFromStart(start []float64, m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, newProposal ProposalFactory, opts Options, rank, size, lo, hi int) (*ownerState, error) {
+	if len(start) < 2 {
+		return nil, fmt.Errorf("rewl: rank %d received a malformed start verdict", rank)
+	}
+	nWalk := opts.WalkersPerWindow
+	switch int(start[0]) {
+	case startFresh:
+		return newOwnerState(m, seedCfg, windows, newProposal, opts, lo, hi)
+	case startLocal:
+		c := int(start[1])
+		ck, err := loadDistRound(opts.CheckpointDir, rank, c, windows, nWalk, size)
+		if err != nil {
+			return nil, fmt.Errorf("rewl: rank %d restoring negotiated round %d: %w", rank, c, err)
+		}
+		return restoreOwnerState(m, windows, newProposal, opts, lo, hi, ck)
+	case startShipped:
+		if len(start) < 3 {
+			return nil, fmt.Errorf("rewl: rank %d received a truncated shipped checkpoint", rank)
+		}
+		c, n := int(start[1]), int(start[2])
+		blob, err := unpackBytes(start[3:], n)
+		if err != nil {
+			return nil, err
+		}
+		ck, err := decodeDistCheckpoint(blob, windows, nWalk, rank, size)
+		if err != nil {
+			return nil, fmt.Errorf("rewl: rank %d decoding shipped checkpoint: %w", rank, err)
+		}
+		if ck.Round != c {
+			return nil, fmt.Errorf("rewl: rank %d shipped checkpoint claims round %d, wanted %d", rank, ck.Round, c)
+		}
+		return restoreOwnerState(m, windows, newProposal, opts, lo, hi, ck)
+	default:
+		return nil, fmt.Errorf("rewl: rank %d: leader aborted the start (malformed hello?)", rank)
+	}
+}
+
 func runDistWorker(ctx context.Context, ep transport.Endpoint, m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, newProposal ProposalFactory, opts Options) error {
 	rank, size := ep.Rank(), ep.Size()
+	nWalk := opts.WalkersPerWindow
 	lo, hi := winRange(len(windows), size, rank)
 
-	// Resume handshake: report whether a local checkpoint exists and for
-	// which round; the leader decides fresh/resume/abort for the world.
-	var ck *distCheckpoint
+	// Resume handshake: offer the leader every locally restorable
+	// checkpoint round; the leader negotiates the world's start verdict.
+	// A replacement worker joining a running world speaks the exact same
+	// handshake — the leader's recovery path answers it instead of the
+	// startup path.
+	var rounds []int
 	if opts.Resume && opts.CheckpointDir != "" {
-		c, err := loadDistCheckpoint(DistCheckpointPath(opts.CheckpointDir, rank), windows, opts.WalkersPerWindow, rank, size)
-		if err != nil {
-			return err
-		}
-		ck = c
+		rounds = availableRounds(opts.CheckpointDir, rank, windows, nWalk, size)
 	}
-	hello := []float64{0, 0}
-	if ck != nil {
-		hello[0], hello[1] = 1, float64(ck.Round)
-	}
-	if err := ep.SendCtx(ctx, 0, hello); err != nil {
+	if err := ep.SendCtx(ctx, 0, encodeRoundsList(rounds)); err != nil {
 		return fmt.Errorf("rewl: rank %d hello: %w", rank, err)
 	}
 	start, err := ep.RecvCtx(ctx, 0)
 	if err != nil {
 		return fmt.Errorf("rewl: rank %d awaiting start: %w", rank, err)
 	}
-	if len(start) < 2 || start[0] < 0 {
-		return fmt.Errorf("rewl: rank %d: leader aborted the start (checkpoint round mismatch across ranks?)", rank)
-	}
-	resumed := start[1] != 0
-
-	var o *ownerState
-	if resumed {
-		if ck == nil {
-			return fmt.Errorf("rewl: rank %d told to resume without a checkpoint", rank)
-		}
-		o, err = restoreOwnerState(m, windows, newProposal, opts, lo, hi, ck)
-	} else {
-		o, err = newOwnerState(m, seedCfg, windows, newProposal, opts, lo, hi)
-	}
+	o, err := ownerFromStart(start, m, seedCfg, windows, newProposal, opts, rank, size, lo, hi)
 	if err != nil {
 		// The leader will observe the silence as a dead rank; surface the
 		// real cause locally.
@@ -349,6 +441,39 @@ func runDistWorker(ctx context.Context, ep transport.Endpoint, m *alloy.Model, s
 			if err := ep.SendCtx(ctx, 0, []float64{ok}); err != nil {
 				return fmt.Errorf("rewl: rank %d checkpoint ack: %w", rank, err)
 			}
+		case dopListRounds:
+			rs := availableRounds(opts.CheckpointDir, rank, windows, nWalk, size)
+			if err := ep.SendCtx(ctx, 0, encodeRoundsList(rs)); err != nil {
+				return fmt.Errorf("rewl: rank %d rounds reply: %w", rank, err)
+			}
+		case dopRollback:
+			// Elastic recovery: reload this rank's state from the
+			// negotiated round (0 = rebuild fresh) so the world replays
+			// from a consistent snapshot after a dead rank was replaced.
+			c := int(msg[1])
+			ok := 1.0
+			var o2 *ownerState
+			var rerr error
+			if c == 0 {
+				o2, rerr = newOwnerState(m, seedCfg, windows, newProposal, opts, lo, hi)
+			} else {
+				var ck2 *distCheckpoint
+				ck2, rerr = loadDistRound(opts.CheckpointDir, rank, c, windows, nWalk, size)
+				if rerr == nil {
+					o2, rerr = restoreOwnerState(m, windows, newProposal, opts, lo, hi, ck2)
+				}
+			}
+			if rerr != nil {
+				ok = 0
+			} else {
+				o = o2
+			}
+			if err := ep.SendCtx(ctx, 0, []float64{ok}); err != nil {
+				return fmt.Errorf("rewl: rank %d rollback ack: %w", rank, err)
+			}
+			if rerr != nil {
+				return fmt.Errorf("rewl: rank %d rolling back to round %d: %w", rank, c, rerr)
+			}
 		case dopFinish:
 			if err := ep.SendCtx(ctx, 0, o.finishReport()); err != nil {
 				return fmt.Errorf("rewl: rank %d final report: %w", rank, err)
@@ -373,6 +498,19 @@ type distLeader struct {
 	nWalk   int
 	size    int
 	owner   []int // owning rank per window
+	logf    func(format string, args ...any)
+
+	// Inputs kept for elastic rollback (a fresh rebuild needs them).
+	m           *alloy.Model
+	seedCfg     lattice.Config
+	newProposal ProposalFactory
+
+	// Elastic recovery: with CheckpointDir + RejoinWait set and a backend
+	// that supports rejoin, dead ranks are queued in pending and the round
+	// loop attempts replacement + rollback before the next sweep.
+	elastic  bool
+	rejoiner transport.Rejoinable
+	pending  []int
 
 	rankAlive []bool
 	aliveG    [][]bool
@@ -395,14 +533,21 @@ func runDistLeader(ctx context.Context, ep transport.Endpoint, m *alloy.Model, s
 		logf = func(string, ...any) {}
 	}
 
+	rejoiner, canRejoin := ep.(transport.Rejoinable)
 	L := &distLeader{
-		ep:        ep,
-		opts:      opts,
-		windows:   windows,
-		nWalk:     nWalk,
-		size:      size,
-		owner:     make([]int, nWin),
-		rankAlive: make([]bool, size),
+		ep:          ep,
+		opts:        opts,
+		windows:     windows,
+		nWalk:       nWalk,
+		size:        size,
+		owner:       make([]int, nWin),
+		logf:        logf,
+		m:           m,
+		seedCfg:     seedCfg,
+		newProposal: newProposal,
+		elastic:     canRejoin && opts.CheckpointDir != "" && opts.RejoinWait > 0,
+		rejoiner:    rejoiner,
+		rankAlive:   make([]bool, size),
 		aliveG:    make([][]bool, nWin),
 		convG:     make([][]bool, nWin),
 		flatG:     make([][]bool, nWin),
@@ -435,89 +580,59 @@ func runDistLeader(ctx context.Context, ep transport.Endpoint, m *alloy.Model, s
 		}
 	}
 
-	// Resume handshake: collect every rank's checkpoint state, decide for
-	// the world, and broadcast the verdict.
-	var ownCk *distCheckpoint
+	// Resume handshake: gather every rank's verifiable checkpoint rounds
+	// and negotiate the newest round all of them hold. A mixed or partly
+	// corrupt checkpoint set rolls the world back to the newest common
+	// round — or starts fresh when nothing is universal — instead of
+	// aborting.
+	var ownRounds []int
 	if opts.Resume && opts.CheckpointDir != "" {
-		c, err := loadDistCheckpoint(DistCheckpointPath(opts.CheckpointDir, 0), windows, nWalk, 0, size)
-		if err != nil {
-			return nil, err
-		}
-		ownCk = c
+		ownRounds = availableRounds(opts.CheckpointDir, 0, windows, nWalk, size)
 	}
-	haveCk := make([]bool, size)
-	ckRound := make([]int, size)
-	haveCk[0] = ownCk != nil
-	if ownCk != nil {
-		ckRound[0] = ownCk.Round
-	}
+	lists := [][]int{ownRounds}
+	anyOffer := len(ownRounds) > 0
 	for r := 1; r < size; r++ {
 		hello, err := ep.RecvCtx(ctx, r)
 		if err != nil {
 			return nil, fmt.Errorf("rewl: leader awaiting rank %d hello: %w", r, err)
 		}
-		if len(hello) < 2 {
+		rs, ok := decodeRoundsList(hello)
+		if !ok {
+			for r2 := 1; r2 < size; r2++ {
+				ep.SendCtx(ctx, r2, []float64{startAbort, 0}) //nolint:errcheck // aborting anyway
+			}
 			return nil, fmt.Errorf("rewl: malformed hello from rank %d", r)
 		}
-		haveCk[r] = hello[0] != 0
-		ckRound[r] = int(hello[1])
+		anyOffer = anyOffer || len(rs) > 0
+		lists = append(lists, rs)
 	}
-	allHave, noneHave, sameRound := true, true, true
-	for r := 0; r < size; r++ {
-		if haveCk[r] {
-			noneHave = false
-		} else {
-			allHave = false
-		}
-		if ckRound[r] != ckRound[0] {
-			sameRound = false
-		}
-	}
-	resume := allHave && sameRound
 	startRound := 0
-	if resume {
-		startRound = ckRound[0]
+	if opts.Resume {
+		startRound = newestCommonRound(lists)
 	}
-	if !resume && !noneHave {
-		for r := 1; r < size; r++ {
-			ep.SendCtx(ctx, r, []float64{-1, 0}) //nolint:errcheck // aborting anyway
-		}
-		return nil, fmt.Errorf("rewl: checkpoint state differs across ranks (have=%v rounds=%v); cannot resume consistently", haveCk, ckRound)
+	resume := startRound > 0
+	if resume {
+		logf("rewl: resuming world from checkpoint round %d", startRound)
+	} else if anyOffer {
+		logf("rewl: no checkpoint round common to all %d ranks; starting fresh", size)
+	}
+	verdict := []float64{startFresh, 0}
+	if resume {
+		verdict = []float64{startLocal, float64(startRound)}
 	}
 	for r := 1; r < size; r++ {
-		if err := ep.SendCtx(ctx, r, []float64{float64(startRound), b2f(resume)}); err != nil {
+		if err := ep.SendCtx(ctx, r, verdict); err != nil {
 			return nil, fmt.Errorf("rewl: leader starting rank %d: %w", r, err)
 		}
 	}
 
-	// Build the leader's own windows and (on resume) the coordination state.
-	lo, hi := winRange(nWin, size, 0)
-	var o *ownerState
-	var err error
-	if resume {
-		o, err = restoreOwnerState(m, windows, newProposal, opts, lo, hi, ownCk)
-		if err == nil {
-			err = L.restoreCoord(ownCk)
-		}
-		L.res.Resumed = true
-	} else {
-		L.coord = rng.NewStreams(opts.Seed, nWin*nWalk+1)[nWin*nWalk]
-		o, err = newOwnerState(m, seedCfg, windows, newProposal, opts, lo, hi)
-		if err == nil {
-			// Matches buildRunState's lastLnF init: fresh walkers all start
-			// at the same ln f, so the leader's walker 0 speaks for every
-			// window.
-			ini := o.walkers[0][0].LnF()
-			for wi := range L.lastLnFG {
-				L.lastLnFG[wi] = ini
-			}
-		}
-	}
-	if err != nil {
+	// Build the leader's own windows and (on resume) the coordination
+	// state — the same code path elastic recovery replays mid-run.
+	if err := L.rollbackLeader(startRound); err != nil {
 		L.abortAll(ctx)
 		return nil, err
 	}
-	L.o = o
+	L.res.Resumed = resume
 	L.res.Rounds = startRound
 
 	tensor.EnterNested()
@@ -526,6 +641,11 @@ func runDistLeader(ctx context.Context, ep transport.Endpoint, m *alloy.Model, s
 	for round := startRound; round < opts.MaxRounds; round++ {
 		if ctx.Err() != nil {
 			break
+		}
+		if len(L.pending) > 0 {
+			if c, ok := L.recoverPending(ctx); ok {
+				round = c
+			}
 		}
 		L.res.Rounds = round + 1
 
@@ -538,8 +658,8 @@ func runDistLeader(ctx context.Context, ep transport.Endpoint, m *alloy.Model, s
 				}
 			}
 		}
-		o.sweepAndMerge(ctx)
-		L.parseReport(0, o.report())
+		L.o.sweepAndMerge(ctx)
+		L.parseReport(0, L.o.report())
 		for r := 1; r < size; r++ {
 			if !L.rankAlive[r] {
 				continue
@@ -610,9 +730,19 @@ func runDistLeader(ctx context.Context, ep transport.Endpoint, m *alloy.Model, s
 				L.stages[wi]++
 			}
 		}
-		logf("rewl: round %d: %d/%d windows converged, %d walkers failed", round+1, nConv, nWin, L.res.FailedWalkers)
+		liveRanks := 0
+		for _, a := range L.rankAlive {
+			if a {
+				liveRanks++
+			}
+		}
+		logf("rewl: round %d: %d/%d windows converged, %d walkers failed, %d/%d ranks live, %d rejoins",
+			round+1, nConv, nWin, L.res.FailedWalkers, liveRanks, size, L.res.Rejoins)
 
-		if opts.CheckpointDir != "" && (round+1)%opts.CheckpointEvery == 0 {
+		// Skip the checkpoint while a dead rank awaits recovery: persisting
+		// the degraded alive mask would poison the very rounds the rollback
+		// negotiation is about to offer.
+		if opts.CheckpointDir != "" && (round+1)%opts.CheckpointEvery == 0 && len(L.pending) == 0 {
 			if err := L.checkpointAll(ctx, round+1); err != nil {
 				L.abortAll(ctx)
 				return nil, err
@@ -628,9 +758,11 @@ func runDistLeader(ctx context.Context, ep transport.Endpoint, m *alloy.Model, s
 	return L.finish(ctx)
 }
 
-// rankDead marks a rank permanently failed: every walker of its windows
-// dies, degrading those windows to their last shipped consensus — the
-// same semantics a window gets when all its walkers crash in-process.
+// rankDead marks a rank failed: every walker of its windows dies,
+// degrading those windows to their last shipped consensus — the same
+// semantics a window gets when all its walkers crash in-process. In
+// elastic mode the rank is additionally queued for replacement; a
+// successful rejoin rolls the whole world back and un-degrades it.
 func (L *distLeader) rankDead(r int) {
 	if !L.rankAlive[r] {
 		return
@@ -645,6 +777,195 @@ func (L *distLeader) rankDead(r int) {
 			}
 		}
 	}
+	if L.elastic {
+		L.pending = append(L.pending, r)
+	}
+}
+
+// rollbackLeader (re)builds the leader's own windows and the coordination
+// state for round c: round 0 rebuilds everything fresh (exactly the
+// buildRunState init), any other round restores the leader's checkpoint
+// for it. Shared by the start handshake and mid-run elastic recovery.
+func (L *distLeader) rollbackLeader(c int) error {
+	nWin := len(L.windows)
+	lo, hi := winRange(nWin, L.size, 0)
+	if c > 0 {
+		ck, err := loadDistRound(L.opts.CheckpointDir, 0, c, L.windows, L.nWalk, L.size)
+		if err != nil {
+			return fmt.Errorf("rewl: leader restoring round %d: %w", c, err)
+		}
+		o, err := restoreOwnerState(L.m, L.windows, L.newProposal, L.opts, lo, hi, ck)
+		if err != nil {
+			return err
+		}
+		L.o = o
+		return L.restoreCoord(ck)
+	}
+	L.coord = rng.NewStreams(L.opts.Seed, nWin*L.nWalk+1)[nWin*L.nWalk]
+	o, err := newOwnerState(L.m, L.seedCfg, L.windows, L.newProposal, L.opts, lo, hi)
+	if err != nil {
+		return err
+	}
+	L.o = o
+	// Matches buildRunState's init: fresh walkers all start at the same
+	// ln f, so the leader's walker 0 speaks for every window.
+	ini := o.walkers[0][0].LnF()
+	id := 0
+	for wi := 0; wi < nWin; wi++ {
+		for k := 0; k < L.nWalk; k++ {
+			L.aliveG[wi][k] = true
+			L.convG[wi][k] = false
+			L.flatG[wi][k] = false
+			L.energyG[wi][k] = 0
+			L.replicaID[wi][k] = id
+			id++
+		}
+		L.frozenG[wi] = L.frozenG[wi][:0]
+		L.lastLnFG[wi] = ini
+		L.stages[wi] = 0
+	}
+	for i := range L.extreme {
+		L.extreme[i] = 0
+	}
+	L.res.ExchangeTried, L.res.ExchangeAccept, L.res.RoundTrips = 0, 0, 0
+	L.res.FailedWalkers = 0
+	return nil
+}
+
+// recoverPending tries to replace every queued dead rank. For each one the
+// leader waits up to RejoinWait for the transport to admit a replacement,
+// then runs the rejoin protocol (rejoinRank). Returns the round the world
+// rolled back to and whether any rejoin succeeded; ranks that found no
+// replacement in time stay degraded.
+func (L *distLeader) recoverPending(ctx context.Context) (int, bool) {
+	pending := L.pending
+	L.pending = nil
+	c, recovered := 0, false
+	for _, r := range pending {
+		L.logf("rewl: rank %d dead; awaiting a replacement for up to %v", r, L.opts.RejoinWait)
+		wctx, cancel := context.WithTimeout(ctx, L.opts.RejoinWait)
+		err := L.rejoiner.AwaitRejoin(wctx, r)
+		cancel()
+		if err != nil {
+			L.logf("rewl: no replacement for rank %d (%v); its windows stay degraded", r, err)
+			continue
+		}
+		rc, err := L.rejoinRank(ctx, r)
+		if err != nil {
+			L.logf("rewl: rejoin of rank %d failed: %v; its windows stay degraded", r, err)
+			continue
+		}
+		L.logf("rewl: rank %d rejoined; world rolled back to round %d", r, rc)
+		recovered = true
+		c = rc
+	}
+	return c, recovered
+}
+
+// rejoinRank runs the rejoin protocol for a replacement worker on rank r:
+// receive its hello, re-negotiate the newest checkpoint round common to
+// the leader, every survivor, and the replacement (counting rounds the
+// leader can ship from its own dir copy of r's files), command the
+// survivors to roll back, start the replacement (shipping the round's
+// blob if it has no local copy), and finally roll the leader itself back.
+// On success the rank is live again and the round loop replays from the
+// returned round, bit-identically to a run that never lost it.
+func (L *distLeader) rejoinRank(ctx context.Context, r int) (int, error) {
+	hello, err := L.ep.RecvCtx(ctx, r)
+	if err != nil {
+		return 0, fmt.Errorf("awaiting replacement hello: %w", err)
+	}
+	replRounds, ok := decodeRoundsList(hello)
+	if !ok {
+		return 0, fmt.Errorf("malformed replacement hello")
+	}
+	dir := L.opts.CheckpointDir
+	// Rounds the leader could ship to the replacement from its own copy of
+	// rank r's files (shared checkpoint dir, or same host).
+	shipRounds := availableRounds(dir, r, L.windows, L.nWalk, L.size)
+	offer := map[int]bool{}
+	for _, c := range replRounds {
+		offer[c] = true
+	}
+	for _, c := range shipRounds {
+		offer[c] = true
+	}
+	reachable := make([]int, 0, len(offer))
+	for c := range offer {
+		reachable = append(reachable, c)
+	}
+
+	lists := [][]int{availableRounds(dir, 0, L.windows, L.nWalk, L.size), reachable}
+	for r2 := 1; r2 < L.size; r2++ {
+		if r2 == r || !L.rankAlive[r2] {
+			continue
+		}
+		if err := L.ep.SendCtx(ctx, r2, []float64{dopListRounds}); err != nil {
+			L.rankDead(r2)
+			continue
+		}
+		rep, err := L.ep.RecvCtx(ctx, r2)
+		if err != nil {
+			L.rankDead(r2)
+			continue
+		}
+		rs, ok := decodeRoundsList(rep)
+		if !ok {
+			L.rankDead(r2)
+			continue
+		}
+		lists = append(lists, rs)
+	}
+	c := newestCommonRound(lists)
+
+	// Survivors first: a survivor that fails its rollback degrades (and
+	// queues for its own recovery) but must not block this rejoin.
+	for r2 := 1; r2 < L.size; r2++ {
+		if r2 == r || !L.rankAlive[r2] {
+			continue
+		}
+		if err := L.ep.SendCtx(ctx, r2, []float64{dopRollback, float64(c)}); err != nil {
+			L.rankDead(r2)
+			continue
+		}
+		ack, err := L.ep.RecvCtx(ctx, r2)
+		if err != nil || len(ack) < 1 || ack[0] != 1 {
+			L.rankDead(r2)
+		}
+	}
+
+	// Start the replacement: local restore if it holds the round itself,
+	// shipped blob if only the leader does, fresh build when c == 0.
+	start := []float64{startFresh, 0}
+	if c > 0 {
+		local := false
+		for _, rc := range replRounds {
+			if rc == c {
+				local = true
+				break
+			}
+		}
+		if local {
+			start = []float64{startLocal, float64(c)}
+		} else {
+			blob, err := loadDistRoundBlob(dir, r, c)
+			if err != nil {
+				L.ep.SendCtx(ctx, r, []float64{startAbort, 0}) //nolint:errcheck // aborting anyway
+				return 0, fmt.Errorf("loading round %d blob to ship: %w", c, err)
+			}
+			start = append([]float64{startShipped, float64(c), float64(len(blob))}, packBytes(blob)...)
+		}
+	}
+	if err := L.ep.SendCtx(ctx, r, start); err != nil {
+		return 0, fmt.Errorf("starting replacement: %w", err)
+	}
+
+	if err := L.rollbackLeader(c); err != nil {
+		return 0, err
+	}
+	L.rankAlive[r] = true
+	L.res.Rejoins++
+	return c, nil
 }
 
 // parseReport folds one rank's post-sweep report into the leader's global

@@ -68,10 +68,28 @@ type Options struct {
 	// (default 10 when a dir is set). Empty disables checkpointing.
 	CheckpointDir   string
 	CheckpointEvery int
+	// CheckpointRetain is how many checkpoint rounds each distributed rank
+	// keeps (default 3 when a dir is set). Older rounds are pruned; the
+	// retained set is what the resume negotiation and the elastic rollback
+	// can fall back to when a newer round is corrupt or missing on some
+	// rank. The single-process driver keeps one file regardless.
+	CheckpointRetain int
 	// Resume continues from CheckpointDir's checkpoint if one exists
 	// (bit-identically to the uninterrupted run); absent a checkpoint the
-	// run starts fresh, so restart loops can set it unconditionally.
+	// run starts fresh, so restart loops can set it unconditionally. In a
+	// distributed world the leader negotiates the newest checkpoint round
+	// every rank holds and rolls the world back to it; with no common
+	// round the world starts fresh rather than aborting.
 	Resume bool
+	// RejoinWait, when positive and CheckpointDir is set, makes the
+	// distributed leader elastic: a dead worker rank's windows are not
+	// degraded immediately — the leader waits up to RejoinWait for a
+	// replacement worker to join the world (transport.Rejoinable), ships
+	// or negotiates the rank's checkpoint state, rolls every rank back to
+	// the newest common checkpoint round, and replays from there
+	// bit-identically to an uninterrupted run. If no replacement arrives
+	// in time the windows degrade as usual. Zero disables rejoin.
+	RejoinWait time.Duration
 	// Faults injects deterministic walker failures: rank wi·WalkersPerWindow+k
 	// is walker k of window wi, and steps are the walker's own sweep count.
 	// nil means no faults.
@@ -99,6 +117,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.CheckpointDir != "" && o.CheckpointEvery == 0 {
 		o.CheckpointEvery = 10
+	}
+	if o.CheckpointDir != "" && o.CheckpointRetain == 0 {
+		o.CheckpointRetain = defaultCheckpointRetain
 	}
 }
 
@@ -178,6 +199,11 @@ type Result struct {
 	DegradedWindows int
 	// Resumed reports whether the run continued from a checkpoint.
 	Resumed bool
+	// Rejoins counts dead worker ranks successfully replaced mid-run by
+	// the elastic recovery path (Options.RejoinWait); each rejoin rolled
+	// the world back to a common checkpoint round and un-degraded the
+	// rank's windows.
+	Rejoins int
 }
 
 // ProposalFactory builds a fresh proposal for walker widx of window win.

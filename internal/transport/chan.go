@@ -8,6 +8,7 @@ package transport
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"deepthermo/internal/comm"
@@ -45,6 +46,12 @@ func (cw *ChanWorld) SetTimeout(d time.Duration) { cw.w.SetTimeout(d) }
 
 // FailRank marks rank r permanently failed (see comm.World.FailRank).
 func (cw *ChanWorld) FailRank(r int) { cw.w.FailRank(r) }
+
+// Revive restores failed rank r for a replacement goroutine (see
+// comm.World.ReviveRank): the failure flag clears, stale messages are
+// discarded, and Endpoint(r) hands the replacement a fresh communicator.
+// The in-process analogue of a worker rejoining a TCP world.
+func (cw *ChanWorld) Revive(r int) { cw.w.ReviveRank(r) }
 
 // Endpoint returns rank r's communicator.
 func (cw *ChanWorld) Endpoint(r int) Endpoint {
@@ -102,4 +109,26 @@ func (e *chanEndpoint) BytesSent() int64 { return e.cw.BytesSent() }
 
 func (e *chanEndpoint) PeerFailed(r int) bool { return e.cw.w.RankFailed(r) }
 
+// AwaitRejoin blocks until failed rank r has been revived (ChanWorld.Revive
+// installed a replacement) or ctx expires, satisfying Rejoinable.
+func (e *chanEndpoint) AwaitRejoin(ctx context.Context, r int) error {
+	if r < 0 || r >= e.Size() {
+		return fmt.Errorf("transport: await rejoin of rank %d outside world of %d", r, e.Size())
+	}
+	t := time.NewTicker(5 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if !e.cw.w.RankFailed(r) {
+			return nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
 func (e *chanEndpoint) Close() error { return nil }
+
+var _ Rejoinable = (*chanEndpoint)(nil)

@@ -17,11 +17,21 @@ package transport
 // by the kernel instead of declared by a test. The coordinator broadcasts
 // framePeerFailed so ranks with no direct traffic to the dead peer also
 // observe the death, and barriers release with a failure count instead of
-// hanging. Injected faults (SetFaultInjector) are applied at the socket
-// layer: a crash abruptly closes every connection (the kill -9 wire
-// signature), a dropped send is a frame never written, a delayed send is a
-// stalled write — so a chaos.Plan exercised on the chan backend replays
-// over real sockets.
+// hanging. Hung-but-connected ranks are caught by the coordinator's
+// application-level heartbeat (rendezvous.go), not by kernel keepalives.
+// Injected faults (SetFaultInjector) are applied at the socket layer: a
+// crash abruptly closes every connection (the kill -9 wire signature), a
+// dropped send is a frame never written, a delayed send is a stalled
+// write — so a chaos.Plan exercised on the chan backend replays over real
+// sockets.
+//
+// Elastic rejoin. Peer state is held per incarnation in a peerSlot: when
+// the coordinator announces a replacement worker (framePeerJoined), each
+// survivor dials the newcomer and atomically installs a fresh slot — new
+// connection, empty inbox, un-failed — retiring the dead incarnation so
+// its reader loop, stale frames, and failure flags cannot leak into the
+// replacement's world. AwaitRejoin lets the application (the REWL leader)
+// block until that installation happens.
 
 import (
 	"bufio"
@@ -37,6 +47,10 @@ import (
 // ahead never stalls on the receiver's op loop; beyond it, TCP
 // backpressure applies.
 const inboxDepth = 64
+
+// rejoinDialTimeout bounds a survivor's dial to a rejoined peer's mesh
+// listener.
+const rejoinDialTimeout = 15 * time.Second
 
 // JoinOptions configures Join.
 type JoinOptions struct {
@@ -69,6 +83,26 @@ func (p *peerConn) write(deadline time.Time, typ byte, payload []byte) error {
 	return p.bw.Flush()
 }
 
+// peerSlot is one incarnation of a peer rank: its connection, inbox, and
+// failure state. A rejoin replaces the whole slot, so a retired
+// incarnation's frames and failure flags cannot reach the replacement.
+type peerSlot struct {
+	pc      *peerConn // nil for the self slot
+	inbox   chan []float64
+	failCh  chan struct{}
+	failed  atomic.Bool
+	retired chan struct{} // closed when a replacement slot is installed
+}
+
+func newPeerSlot(pc *peerConn) *peerSlot {
+	return &peerSlot{
+		pc:      pc,
+		inbox:   make(chan []float64, inboxDepth),
+		failCh:  make(chan struct{}),
+		retired: make(chan struct{}),
+	}
+}
+
 // barrierRelease is a decoded frameBarrierRelease.
 type barrierRelease struct {
 	seq     uint64
@@ -81,11 +115,11 @@ type TCPEndpoint struct {
 	rank, size int
 	logf       func(format string, args ...any)
 
-	coord     *peerConn
-	peers     []*peerConn // by rank; nil at rank
-	inbox     []chan []float64
-	failCh    []chan struct{}
-	failed    []atomic.Bool
+	coord *peerConn
+
+	pmu   sync.Mutex
+	slots []*peerSlot // by rank; the slot at rank is the self slot
+
 	coordDead chan struct{}
 	coordOnce sync.Once
 
@@ -94,6 +128,8 @@ type TCPEndpoint struct {
 	recvSeq   int64
 	inject    FaultInjector
 	timeout   time.Duration
+	rejoins   atomic.Int64
+	frozen    atomic.Bool // test hook: stop answering heartbeats
 
 	barrierCh  chan barrierRelease
 	barrierSeq uint64
@@ -102,10 +138,20 @@ type TCPEndpoint struct {
 	closeOnce sync.Once
 }
 
+// slot returns the current incarnation for rank r.
+func (e *TCPEndpoint) slot(r int) *peerSlot {
+	e.pmu.Lock()
+	defer e.pmu.Unlock()
+	return e.slots[r]
+}
+
 // Join enters the world coordinated at coordAddr: it binds a mesh
 // listener, registers with the coordinator, receives its rank and the
 // peer addresses, establishes the connection mesh, and returns once the
-// coordinator has confirmed every rank is connected.
+// coordinator has confirmed every rank is connected. If the world is
+// already running with a failed rank, the coordinator instead admits this
+// worker as that rank's replacement: the survivors dial the newcomer and
+// the endpoint returns ready to speak for the re-issued rank.
 func Join(ctx context.Context, coordAddr string, opts JoinOptions) (*TCPEndpoint, error) {
 	if opts.Bind == "" {
 		opts.Bind = "127.0.0.1:0"
@@ -151,50 +197,55 @@ func Join(ctx context.Context, coordAddr string, opts JoinOptions) (*TCPEndpoint
 	}
 
 	cc.SetReadDeadline(deadline)
-	typ, payload, err := readFrame(coordReader)
-	if err != nil || typ != frameAssign {
+	typ, payload, err := readCoordFrame(coordReader, coord)
+	if err != nil || (typ != frameAssign && typ != frameRejoinAssign) {
 		ln.Close()
 		cc.Close()
 		return nil, fmt.Errorf("transport: waiting for assignment: type=%d err=%v", typ, err)
 	}
-	rank, size, addrs, err := decodeAssign(payload)
+	rejoining := typ == frameRejoinAssign
+	rank, size, addrs, live, err := decodeAssign(payload, rejoining)
 	if err != nil {
 		ln.Close()
 		cc.Close()
 		return nil, err
 	}
-	logf("transport: joined as rank %d of %d (mesh %s)", rank, size, meshAddr)
+	if rejoining {
+		logf("transport: rejoined as replacement rank %d of %d (mesh %s)", rank, size, meshAddr)
+	} else {
+		logf("transport: joined as rank %d of %d (mesh %s)", rank, size, meshAddr)
+	}
 
 	e := &TCPEndpoint{
 		rank:      rank,
 		size:      size,
 		logf:      logf,
 		coord:     coord,
-		peers:     make([]*peerConn, size),
-		inbox:     make([]chan []float64, size),
-		failCh:    make([]chan struct{}, size),
-		failed:    make([]atomic.Bool, size),
+		slots:     make([]*peerSlot, size),
 		coordDead: make(chan struct{}),
 		barrierCh: make(chan barrierRelease, 8),
 	}
-	for r := 0; r < size; r++ {
-		e.inbox[r] = make(chan []float64, inboxDepth)
-		e.failCh[r] = make(chan struct{})
-	}
+	e.slots[rank] = newPeerSlot(nil)
 
-	if err := e.assembleMesh(ctx, ln, addrs); err != nil {
+	if rejoining {
+		err = e.assembleRejoinMesh(ctx, ln, live)
+	} else {
+		err = e.assembleMesh(ctx, ln, addrs)
+	}
+	if err != nil {
 		ln.Close()
 		cc.Close()
 		return nil, err
 	}
-	ln.Close() // mesh complete; no further inbound connections expected
+	ln.Close() // mesh complete; later rejoiners bind their own listeners
 
-	// Confirm readiness and wait for the world-wide start signal.
+	// Confirm readiness and wait for the start signal (world-wide on a
+	// fresh join, private on a rejoin).
 	if err := coord.write(deadline, frameReady, nil); err != nil {
 		e.abortConns()
 		return nil, fmt.Errorf("transport: ready: %w", err)
 	}
-	typ, _, err = readFrame(coordReader)
+	typ, _, err = readCoordFrame(coordReader, coord)
 	if err != nil || typ != frameStart {
 		e.abortConns()
 		return nil, fmt.Errorf("transport: waiting for start: type=%d err=%v", typ, err)
@@ -203,71 +254,64 @@ func Join(ctx context.Context, coordAddr string, opts JoinOptions) (*TCPEndpoint
 
 	// The world is live: start the reader loops.
 	for r := 0; r < size; r++ {
-		if p := e.peers[r]; p != nil {
-			go e.peerReadLoop(r, p)
+		if s := e.slots[r]; s != nil && s.pc != nil {
+			go e.peerReadLoop(r, s)
 		}
 	}
 	go e.coordReadLoop(coordReader)
 	return e, nil
 }
 
-func decodeAssign(b []byte) (rank, size int, addrs []string, err error) {
+// readCoordFrame reads the next coordinator frame during the rendezvous,
+// answering heartbeat pings inline — a rejoiner is pinged from the moment
+// of admission, before it reaches its steady-state control loop.
+func readCoordFrame(br *bufio.Reader, coord *peerConn) (byte, []byte, error) {
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil || typ != framePing {
+			return typ, payload, err
+		}
+		coord.write(time.Now().Add(5*time.Second), framePong, payload) //nolint:errcheck // loop surfaces conn errors
+	}
+}
+
+// decodeAssign decodes a frameAssign, or — with wantLive — a
+// frameRejoinAssign with its trailing survivor bitmap.
+func decodeAssign(b []byte, wantLive bool) (rank, size int, addrs []string, live []bool, err error) {
 	if len(b) < 8 {
-		return 0, 0, nil, fmt.Errorf("transport: truncated assignment")
+		return 0, 0, nil, nil, fmt.Errorf("transport: truncated assignment")
 	}
 	rank = int(b[2])<<8 | int(b[3])
 	size = int(b[6])<<8 | int(b[7])
 	if size < 1 || rank < 0 || rank >= size {
-		return 0, 0, nil, fmt.Errorf("transport: bad assignment rank=%d size=%d", rank, size)
+		return 0, 0, nil, nil, fmt.Errorf("transport: bad assignment rank=%d size=%d", rank, size)
 	}
 	b = b[8:]
 	addrs = make([]string, size)
 	for i := 0; i < size; i++ {
 		addrs[i], b, err = decodeString(b)
 		if err != nil {
-			return 0, 0, nil, err
+			return 0, 0, nil, nil, err
 		}
 	}
-	return rank, size, addrs, nil
+	if wantLive {
+		if len(b) < size {
+			return 0, 0, nil, nil, fmt.Errorf("transport: truncated rejoin live bitmap")
+		}
+		live = make([]bool, size)
+		for i := 0; i < size; i++ {
+			live[i] = b[i] != 0
+		}
+	}
+	return rank, size, addrs, live, nil
 }
 
 // assembleMesh connects this rank to every peer: dial lower ranks, accept
 // from higher ranks.
 func (e *TCPEndpoint) assembleMesh(ctx context.Context, ln net.Listener, addrs []string) error {
 	deadline, _ := ctx.Deadline()
-	type accepted struct {
-		rank int
-		pc   *peerConn
-		err  error
-	}
 	expect := e.size - 1 - e.rank // inbound connections from higher ranks
-	acceptCh := make(chan accepted, expect)
-	if expect > 0 {
-		if tl, ok := ln.(*net.TCPListener); ok {
-			tl.SetDeadline(deadline)
-		}
-		go func() {
-			for i := 0; i < expect; i++ {
-				conn, err := ln.Accept()
-				if err != nil {
-					acceptCh <- accepted{err: err}
-					return
-				}
-				tuneConn(conn)
-				br := bufio.NewReader(conn)
-				conn.SetReadDeadline(deadline)
-				typ, payload, err := readFrame(br)
-				if err != nil || typ != frameMeshHello || len(payload) < 4 {
-					conn.Close()
-					acceptCh <- accepted{err: fmt.Errorf("transport: bad mesh hello: type=%d err=%v", typ, err)}
-					return
-				}
-				conn.SetReadDeadline(time.Time{})
-				r := int(payload[2])<<8 | int(payload[3])
-				acceptCh <- accepted{rank: r, pc: &peerConn{conn: conn, bw: bufio.NewWriter(conn)}}
-			}
-		}()
-	}
+	acceptCh := acceptMeshConns(ln, deadline, expect)
 
 	var d net.Dialer
 	for r := 0; r < e.rank; r++ {
@@ -282,7 +326,7 @@ func (e *TCPEndpoint) assembleMesh(ctx context.Context, ln net.Listener, addrs [
 			conn.Close()
 			return fmt.Errorf("transport: mesh hello to rank %d: %w", r, err)
 		}
-		e.peers[r] = pc
+		e.slots[r] = newPeerSlot(pc)
 	}
 	for i := 0; i < expect; i++ {
 		select {
@@ -290,11 +334,11 @@ func (e *TCPEndpoint) assembleMesh(ctx context.Context, ln net.Listener, addrs [
 			if a.err != nil {
 				return a.err
 			}
-			if a.rank <= e.rank || a.rank >= e.size || e.peers[a.rank] != nil {
+			if a.rank <= e.rank || a.rank >= e.size || e.slots[a.rank] != nil {
 				a.pc.conn.Close()
 				return fmt.Errorf("transport: unexpected mesh connection claiming rank %d", a.rank)
 			}
-			e.peers[a.rank] = a.pc
+			e.slots[a.rank] = newPeerSlot(a.pc)
 		case <-ctx.Done():
 			return fmt.Errorf("transport: mesh assembly: %w", ctx.Err())
 		}
@@ -302,23 +346,107 @@ func (e *TCPEndpoint) assembleMesh(ctx context.Context, ln net.Listener, addrs [
 	return nil
 }
 
+// assembleRejoinMesh accepts one mesh connection from every survivor; on a
+// rejoin the dialing direction is survivors → newcomer regardless of rank
+// order, so the newcomer only listens.
+func (e *TCPEndpoint) assembleRejoinMesh(ctx context.Context, ln net.Listener, live []bool) error {
+	deadline, _ := ctx.Deadline()
+	expect := 0
+	for r, l := range live {
+		if l && r != e.rank {
+			expect++
+		}
+	}
+	acceptCh := acceptMeshConns(ln, deadline, expect)
+	for i := 0; i < expect; i++ {
+		select {
+		case a := <-acceptCh:
+			if a.err != nil {
+				return a.err
+			}
+			if a.rank < 0 || a.rank >= e.size || a.rank == e.rank || !live[a.rank] || e.slots[a.rank] != nil {
+				a.pc.conn.Close()
+				return fmt.Errorf("transport: unexpected rejoin mesh connection claiming rank %d", a.rank)
+			}
+			e.slots[a.rank] = newPeerSlot(a.pc)
+		case <-ctx.Done():
+			return fmt.Errorf("transport: rejoin mesh assembly: %w", ctx.Err())
+		}
+	}
+	// Ranks that were dead (or gone) when we rejoined stay failed until
+	// they rejoin in turn.
+	for r := 0; r < e.size; r++ {
+		if r == e.rank || live[r] {
+			continue
+		}
+		s := newPeerSlot(nil)
+		s.failed.Store(true)
+		close(s.failCh)
+		e.slots[r] = s
+	}
+	return nil
+}
+
+// acceptMeshConns accepts expect mesh connections and resolves each
+// dialer's claimed rank from its frameMeshHello.
+type acceptedConn struct {
+	rank int
+	pc   *peerConn
+	err  error
+}
+
+func acceptMeshConns(ln net.Listener, deadline time.Time, expect int) <-chan acceptedConn {
+	acceptCh := make(chan acceptedConn, expect)
+	if expect == 0 {
+		return acceptCh
+	}
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	go func() {
+		for i := 0; i < expect; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				acceptCh <- acceptedConn{err: err}
+				return
+			}
+			tuneConn(conn)
+			br := bufio.NewReader(conn)
+			conn.SetReadDeadline(deadline)
+			typ, payload, err := readFrame(br)
+			if err != nil || typ != frameMeshHello || len(payload) < 4 {
+				conn.Close()
+				acceptCh <- acceptedConn{err: fmt.Errorf("transport: bad mesh hello: type=%d err=%v", typ, err)}
+				return
+			}
+			conn.SetReadDeadline(time.Time{})
+			r := int(payload[2])<<8 | int(payload[3])
+			acceptCh <- acceptedConn{rank: r, pc: &peerConn{conn: conn, bw: bufio.NewWriter(conn)}}
+		}
+	}()
+	return acceptCh
+}
+
+// tuneConn disables Nagle. Liveness is the coordinator heartbeat's job
+// (application-level framePing/framePong), not kernel keepalives: a hung
+// process keeps its TCP connection healthy, so keepalives never fire for
+// the failure mode that matters.
 func tuneConn(conn net.Conn) {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
-		tc.SetKeepAlive(true)
-		tc.SetKeepAlivePeriod(10 * time.Second)
 	}
 }
 
-// peerReadLoop decodes frames from one peer into its inbox; a connection
-// error without a clean local close marks the peer failed.
-func (e *TCPEndpoint) peerReadLoop(r int, p *peerConn) {
-	br := bufio.NewReader(p.conn)
+// peerReadLoop decodes frames from one peer incarnation into its inbox; a
+// connection error without a clean local close marks that incarnation
+// failed. The loop dies silently once its slot is retired by a rejoin.
+func (e *TCPEndpoint) peerReadLoop(r int, s *peerSlot) {
+	br := bufio.NewReader(s.pc.conn)
 	for {
 		typ, payload, err := readFrame(br)
 		if err != nil {
 			if !e.closed.Load() {
-				e.markPeerFailed(r)
+				e.markSlotFailed(s)
 			}
 			return
 		}
@@ -329,10 +457,14 @@ func (e *TCPEndpoint) peerReadLoop(r int, p *peerConn) {
 		msg, err := decodeFloats(payload)
 		if err != nil {
 			e.logf("transport: rank %d: %v", r, err)
-			e.markPeerFailed(r)
+			e.markSlotFailed(s)
 			return
 		}
-		e.inbox[r] <- msg
+		select {
+		case s.inbox <- msg:
+		case <-s.retired:
+			return
+		}
 	}
 }
 
@@ -362,18 +494,88 @@ func (e *TCPEndpoint) coordReadLoop(br *bufio.Reader) {
 			if len(payload) >= 4 {
 				e.markPeerFailed(int(payload[2])<<8 | int(payload[3]))
 			}
+		case framePing:
+			if e.frozen.Load() {
+				continue // simulated SIGSTOP: alive but unresponsive
+			}
+			e.coord.write(time.Now().Add(5*time.Second), framePong, payload) //nolint:errcheck // coord loss detected on read
+		case framePeerJoined:
+			if len(payload) < 4 {
+				continue
+			}
+			r := int(payload[2])<<8 | int(payload[3])
+			addr, _, err := decodeString(payload[4:])
+			if err != nil {
+				e.logf("transport: bad peer-joined frame: %v", err)
+				continue
+			}
+			go e.dialRejoined(r, addr)
 		}
 	}
 }
 
-// markPeerFailed records a permanent peer death and wakes its waiters.
+// dialRejoined connects to a replacement peer's mesh listener and installs
+// the fresh incarnation.
+func (e *TCPEndpoint) dialRejoined(r int, addr string) {
+	if r < 0 || r >= e.size || r == e.rank || e.closed.Load() {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), rejoinDialTimeout)
+	defer cancel()
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		e.logf("transport: dialing rejoined rank %d at %s: %v", r, addr, err)
+		return
+	}
+	tuneConn(conn)
+	pc := &peerConn{conn: conn, bw: bufio.NewWriter(conn)}
+	hello := []byte{0, 0, byte(e.rank >> 8), byte(e.rank)}
+	if err := pc.write(time.Now().Add(rejoinDialTimeout), frameMeshHello, hello); err != nil {
+		conn.Close()
+		e.logf("transport: mesh hello to rejoined rank %d: %v", r, err)
+		return
+	}
+	e.installPeer(r, pc)
+	e.logf("transport: rank %d rejoined; mesh connection re-established", r)
+}
+
+// installPeer atomically replaces rank r's incarnation with a fresh slot
+// over pc, retiring the old one: its reader loop stops delivering, its
+// buffered frames are dropped, and its failure state is forgotten.
+func (e *TCPEndpoint) installPeer(r int, pc *peerConn) {
+	ns := newPeerSlot(pc)
+	e.pmu.Lock()
+	old := e.slots[r]
+	e.slots[r] = ns
+	e.pmu.Unlock()
+	if old != nil {
+		close(old.retired)
+		if old.pc != nil {
+			abort(old.pc.conn)
+		}
+	}
+	e.rejoins.Add(1)
+	go e.peerReadLoop(r, ns)
+}
+
+// markSlotFailed records a permanent death of one peer incarnation and
+// wakes its waiters; stale reports about a retired incarnation are ignored.
+func (e *TCPEndpoint) markSlotFailed(s *peerSlot) {
+	if s == nil {
+		return
+	}
+	if s.failed.CompareAndSwap(false, true) {
+		close(s.failCh)
+	}
+}
+
+// markPeerFailed fails rank r's current incarnation.
 func (e *TCPEndpoint) markPeerFailed(r int) {
 	if r < 0 || r >= e.size || r == e.rank {
 		return
 	}
-	if e.failed[r].CompareAndSwap(false, true) {
-		close(e.failCh[r])
-	}
+	e.markSlotFailed(e.slot(r))
 }
 
 // Rank returns this endpoint's rank.
@@ -385,8 +587,32 @@ func (e *TCPEndpoint) Size() int { return e.size }
 // BytesSent returns this endpoint's cumulative sent payload bytes.
 func (e *TCPEndpoint) BytesSent() int64 { return e.bytesSent.Load() }
 
-// PeerFailed reports whether rank r is known dead.
-func (e *TCPEndpoint) PeerFailed(r int) bool { return e.failed[r].Load() }
+// PeerFailed reports whether rank r's current incarnation is known dead.
+func (e *TCPEndpoint) PeerFailed(r int) bool { return e.slot(r).failed.Load() }
+
+// Rejoins returns how many replacement peers this endpoint has installed.
+func (e *TCPEndpoint) Rejoins() int64 { return e.rejoins.Load() }
+
+// AwaitRejoin blocks until a replacement for failed rank r has been
+// installed (the coordinator re-admitted a worker and the mesh connection
+// is up), or ctx expires. Returns nil immediately if r is not failed.
+func (e *TCPEndpoint) AwaitRejoin(ctx context.Context, r int) error {
+	if r < 0 || r >= e.size || r == e.rank {
+		return fmt.Errorf("transport: await rejoin of rank %d outside world of %d", r, e.size)
+	}
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		if !e.PeerFailed(r) {
+			return nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
 
 // SetTimeout bounds every Ctx operation (0 = caller's context alone).
 // Call before the endpoint starts communicating.
@@ -425,7 +651,7 @@ func mapCtxErr(outer context.Context, op string, peer int) error {
 // operation count. An injected crash closes every connection abruptly, so
 // peers observe the same wire signature as a killed process.
 func (e *TCPEndpoint) checkFaults() error {
-	if e.failed[e.rank].Load() {
+	if e.slot(e.rank).failed.Load() {
 		return fmt.Errorf("%w: rank %d", ErrRankFailed, e.rank)
 	}
 	if e.inject != nil && e.inject.ShouldCrash(e.rank, e.sendSeq+e.recvSeq) {
@@ -441,12 +667,15 @@ func (e *TCPEndpoint) checkFaults() error {
 // ErrPeerFailed; the coordinator marks the rank failed. Used by injected
 // crashes and by chaos tests.
 func (e *TCPEndpoint) Kill() {
-	e.failed[e.rank].Store(true)
+	e.slot(e.rank).failed.Store(true)
 	e.closeOnce.Do(func() {
 		e.closed.Store(true)
-		for _, p := range e.peers {
-			if p != nil {
-				abort(p.conn)
+		e.pmu.Lock()
+		slots := append([]*peerSlot(nil), e.slots...)
+		e.pmu.Unlock()
+		for _, s := range slots {
+			if s != nil && s.pc != nil {
+				abort(s.pc.conn)
 			}
 		}
 		abort(e.coord.conn)
@@ -475,9 +704,12 @@ func (e *TCPEndpoint) Close() error {
 	e.closeOnce.Do(func() {
 		e.closed.Store(true)
 		err = e.coord.write(time.Now().Add(5*time.Second), frameGoodbye, nil)
-		for _, p := range e.peers {
-			if p != nil {
-				p.conn.Close()
+		e.pmu.Lock()
+		slots := append([]*peerSlot(nil), e.slots...)
+		e.pmu.Unlock()
+		for _, s := range slots {
+			if s != nil && s.pc != nil {
+				s.pc.conn.Close()
 			}
 		}
 		e.coord.conn.Close()
@@ -510,14 +742,15 @@ func (e *TCPEndpoint) SendCtx(ctx context.Context, dst int, data []float64) erro
 			return nil
 		}
 	}
-	if e.failed[dst].Load() {
+	s := e.slot(dst)
+	if s.failed.Load() {
 		return fmt.Errorf("%w: send to rank %d", ErrPeerFailed, dst)
 	}
 	if dst == e.rank {
 		cp := make([]float64, len(data))
 		copy(cp, data)
 		select {
-		case e.inbox[dst] <- cp:
+		case s.inbox <- cp:
 			e.bytesSent.Add(int64(8 * len(data)))
 			return nil
 		case <-opCtx.Done():
@@ -525,11 +758,11 @@ func (e *TCPEndpoint) SendCtx(ctx context.Context, dst int, data []float64) erro
 		}
 	}
 	deadline := e.opDeadline(opCtx)
-	if err := e.peers[dst].write(deadline, frameData, encodeFloats(data)); err != nil {
+	if err := s.pc.write(deadline, frameData, encodeFloats(data)); err != nil {
 		if opCtx.Err() != nil {
 			return mapCtxErr(ctx, "send", dst)
 		}
-		e.markPeerFailed(dst)
+		e.markSlotFailed(s)
 		return fmt.Errorf("%w: send to rank %d: %v", ErrPeerFailed, dst, err)
 	}
 	e.bytesSent.Add(int64(8 * len(data)))
@@ -546,8 +779,9 @@ func (e *TCPEndpoint) RecvCtx(ctx context.Context, src int) ([]float64, error) {
 		return nil, err
 	}
 	e.recvSeq++
+	s := e.slot(src)
 	select {
-	case msg := <-e.inbox[src]:
+	case msg := <-s.inbox:
 		return msg, nil
 	default:
 	}
@@ -555,16 +789,16 @@ func (e *TCPEndpoint) RecvCtx(ctx context.Context, src int) ([]float64, error) {
 	defer cancel()
 	var failCh <-chan struct{}
 	if src != e.rank {
-		failCh = e.failCh[src]
+		failCh = s.failCh
 	}
 	select {
-	case msg := <-e.inbox[src]:
+	case msg := <-s.inbox:
 		return msg, nil
 	case <-failCh:
 		// One more drain: the reader loop may have delivered between our
 		// first check and the failure close.
 		select {
-		case msg := <-e.inbox[src]:
+		case msg := <-s.inbox:
 			return msg, nil
 		default:
 		}
@@ -677,9 +911,9 @@ func (e *TCPEndpoint) Allgather(contrib, dst []float64) {
 
 // abortConns tears down a partially joined endpoint.
 func (e *TCPEndpoint) abortConns() {
-	for _, p := range e.peers {
-		if p != nil {
-			p.conn.Close()
+	for _, s := range e.slots {
+		if s != nil && s.pc != nil {
+			s.pc.conn.Close()
 		}
 	}
 	e.coord.conn.Close()
@@ -698,3 +932,4 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 }
 
 var _ Endpoint = (*TCPEndpoint)(nil)
+var _ Rejoinable = (*TCPEndpoint)(nil)

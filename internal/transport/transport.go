@@ -107,3 +107,14 @@ type Endpoint interface {
 	// chan backend it is a no-op.
 	Close() error
 }
+
+// Rejoinable is implemented by endpoints whose world can heal: a failed
+// rank may be replaced by a new worker (the coordinator re-issues the
+// rank, survivors re-establish connectivity) and communication with the
+// re-issued rank resumes. Elastic drivers type-assert for it; a backend
+// that does not implement Rejoinable has permanent failures only.
+type Rejoinable interface {
+	// AwaitRejoin blocks until failed rank r has been replaced by a new
+	// incarnation, or ctx expires. Returns nil immediately if r is live.
+	AwaitRejoin(ctx context.Context, r int) error
+}

@@ -20,6 +20,12 @@ package transport
 //	frameBarrierRelease uint64 seq, uint32 nFailed
 //	framePeerFailed     uint32 rank
 //	frameGoodbye        (empty)                    clean departure
+//	framePing           uint64 nanos               coordinator heartbeat probe
+//	framePong           uint64 nanos               worker heartbeat reply (echo)
+//	frameRejoinAssign   uint32 rank, uint32 size, size × (uint16 addrLen, addr),
+//	                    size × uint8 live          replacement's rank + mesh map
+//	framePeerJoined     uint32 rank, uint16 addrLen, addr
+//	                                               a replacement joined; dial it
 //
 // float64 payloads travel as raw IEEE-754 bit patterns, so ±Inf, NaN, and
 // signed zero round-trip exactly and a value computed on one rank is
@@ -46,6 +52,10 @@ const (
 	frameBarrierRelease
 	framePeerFailed
 	frameGoodbye
+	framePing
+	framePong
+	frameRejoinAssign
+	framePeerJoined
 )
 
 // maxFrameLen bounds a frame so a corrupt or hostile length prefix cannot

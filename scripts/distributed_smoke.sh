@@ -10,6 +10,13 @@
 # mid-run, and the leader must still finish — reporting the dead rank's
 # windows as degraded — while the coordinator reports the failed rank.
 #
+# Scenario 3 (elastic rejoin): a two-process world runs the converging
+# job with checkpoints and -rejoin-wait; the non-leader worker is killed
+# with SIGKILL mid-run, a replacement process joins, the world rolls back
+# to the newest common checkpoint round, and the leader's summary must
+# show rejoins=1, degraded_windows=0, and the exact DOS checksum of the
+# uninterrupted local reference run.
+#
 # Usage: scripts/distributed_smoke.sh
 # Exits nonzero on any mismatch or timeout.
 set -euo pipefail
@@ -110,5 +117,66 @@ grep -q 'degraded_windows=[1-9]' "$tmp/w2$leader.log" ||
 grep -q 'failed_walkers=[1-9]' "$tmp/w2$leader.log" ||
     fail "leader summary reports no failed walkers"
 log "scenario 2 OK: $(grep -o 'degraded_windows=[0-9]*' "$tmp/w2$leader.log" | head -1) after SIGKILL"
+
+# --- Scenario 3: kill -9, replacement rejoins, checksum identity ------------
+
+log "scenario 3: elastic world — SIGKILL one worker, rejoin a replacement"
+"$tmp/dtworker" -coordinate -listen 127.0.0.1:0 -world 2 >"$tmp/coord3.log" 2>&1 &
+pids+=($!)
+wait_for "$tmp/coord3.log" 'listening on' 20
+addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$tmp/coord3.log")
+
+# A fixed-length run (ln f target unreachable, hard round cap) keeps the
+# kill window wide and the reference deterministic; checkpoints every
+# other round, and the leader told to wait for a replacement instead of
+# degrading.
+params3=(-job rewl -lnf 1e-300 -max-rounds 1000)
+log "scenario 3: local reference run"
+"$tmp/dtworker" -local "${params3[@]}" >"$tmp/local3.log" 2>&1
+ref=$(grep -o 'dos_checksum=[0-9a-f]*' "$tmp/local3.log") ||
+    fail "no dos_checksum in local output"
+log "reference $ref"
+
+job3=(-join "$addr" "${params3[@]}" -checkpoint "$tmp/ckpt3" -checkpoint-every 10 -rejoin-wait 60s -v)
+for w in a b; do
+    "$tmp/dtworker" "${job3[@]}" >"$tmp/w3$w.log" 2>&1 &
+    wpid[$w]=$!; pids+=("${wpid[$w]}")
+done
+leader="" victim=""
+for w in a b; do
+    wait_for "$tmp/w3$w.log" 'joined world' 20
+    if grep -q 'rank 0' "$tmp/w3$w.log"; then leader=$w; fi
+    if grep -q 'rank 1' "$tmp/w3$w.log"; then victim=$w; fi
+done
+[[ -n "$leader" && -n "$victim" ]] || fail "could not map workers to ranks"
+
+# Kill rank 1 once several checkpoints exist but long before the
+# 1000-round cap: the world must roll back to the newest common round.
+wait_for "$tmp/w3$leader.log" 'round 50:' 60
+log "killing rank 1 (worker $victim, pid ${wpid[$victim]})"
+kill -9 "${wpid[$victim]}"
+{ wait "${wpid[$victim]}" || true; } 2>/dev/null
+
+wait_for "$tmp/w3$leader.log" 'awaiting a replacement' 30
+log "spawning replacement worker"
+"$tmp/dtworker" "${job3[@]}" >"$tmp/w3c.log" 2>&1 &
+repl=$!; pids+=("$repl")
+
+wait "${wpid[$leader]}" || fail "leader exited nonzero after rejoin"
+wait "$repl" || fail "replacement worker exited nonzero"
+
+grep -q 'rejoined; world rolled back to round' "$tmp/w3$leader.log" ||
+    fail "leader never logged the rollback rejoin"
+summary=$(grep 'rewl done' "$tmp/w3$leader.log" || true)
+grep -q 'rejoins=1' <<<"$summary" ||
+    fail "leader summary lacks rejoins=1: $summary"
+grep -q 'degraded_windows=0' <<<"$summary" ||
+    fail "leader summary reports degraded windows after rejoin: $summary"
+got=$(grep -o 'dos_checksum=[0-9a-f]*' <<<"$summary") ||
+    fail "no dos_checksum in leader summary"
+[[ "$got" == "$ref" ]] ||
+    fail "rejoined checksum $got != local reference $ref"
+wait_for "$tmp/coord3.log" 'rejoins: 1' 20
+log "scenario 3 OK: rejoined run reproduced $ref with zero degraded windows"
 
 log "all scenarios passed"
