@@ -63,6 +63,15 @@ func main() {
 	retryMax := flag.Int("retry-max", 1, "max runs per failing job (1 = no automatic retries)")
 	retryBackoff := flag.Duration("retry-backoff", time.Second, "initial exponential retry delay")
 
+	fleetDir := flag.String("fleet-dir", "",
+		"shared fleet directory: N replicas pointing here form one fleet with lease-based job failover (see README \"Fleet mode\")")
+	replicaID := flag.String("replica-id", "",
+		"this replica's unique identity within the fleet (required with -fleet-dir)")
+	leaseTTL := flag.Duration("lease-ttl", 10*time.Second,
+		"job lease validity without renewal; an expired lease is taken over by a surviving replica")
+	leaseHeartbeat := flag.Duration("lease-heartbeat", 0,
+		"lease renewal cadence (0 = lease-ttl/3)")
+
 	maxInFlight := flag.Int("max-inflight", 256,
 		"max concurrently served data-plane requests (excess shed with 503; negative = unlimited)")
 	maxWait := flag.Duration("max-wait", 100*time.Millisecond,
@@ -86,6 +95,10 @@ func main() {
 		"max wait for in-flight HTTP requests and queued/running jobs before force-cancelling")
 	flag.Parse()
 
+	if *fleetDir != "" && *replicaID == "" {
+		log.Fatal("-fleet-dir requires -replica-id")
+	}
+
 	srv, err := server.New(server.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -93,6 +106,10 @@ func main() {
 		DataDir:         *dataDir,
 		RetryMax:        *retryMax,
 		RetryBackoff:    *retryBackoff,
+		FleetDir:        *fleetDir,
+		ReplicaID:       *replicaID,
+		LeaseTTL:        *leaseTTL,
+		LeaseHeartbeat:  *leaseHeartbeat,
 		MaxInFlight:     *maxInFlight,
 		MaxWait:         *maxWait,
 		RatePerSec:      *rate,
@@ -121,8 +138,13 @@ func main() {
 	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("listening on %s (%d workers, data-dir=%q, max-inflight=%d)",
-		*addr, *workers, *dataDir, *maxInFlight)
+	if *fleetDir != "" {
+		log.Printf("listening on %s (%d workers, fleet-dir=%q, replica=%s, lease-ttl=%s)",
+			*addr, *workers, *fleetDir, *replicaID, *leaseTTL)
+	} else {
+		log.Printf("listening on %s (%d workers, data-dir=%q, max-inflight=%d)",
+			*addr, *workers, *dataDir, *maxInFlight)
+	}
 
 	select {
 	case <-ctx.Done():

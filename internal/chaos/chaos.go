@@ -48,6 +48,23 @@ const (
 	// actual respawn; the plan is the deterministic script for it —
 	// queried via ShouldCrash for the kill and RejoinDelay for the respawn.
 	KillRejoin
+	// LoseHeartbeat silences the rank's lease heartbeats from the
+	// configured renewal sequence number onward: the replica keeps running
+	// its job but stops renewing its lease, modelling a GC pause, SIGSTOP,
+	// or partitioned replica whose lease expires under it. Queried by the
+	// fleet lease store via HeartbeatLost.
+	LoseHeartbeat
+	// StaleWrite delays the rank's fenced commit with the configured
+	// sequence number until after its lease TTL has elapsed unrenewed, so
+	// the commit arrives from a stale owner and must be rejected by fence
+	// validation once a successor holds the lease. Queried via
+	// StaleWriteAt.
+	StaleWrite
+	// TornLease tears the rank's lease renewal with the configured
+	// sequence number: the lease file is left with truncated content, as
+	// if power was lost mid-write, exercising the corrupt-lease recovery
+	// path (fence-file token restoration). Queried via TornLeaseAt.
+	TornLease
 )
 
 // String returns a short identifier for reports.
@@ -63,6 +80,12 @@ func (k Kind) String() string {
 		return "delay-sweep"
 	case KillRejoin:
 		return "kill-rejoin"
+	case LoseHeartbeat:
+		return "lose-heartbeat"
+	case StaleWrite:
+		return "stale-write"
+	case TornLease:
+		return "torn-lease"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -229,6 +252,50 @@ func (p *Plan) NumRejoins() int {
 		}
 	}
 	return n
+}
+
+// HeartbeatLost reports whether rank's seq-th lease heartbeat is
+// suppressed. A LoseHeartbeat fault at step S silences every renewal from
+// S onward — the replica is "paused", not flaky — so once a rank loses
+// its heartbeat it stays lost.
+func (p *Plan) HeartbeatLost(rank int, seq int64) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.faults[rank] {
+		if f.Kind == LoseHeartbeat && seq >= f.Step {
+			return true
+		}
+	}
+	return false
+}
+
+// StaleWriteAt reports whether rank's seq-th fenced commit is scheduled
+// to be delayed past its lease expiry (a stale-owner write).
+func (p *Plan) StaleWriteAt(rank int, seq int64) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.faults[rank] {
+		if f.Kind == StaleWrite && f.Step == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// TornLeaseAt reports whether rank's seq-th lease renewal is scheduled to
+// be torn mid-write.
+func (p *Plan) TornLeaseAt(rank int, seq int64) bool {
+	if p == nil {
+		return false
+	}
+	for _, f := range p.faults[rank] {
+		if f.Kind == TornLease && f.Step == seq {
+			return true
+		}
+	}
+	return false
 }
 
 // SweepDelay returns the injected stall before rank's sweep-th sweep.

@@ -24,6 +24,21 @@ const (
 	dosVersion = 1
 )
 
+// gob assigns concrete type IDs process-globally in first-use order, so
+// without pinning, the byte encoding of a dosFile depends on whatever
+// the process gob-encoded earlier (a server that wrote a REWL checkpoint
+// before its first Save emits different — though compatible — bytes
+// than one that did not). Registering the type at init fixes its IDs at
+// process start, making Save a pure function of the DOS; fleet failover
+// and the smoke tests rely on that to compare artifacts byte-for-byte
+// across processes.
+func init() {
+	warm := dosFile{LogG: []float64{0}, Visited: []bool{true}}
+	if err := gob.NewEncoder(io.Discard).Encode(&warm); err != nil {
+		panic(fmt.Sprintf("dos: pinning gob type IDs: %v", err))
+	}
+}
+
 // Save writes the density of states to w. Converged ln g estimates are the
 // expensive artifact of a sampling campaign; Save/Load let thermodynamics
 // be re-derived at any later time without resampling.

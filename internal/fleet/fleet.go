@@ -1,0 +1,366 @@
+// Package fleet implements the shared-directory coordination layer that
+// lets N stateless dtserve replicas serve one job queue and one artifact
+// store: any replica may claim a job, a crashed replica's jobs are taken
+// over by survivors, and a stale owner that wakes from a GC pause or
+// SIGSTOP cannot clobber a successor's work.
+//
+// The design is lease-based, in the spirit of the elastic REWL runtime's
+// claim/heartbeat/fence shape, but implemented purely over a shared
+// filesystem directory so replicas need no network path to each other:
+//
+//   - Every job has exactly one lease file. Enqueue seeds it, via
+//     O_CREAT|O_EXCL, with a released zero-token placeholder, and it is
+//     never deleted afterwards — release marks the lease content released
+//     instead of removing the file. Creating a file never confers
+//     ownership, so the creation race is harmless: ownership is only ever
+//     decided under the grab (below).
+//
+//   - Every later mutation — heartbeat renewal, expiry takeover, release,
+//     and the fenced commit section — must first "grab" the lease file by
+//     atomically renaming it to a mutator-private name. Rename of one
+//     source path succeeds for exactly one caller, so the grab is a
+//     filesystem mutex: whoever holds the renamed file is the only
+//     process that can read-modify-write it, and it is renamed back to
+//     the canonical path when done. A process that dies holding a grab
+//     leaves an orphan, which SweepOrphans restores after a grace period.
+//
+//   - Ownership carries a monotonic fencing token. The token lives in
+//     the lease content and is shadowed by a fence file holding the
+//     highest token ever issued for the job; takeover issues
+//     max(lease, fence)+1, so tokens strictly increase across ownership
+//     changes even when the lease content itself is torn by a crash
+//     mid-write. Fenced writers present their token; a mismatch (a newer
+//     owner exists) is rejected without touching shared state.
+//
+// Fault injection: a chaos.Plan with LoseHeartbeat / StaleWrite /
+// TornLease faults makes the failure paths deterministic — see the kind
+// docs in package chaos.
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"deepthermo/internal/chaos"
+	"deepthermo/internal/fsx"
+)
+
+// Errors reported by the lease store.
+var (
+	// ErrHeld means another replica holds an unexpired lease on the job.
+	ErrHeld = errors.New("fleet: lease held by another replica")
+	// ErrFenced means the caller's fencing token is stale: a newer owner
+	// has been issued a higher token, and the attempted write was refused.
+	ErrFenced = errors.New("fleet: fencing token stale")
+	// ErrLost means the lease could not be grabbed (missing or in
+	// transition for longer than the retry window).
+	ErrLost = errors.New("fleet: lease unavailable")
+	// ErrNoJob means the job has no state record in the store.
+	ErrNoJob = errors.New("fleet: no such job")
+)
+
+// Phase is the shared-store lifecycle phase of a job. It mirrors the
+// server's job states but is owned by this package so the store does not
+// depend on the serving layer.
+type Phase string
+
+const (
+	Pending     Phase = "pending"
+	Running     Phase = "running"
+	Interrupted Phase = "interrupted"
+	Done        Phase = "done"
+	Failed      Phase = "failed"
+	Cancelled   Phase = "cancelled"
+)
+
+// Terminal reports whether p is a final phase (the job will never run
+// again and its lease is released).
+func (p Phase) Terminal() bool {
+	return p == Done || p == Failed || p == Cancelled
+}
+
+// State is one job's shared state record. Payload is the owning
+// subsystem's snapshot (the server stores its Job JSON there) and is
+// opaque to the store.
+type State struct {
+	Job       string          `json:"job"`
+	Phase     Phase           `json:"phase"`
+	Fence     uint64          `json:"fence"`
+	Owner     string          `json:"owner,omitempty"`
+	NotBefore time.Time       `json:"not_before,omitempty"` // retry-backoff gate
+	Updated   time.Time       `json:"updated"`
+	Payload   json.RawMessage `json:"payload,omitempty"`
+}
+
+// Lease is the decoded content of a lease file.
+type Lease struct {
+	Job      string    `json:"job"`
+	Owner    string    `json:"owner"`
+	Token    uint64    `json:"token"`
+	Expires  time.Time `json:"expires"`
+	Renewed  time.Time `json:"renewed"`
+	Released bool      `json:"released,omitempty"`
+}
+
+// Active reports whether the lease currently excludes other claimers.
+func (l Lease) Active(now time.Time) bool {
+	return !l.Released && now.Before(l.Expires)
+}
+
+// Config parameterizes Open.
+type Config struct {
+	// Dir is the shared fleet directory (required). All replicas of one
+	// fleet point at the same Dir.
+	Dir string
+	// Replica is this process's unique identity within the fleet
+	// (required). It is recorded as the owner in leases and state records.
+	Replica string
+	// TTL is how long a lease stays valid without renewal (default 10s).
+	// A replica must heartbeat well inside the TTL (TTL/3 is the usual
+	// cadence); a lease unrenewed for TTL is claimable by any replica.
+	TTL time.Duration
+	// Plan optionally injects deterministic lease faults (LoseHeartbeat,
+	// StaleWrite, TornLease) for this replica, addressed as Rank.
+	Plan *chaos.Plan
+	Rank int
+}
+
+// Store is one replica's handle on the shared fleet directory. All
+// methods are safe for concurrent use.
+type Store struct {
+	dir     string
+	replica string
+	ttl     time.Duration
+	plan    *chaos.Plan
+	rank    int
+
+	grabSeq atomic.Int64 // uniquifies grab file names
+	hbSeq   atomic.Int64 // heartbeat sequence, drives chaos queries
+	cmtSeq  atomic.Int64 // fenced-commit sequence, drives chaos queries
+
+	claims          atomic.Int64
+	takeovers       atomic.Int64
+	heartbeats      atomic.Int64
+	heartbeatFails  atomic.Int64
+	fenceRejections atomic.Int64
+
+	mu       sync.Mutex
+	held     map[string]uint64 // job → token this replica believes it holds
+	lastErr  error             // last scan/IO failure, cleared on success
+	lastScan time.Time
+}
+
+// Open creates (if needed) the fleet directory layout and returns a
+// store handle for one replica.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("fleet: Config.Dir is required")
+	}
+	if cfg.Replica == "" {
+		return nil, errors.New("fleet: Config.Replica is required")
+	}
+	if strings.ContainsAny(cfg.Replica, "/\\ ") {
+		return nil, fmt.Errorf("fleet: replica id %q contains path separators or spaces", cfg.Replica)
+	}
+	if cfg.TTL <= 0 {
+		cfg.TTL = 10 * time.Second
+	}
+	s := &Store{
+		dir:     cfg.Dir,
+		replica: cfg.Replica,
+		ttl:     cfg.TTL,
+		plan:    cfg.Plan,
+		rank:    cfg.Rank,
+		held:    make(map[string]uint64),
+	}
+	for _, sub := range []string{"state", "leases", "cancel", "artifacts", "checkpoints"} {
+		if err := os.MkdirAll(filepath.Join(cfg.Dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: creating %s dir: %w", sub, err)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the shared fleet directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Replica returns this store's replica identity.
+func (s *Store) Replica() string { return s.replica }
+
+// TTL returns the lease time-to-live.
+func (s *Store) TTL() time.Duration { return s.ttl }
+
+// ArtifactsDir returns the shared artifact-registry directory.
+func (s *Store) ArtifactsDir() string { return filepath.Join(s.dir, "artifacts") }
+
+// CheckpointDir returns the shared REWL checkpoint directory for a job,
+// so a takeover resumes from the dead owner's last committed checkpoint.
+func (s *Store) CheckpointDir(job string) string {
+	return filepath.Join(s.dir, "checkpoints", job)
+}
+
+func (s *Store) statePath(job string) string  { return filepath.Join(s.dir, "state", job+".json") }
+func (s *Store) leasePath(job string) string  { return filepath.Join(s.dir, "leases", job+".lease") }
+func (s *Store) fencePath(job string) string  { return filepath.Join(s.dir, "leases", job+".fence") }
+func (s *Store) cancelPath(job string) string { return filepath.Join(s.dir, "cancel", job) }
+
+// validJobID rejects IDs that would escape the store's directories when
+// joined into paths.
+func validJobID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return fmt.Errorf("fleet: invalid job id %q", id)
+	}
+	return nil
+}
+
+// Enqueue writes the initial (pending, fence 0) state record for a new
+// job, seeding its lease file first so the state record's existence
+// implies the lease file's. IDs must be fleet-unique; replicas prefix
+// their own identity to guarantee it, so the atomic write cannot race
+// another enqueue.
+func (s *Store) Enqueue(job string, payload json.RawMessage) error {
+	if err := validJobID(job); err != nil {
+		return err
+	}
+	if err := s.ensureLease(job); err != nil {
+		return err
+	}
+	st := State{Job: job, Phase: Pending, Owner: s.replica, Updated: time.Now().UTC(), Payload: payload}
+	return s.writeStateFile(st)
+}
+
+func (s *Store) writeStateFile(st State) error {
+	return fsx.WriteFileAtomic(s.statePath(st.Job), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(st)
+	})
+}
+
+// GetState reads one job's state record.
+func (s *Store) GetState(job string) (State, error) {
+	if err := validJobID(job); err != nil {
+		return State{}, err
+	}
+	raw, err := os.ReadFile(s.statePath(job))
+	if errors.Is(err, os.ErrNotExist) {
+		return State{}, fmt.Errorf("%w: %q", ErrNoJob, job)
+	}
+	if err != nil {
+		return State{}, err
+	}
+	var st State
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return State{}, fmt.Errorf("fleet: corrupt state record for %q: %w", job, err)
+	}
+	return st, nil
+}
+
+// States scans every job state record, sorted by job ID. Records that
+// fail to parse (a torn write from a crashed replica) are skipped: the
+// scan reports the healthy view and notes the failure in Health.
+func (s *Store) States() ([]State, error) {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "state", "*.json"))
+	s.noteScan(err)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]State, 0, len(matches))
+	for _, p := range matches {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			continue // racing a concurrent atomic replace
+		}
+		var st State
+		if err := json.Unmarshal(raw, &st); err != nil {
+			continue
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Job < out[j].Job })
+	return out, nil
+}
+
+// WriteState durably replaces a job's state record under fence
+// validation: the write happens only while holding the job's lease grab
+// with a token that is still current, so a stale owner's update can
+// never overwrite a successor's record.
+func (s *Store) WriteState(st State, token uint64) error {
+	st.Fence = token
+	st.Owner = s.replica
+	st.Updated = time.Now().UTC()
+	return s.WithLease(st.Job, token, func() error {
+		return s.writeStateFile(st)
+	})
+}
+
+// Cancel drops a cancellation marker for a job. The owning replica
+// observes it at its next heartbeat and cancels the run; an unclaimed
+// pending job is retired by whichever replica claims it next.
+func (s *Store) Cancel(job string) error {
+	if err := validJobID(job); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(s.cancelPath(job), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Cancelled reports whether a cancellation marker exists for the job.
+func (s *Store) Cancelled(job string) bool {
+	_, err := os.Stat(s.cancelPath(job))
+	return err == nil
+}
+
+// ClearCancel removes a job's cancellation marker (after the cancel has
+// been honored and recorded in the state record).
+func (s *Store) ClearCancel(job string) {
+	os.Remove(s.cancelPath(job))
+}
+
+// Held returns how many leases this replica currently believes it holds.
+func (s *Store) Held() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.held)
+}
+
+// Counter snapshots for /metrics.
+func (s *Store) Claims() int64          { return s.claims.Load() }
+func (s *Store) Takeovers() int64       { return s.takeovers.Load() }
+func (s *Store) Heartbeats() int64      { return s.heartbeats.Load() }
+func (s *Store) HeartbeatFails() int64  { return s.heartbeatFails.Load() }
+func (s *Store) FenceRejections() int64 { return s.fenceRejections.Load() }
+
+// noteScan records the outcome of the latest store scan for Health.
+func (s *Store) noteScan(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastErr = err
+	s.lastScan = time.Now()
+}
+
+// Health reports nil when the store's backing directory is reachable and
+// the latest scan succeeded; otherwise the failure, so /readyz can
+// withdraw the replica from rotation before it strands claims.
+func (s *Store) Health() error {
+	s.mu.Lock()
+	lastErr := s.lastErr
+	s.mu.Unlock()
+	if lastErr != nil {
+		return fmt.Errorf("fleet: last store scan failed: %w", lastErr)
+	}
+	if _, err := os.Stat(filepath.Join(s.dir, "leases")); err != nil {
+		return fmt.Errorf("fleet: lease dir unreachable: %w", err)
+	}
+	return nil
+}

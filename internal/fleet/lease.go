@@ -1,0 +1,466 @@
+package fleet
+
+// Lease protocol. The invariants, in claim order:
+//
+//  1. A job's lease file is seeded at enqueue time, via O_CREAT|O_EXCL,
+//     with a released zero-token placeholder, and is never deleted —
+//     release rewrites the content as released. Creating the file never
+//     confers ownership (the seed is born released), so the creation race
+//     is harmless and every acquisition is decided under the grab.
+//  2. Every mutation of an existing lease first grabs it: an atomic
+//     rename of the canonical path to a mutator-private grab path. Rename
+//     succeeds for exactly one caller, making the grab a cross-process
+//     mutex; the file is renamed back when the mutation commits.
+//  3. Tokens strictly increase across ownership changes. A takeover
+//     issues max(leaseToken, fenceFile)+1 and persists the fence file
+//     before the new lease content, so even a lease torn by power loss
+//     mid-write cannot cause token reuse.
+//  4. A fenced section (WithLease) runs its body while holding the grab
+//     with a validated token: a stale owner is turned away with
+//     ErrFenced before it can touch shared state, and a successor cannot
+//     take over while the body runs because the grab excludes it.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"deepthermo/internal/fsx"
+)
+
+// grabRetries × grabRetryDelay bounds how long a mutator waits for a
+// lease that is mid-grab by another process before reporting ErrLost.
+const (
+	grabRetries    = 50
+	grabRetryDelay = 4 * time.Millisecond
+)
+
+// grab atomically renames the job's lease file to a private path,
+// excluding every other mutator until ungrab. ErrLost after the retry
+// window means the lease is absent or orphaned (see SweepOrphans).
+func (s *Store) grab(job string) (string, error) {
+	grabPath := fmt.Sprintf("%s.grab-%s-%d", s.leasePath(job), s.replica, s.grabSeq.Add(1))
+	for i := 0; i < grabRetries; i++ {
+		err := os.Rename(s.leasePath(job), grabPath)
+		if err == nil {
+			return grabPath, nil
+		}
+		if !errors.Is(err, os.ErrNotExist) {
+			return "", err
+		}
+		time.Sleep(grabRetryDelay)
+	}
+	return "", fmt.Errorf("%w: %q mid-transition for too long", ErrLost, job)
+}
+
+// ungrab renames the grabbed lease back to its canonical path.
+func (s *Store) ungrab(grabPath, job string) error {
+	return os.Rename(grabPath, s.leasePath(job))
+}
+
+// readLeaseFile decodes a lease file. A decode failure is reported as
+// corrupt (torn write survivor), distinct from an IO failure.
+func readLeaseFile(path string) (Lease, bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Lease{}, false, err
+	}
+	var l Lease
+	if err := json.Unmarshal(raw, &l); err != nil || (l.Token == 0 && !l.Released) {
+		return Lease{}, true, nil // corrupt: recover via the fence file
+	}
+	return l, false, nil
+}
+
+// ensureLease seeds the job's lease file with a released zero-token
+// placeholder via O_CREAT|O_EXCL. Called only from Enqueue, before the
+// job's state record makes it visible to claimers, so it can never race
+// a mutator's grab window; losing the creation race against a duplicate
+// enqueue (EEXIST) is success.
+func (s *Store) ensureLease(job string) error {
+	f, err := os.OpenFile(s.leasePath(job), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil
+		}
+		return err
+	}
+	encErr := json.NewEncoder(f).Encode(Lease{Job: job, Released: true})
+	if encErr == nil {
+		encErr = f.Sync()
+	}
+	if closeErr := f.Close(); encErr == nil {
+		encErr = closeErr
+	}
+	return encErr
+}
+
+// writeLeaseTo durably writes lease content to path (an already-grabbed
+// file or a brand-new O_EXCL create target is handled by the caller).
+// A scheduled TornLease fault writes truncated content non-atomically
+// instead, simulating power loss mid-renewal.
+func (s *Store) writeLeaseTo(path string, l Lease, seq int64) error {
+	if s.plan.TornLeaseAt(s.rank, seq) {
+		b, _ := json.Marshal(l)
+		return os.WriteFile(path, b[:len(b)/2], 0o644)
+	}
+	return fsx.WriteFileAtomic(path, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(l)
+	})
+}
+
+// readFence returns the highest token ever issued for the job, 0 if none.
+func (s *Store) readFence(job string) (uint64, error) {
+	raw, err := os.ReadFile(s.fencePath(job))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		return 0, nil // corrupt fence: lease content is the primary source
+	}
+	return n, nil
+}
+
+// writeFence durably records token as the highest issued for the job.
+// Called only by the single process holding the grab (or the single
+// O_EXCL creation winner-to-be, whose losing peers compute the same
+// value), so concurrent writers always agree on the content.
+func (s *Store) writeFence(job string, token uint64) error {
+	return fsx.WriteFileAtomic(s.fencePath(job), func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "%d\n", token)
+		return err
+	})
+}
+
+// Acquire claims the job's lease for this replica, returning the fencing
+// token to present on every subsequent write. The lease is grabbed and,
+// if it is released (including the enqueue-time seed), expired, or
+// corrupt, reissued to this replica under the next fencing token; an
+// active lease held by another replica returns ErrHeld. tookOver
+// distinguishes a takeover of an unreleased (expired or torn) lease —
+// where a prior owner may have left a checkpoint to resume — from a
+// fresh claim of a released one.
+func (s *Store) Acquire(job string) (token uint64, tookOver bool, err error) {
+	if err := validJobID(job); err != nil {
+		return 0, false, err
+	}
+	if _, statErr := os.Stat(s.leasePath(job)); errors.Is(statErr, os.ErrNotExist) {
+		// The lease file is absent. Enqueue seeds it before the state
+		// record exists and it is never deleted, so absence means it is
+		// mid-mutation or orphaned (awaiting sweep) — report it held and
+		// let the claim scan retry — unless the job was never enqueued at
+		// all. Creating a file here would fork ownership: a seed landing
+		// inside another mutator's grab window is a second claimable
+		// lease, so Acquire never creates anything.
+		if _, err := os.Stat(s.statePath(job)); errors.Is(err, os.ErrNotExist) {
+			return 0, false, fmt.Errorf("%w: %q", ErrNoJob, job)
+		}
+		return 0, false, ErrHeld
+	}
+	return s.takeover(job)
+}
+
+// takeover grabs the lease and, if it is released, expired, or corrupt,
+// reissues it to this replica under the next fencing token.
+func (s *Store) takeover(job string) (uint64, bool, error) {
+	grabPath, err := s.grab(job)
+	if err != nil {
+		if errors.Is(err, ErrLost) {
+			return 0, false, ErrHeld // mid-transition; retry next scan
+		}
+		return 0, false, err
+	}
+	l, corrupt, err := readLeaseFile(grabPath)
+	if err != nil {
+		s.ungrab(grabPath, job)
+		return 0, false, err
+	}
+	now := time.Now()
+	if !corrupt && l.Active(now) && l.Owner != s.replica {
+		if err := s.ungrab(grabPath, job); err != nil {
+			return 0, false, err
+		}
+		return 0, false, ErrHeld
+	}
+	fence, err := s.readFence(job)
+	if err != nil {
+		s.ungrab(grabPath, job)
+		return 0, false, err
+	}
+	token := fence + 1
+	if !corrupt && l.Token >= token {
+		token = l.Token + 1
+	}
+	// Fence first: after this write no earlier token can ever be issued
+	// again, even if we die before the lease content lands.
+	if err := s.writeFence(job, token); err != nil {
+		s.ungrab(grabPath, job)
+		return 0, false, err
+	}
+	nl := Lease{Job: job, Owner: s.replica, Token: token, Expires: now.Add(s.ttl), Renewed: now}
+	if err := s.writeLeaseTo(grabPath, nl, -1); err != nil {
+		s.ungrab(grabPath, job)
+		return 0, false, err
+	}
+	if err := s.ungrab(grabPath, job); err != nil {
+		return 0, false, err
+	}
+	// An unreleased (expired or torn) predecessor means a prior owner may
+	// have died mid-run; a released one is a clean claim.
+	tookOver := corrupt || !l.Released
+	if tookOver {
+		s.takeovers.Add(1)
+	} else {
+		s.claims.Add(1)
+	}
+	s.mu.Lock()
+	s.held[job] = token
+	s.mu.Unlock()
+	return token, tookOver, nil
+}
+
+// Heartbeat renews this replica's lease on the job. ErrFenced means a
+// successor owns the lease now (the caller must stop the run: its writes
+// would be rejected anyway); ErrLost means the lease could not be
+// grabbed within the retry window. A scheduled LoseHeartbeat fault
+// silently skips the renewal — the replica believes it heartbeated, its
+// lease quietly expires.
+func (s *Store) Heartbeat(job string, token uint64) error {
+	seq := s.hbSeq.Add(1)
+	if s.plan.HeartbeatLost(s.rank, seq) {
+		return nil
+	}
+	err := s.renew(job, token, seq)
+	if err == nil {
+		s.heartbeats.Add(1)
+		return nil
+	}
+	s.heartbeatFails.Add(1)
+	if errors.Is(err, ErrFenced) {
+		s.dropHeld(job)
+	}
+	return err
+}
+
+func (s *Store) renew(job string, token uint64, seq int64) error {
+	grabPath, err := s.grab(job)
+	if err != nil {
+		return err
+	}
+	l, corrupt, err := readLeaseFile(grabPath)
+	if err != nil {
+		s.ungrab(grabPath, job)
+		return err
+	}
+	if corrupt {
+		// Torn lease content (power loss mid-renewal). The fence file
+		// holds the highest issued token: if that is ours, we are still
+		// the rightful owner and restore the lease; otherwise a newer
+		// token exists and we are fenced.
+		fence, ferr := s.readFence(job)
+		if ferr != nil {
+			s.ungrab(grabPath, job)
+			return ferr
+		}
+		if fence != token {
+			s.ungrab(grabPath, job)
+			return ErrFenced
+		}
+	} else if l.Token != token || l.Owner != s.replica {
+		s.ungrab(grabPath, job)
+		return ErrFenced
+	}
+	now := time.Now()
+	nl := Lease{Job: job, Owner: s.replica, Token: token, Expires: now.Add(s.ttl), Renewed: now}
+	if err := s.writeLeaseTo(grabPath, nl, seq); err != nil {
+		s.ungrab(grabPath, job)
+		return err
+	}
+	return s.ungrab(grabPath, job)
+}
+
+// Release marks this replica's lease released so the job is immediately
+// claimable (used when a job reaches a terminal phase, or when a replica
+// drains gracefully and wants survivors to resume its work without
+// waiting out the TTL). A fenced release is a no-op: the successor owns
+// the lease now.
+func (s *Store) Release(job string, token uint64) error {
+	defer s.dropHeld(job)
+	grabPath, err := s.grab(job)
+	if err != nil {
+		return err
+	}
+	l, corrupt, err := readLeaseFile(grabPath)
+	if err != nil {
+		s.ungrab(grabPath, job)
+		return err
+	}
+	if corrupt {
+		fence, ferr := s.readFence(job)
+		if ferr != nil || fence != token {
+			s.ungrab(grabPath, job)
+			return ErrFenced
+		}
+	} else if l.Token != token || l.Owner != s.replica {
+		s.ungrab(grabPath, job)
+		return ErrFenced
+	}
+	now := time.Now()
+	nl := Lease{Job: job, Owner: s.replica, Token: token, Expires: now, Renewed: now, Released: true}
+	if err := s.writeLeaseTo(grabPath, nl, -1); err != nil {
+		s.ungrab(grabPath, job)
+		return err
+	}
+	return s.ungrab(grabPath, job)
+}
+
+// WithLease runs fn while holding the job's lease grab with a validated
+// fencing token: fn's writes to shared state cannot interleave with a
+// takeover, and a stale token is rejected with ErrFenced before fn runs.
+// This is the commit section fenced artifact and state writes go
+// through. A scheduled StaleWrite fault first stalls until the lease has
+// expired unrenewed, modelling a paused owner committing late.
+func (s *Store) WithLease(job string, token uint64, fn func() error) error {
+	if err := validJobID(job); err != nil {
+		return err
+	}
+	seq := s.cmtSeq.Add(1)
+	if s.plan.StaleWriteAt(s.rank, seq) {
+		s.stallPastExpiry(job)
+	}
+	grabPath, err := s.grab(job)
+	if err != nil {
+		return err
+	}
+	l, corrupt, err := readLeaseFile(grabPath)
+	if err != nil {
+		s.ungrab(grabPath, job)
+		return err
+	}
+	if corrupt {
+		fence, ferr := s.readFence(job)
+		if ferr != nil {
+			s.ungrab(grabPath, job)
+			return ferr
+		}
+		if fence != token {
+			s.fenceRejections.Add(1)
+			s.dropHeld(job)
+			s.ungrab(grabPath, job)
+			return ErrFenced
+		}
+		// Rightful owner; restore the torn lease while we hold the grab.
+		now := time.Now()
+		l = Lease{Job: job, Owner: s.replica, Token: token, Expires: now.Add(s.ttl), Renewed: now}
+		if err := s.writeLeaseTo(grabPath, l, -1); err != nil {
+			s.ungrab(grabPath, job)
+			return err
+		}
+	} else if l.Token != token || l.Owner != s.replica {
+		s.fenceRejections.Add(1)
+		s.dropHeld(job)
+		s.ungrab(grabPath, job)
+		return ErrFenced
+	}
+	fnErr := fn()
+	if err := s.ungrab(grabPath, job); err != nil && fnErr == nil {
+		fnErr = err
+	}
+	return fnErr
+}
+
+// stallPastExpiry blocks until the job's lease (as observed on disk) has
+// expired — chaos support for deterministic stale-owner writes.
+func (s *Store) stallPastExpiry(job string) {
+	for {
+		l, corrupt, err := readLeaseFile(s.leasePath(job))
+		if err != nil || corrupt {
+			time.Sleep(grabRetryDelay)
+			continue
+		}
+		if l.Owner != s.replica || !l.Active(time.Now()) {
+			return
+		}
+		time.Sleep(time.Until(l.Expires) + grabRetryDelay)
+	}
+}
+
+// PeekLease reads the job's lease without grabbing it (observability and
+// claim scans; the content may be mid-transition). ok is false when no
+// lease file exists or it is mid-grab.
+func (s *Store) PeekLease(job string) (Lease, bool) {
+	l, corrupt, err := readLeaseFile(s.leasePath(job))
+	if err != nil || corrupt {
+		return Lease{}, false
+	}
+	return l, true
+}
+
+// Claimable reports whether the job looks claimable right now: its lease
+// is absent, expired, or released. Advisory — Acquire re-validates under
+// the grab.
+func (s *Store) Claimable(job string) bool {
+	l, corrupt, err := readLeaseFile(s.leasePath(job))
+	if err != nil {
+		// Absent means mid-grab or orphaned: not claimable until the
+		// mutation commits or SweepOrphans restores it.
+		return false
+	}
+	if corrupt {
+		// A torn lease is claimable once nothing has renewed it for a
+		// TTL; its mtime marks the torn write.
+		info, statErr := os.Stat(s.leasePath(job))
+		return statErr == nil && time.Since(info.ModTime()) > s.ttl
+	}
+	return !l.Active(time.Now())
+}
+
+// SweepOrphans restores lease files abandoned mid-grab by a crashed
+// mutator: any grab file untouched for at least twice the TTL is renamed
+// back to its canonical lease path (one racing sweeper wins the rename;
+// the rest see ENOENT). Returns how many orphans were restored.
+func (s *Store) SweepOrphans() int {
+	matches, err := filepath.Glob(filepath.Join(s.dir, "leases", "*.grab-*"))
+	if err != nil {
+		return 0
+	}
+	restored := 0
+	for _, p := range matches {
+		info, err := os.Stat(p)
+		if err != nil || time.Since(info.ModTime()) < 2*s.ttl {
+			continue
+		}
+		base := filepath.Base(p)
+		i := strings.Index(base, ".lease.grab-")
+		if i < 0 {
+			continue
+		}
+		canonical := filepath.Join(s.dir, "leases", base[:i]+".lease")
+		if _, err := os.Stat(canonical); err == nil {
+			// The canonical lease exists (a fresh claim landed while the
+			// orphan sat); the orphan is dead history.
+			os.Remove(p)
+			continue
+		}
+		if os.Rename(p, canonical) == nil {
+			restored++
+		}
+	}
+	return restored
+}
+
+func (s *Store) dropHeld(job string) {
+	s.mu.Lock()
+	delete(s.held, job)
+	s.mu.Unlock()
+}

@@ -258,6 +258,15 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 		res.Rounds = round + 1
 
 		res.FailedWalkers += sweepPhase(ctx, opts, 0, walkers, alive)
+		if ctx.Err() != nil {
+			// Cancelled mid-sweep: this round's sweeps are partial. Skip the
+			// coordination phase and, critically, the checkpoint — a
+			// checkpoint must only ever capture a full-round boundary.
+			// Committing a partial round would make a resumed run diverge
+			// from the uninterrupted trajectory (and in fleet mode would
+			// hand the surviving replica a polluted resume point).
+			break
+		}
 
 		// Serial coordination phase, over surviving walkers only.
 		// 1. Within-window ln g averaging across walkers, then freeze the

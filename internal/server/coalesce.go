@@ -1,0 +1,106 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"sync"
+
+	"deepthermo/internal/thermo"
+)
+
+// Singleflight coalescing for /v1/thermo. A thundering herd of identical
+// uncached queries — same artifact, same temperature grid — used to each
+// load and reweight the DOS independently. Now the first request becomes
+// the leader: it computes the curve in a detached goroutine (so its own
+// disconnect doesn't strand the others) and every concurrent duplicate
+// waits for that one result. Waiters keep their own deadlines: a waiter
+// whose request context expires is shed without waiting out the leader.
+
+// flightResult is the outcome of one leader computation, shaped so a
+// waiter can replay it as an HTTP response: either points, or an error
+// status + message (+ optional Retry-After hint).
+type flightResult struct {
+	pts        []thermo.Point
+	status     int // 0 on success, else the HTTP error status
+	msg        string
+	retryAfter string
+}
+
+type flight struct {
+	done chan struct{} // closed once res is set
+	res  flightResult
+}
+
+// flightGroup tracks in-flight curve computations by cache key.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// join returns the in-flight computation for key, creating it if absent.
+// leader is true for the caller that must run the computation.
+func (g *flightGroup) join(key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	return f, true
+}
+
+// finish publishes the leader's result and retires the flight; later
+// identical queries start fresh (and will usually hit the curve cache).
+func (g *flightGroup) finish(key string, f *flight, res flightResult) {
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	f.res = res
+	close(f.done)
+}
+
+// computeCurve is the uncached /v1/thermo backend path, run once per
+// flight by the leader: circuit breaker admission, DOS load, reweight,
+// cache fill. Breaker accounting happens here — inside the leader only —
+// so a coalesced herd of failing queries counts as one backend failure,
+// not N.
+func (s *Server) computeCurve(key, artID string, temps []float64) flightResult {
+	if !s.breaker.allow() {
+		return flightResult{
+			status:     http.StatusServiceUnavailable,
+			retryAfter: retryAfterSeconds(s.breaker.retryAfter()),
+			msg:        "dos registry degraded (circuit breaker " + s.breaker.State().String() + "): uncached query shed",
+		}
+	}
+	d, err := s.loadDOS(artID)
+	if err != nil {
+		if errors.Is(err, ErrBadID) || errors.Is(err, ErrNoArtifact) || errors.Is(err, ErrWrongKind) {
+			// The client's fault, not the backend's: doesn't count
+			// against the breaker.
+			s.breaker.success()
+			code := http.StatusNotFound
+			if errors.Is(err, ErrBadID) {
+				code = http.StatusBadRequest
+			}
+			return flightResult{status: code, msg: err.Error()}
+		}
+		s.breaker.failure()
+		return flightResult{
+			status:     http.StatusServiceUnavailable,
+			retryAfter: retryAfterSeconds(s.breaker.retryAfter()),
+			msg:        "dos registry read failed: " + err.Error(),
+		}
+	}
+	s.breaker.success()
+	pts, err := thermo.Curve(d, temps)
+	if err != nil {
+		return flightResult{status: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
+	s.cache.Put(key, pts)
+	return flightResult{pts: pts}
+}

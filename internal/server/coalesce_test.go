@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deepthermo/internal/dos"
+)
+
+// TestThermoCoalescesIdenticalQueries fires a herd of identical uncached
+// queries at /v1/thermo while the DOS loader is blocked, and asserts the
+// backend is hit exactly once: one leader computes, everyone else waits
+// on its flight.
+func TestThermoCoalescesIdenticalQueries(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	info := uploadDOS(t, ts.URL, testDOS(t))
+
+	var loads atomic.Int64
+	release := make(chan struct{})
+	real := srv.reg.DOS
+	srv.setDOSLoader(func(id string) (*dos.LogDOS, error) {
+		loads.Add(1)
+		<-release
+		return real(id)
+	})
+
+	const herd = 8
+	url := fmt.Sprintf("%s/v1/thermo?artifact=%s&sweep=300:1500:16", ts.URL, info.ID)
+	var wg sync.WaitGroup
+	codes := make([]int, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(url)
+			if err != nil {
+				t.Errorf("request %d: %v", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	// Wait for the leader to reach the loader, give the rest time to pile
+	// onto the flight, then release.
+	deadline := time.Now().Add(2 * time.Second)
+	for loads.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no request reached the DOS loader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; srv.thermoCoalesced.Value() < herd-1 && i < 2000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("request %d: status %d, want 200", i, code)
+		}
+	}
+	if n := loads.Load(); n != 1 {
+		t.Errorf("DOS loaded %d times under a coalesced herd, want 1", n)
+	}
+	if c := srv.thermoCoalesced.Value(); c != herd-1 {
+		t.Errorf("coalesced counter = %d, want %d", c, herd-1)
+	}
+}
+
+// TestThermoWaiterHonorsOwnDeadline: a waiter coalesced behind a stuck
+// leader must be shed when its own request deadline expires, not held
+// until the leader finishes.
+func TestThermoWaiterHonorsOwnDeadline(t *testing.T) {
+	srv, ts := newTestServer(t, Config{RequestTimeout: 100 * time.Millisecond})
+	info := uploadDOS(t, ts.URL, testDOS(t))
+
+	var loads atomic.Int64
+	release := make(chan struct{})
+	defer close(release) // unstick the detached leader at test end
+	real := srv.reg.DOS
+	srv.setDOSLoader(func(id string) (*dos.LogDOS, error) {
+		loads.Add(1)
+		<-release
+		return real(id)
+	})
+
+	url := fmt.Sprintf("%s/v1/thermo?artifact=%s&T=700", ts.URL, info.ID)
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for loads.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("leader never reached the DOS loader")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The flight is stuck in the loader; this waiter's own 100ms server-side
+	// deadline must shed it with the coalesce-specific 503.
+	start := time.Now()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("waiter status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "coalesced") {
+		t.Fatalf("waiter error %q does not mention coalescing", body)
+	}
+	if elapsed := time.Since(start); elapsed > 1500*time.Millisecond {
+		t.Fatalf("waiter held %s past its 100ms deadline", elapsed)
+	}
+	if c := srv.thermoCoalesced.Value(); c < 1 {
+		t.Fatalf("coalesced counter = %d, want >= 1", c)
+	}
+	<-leaderDone
+}

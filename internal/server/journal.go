@@ -26,20 +26,23 @@ type journal struct {
 	path string
 }
 
-// openJournal replays path (if present), compacts it, and opens it for
-// appending. The replayed jobs are returned in first-submission order.
+// openJournal replays path (if present), compacts it when worthwhile, and
+// opens it for appending. The replayed jobs are returned in
+// first-submission order.
 func openJournal(path string) ([]Job, *journal, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, nil, err
 	}
-	jobs, err := replayJournal(path)
+	jobs, lines, err := replayJournal(path)
 	if err != nil {
 		return nil, nil, err
 	}
-	if len(jobs) > 0 {
+	if len(jobs) > 0 && lines != len(jobs) {
 		// Compact: the replay result rewritten atomically, one record per
 		// job, so the journal stays proportional to the job count rather
-		// than the transition count.
+		// than the transition count. Skipped when the journal is already
+		// exactly one record per job (the common restart-after-clean-run
+		// case) — rewriting it then is pure write amplification.
 		if err := fsx.WriteFileAtomic(path, func(w io.Writer) error {
 			enc := json.NewEncoder(w)
 			for _, jb := range jobs {
@@ -59,17 +62,22 @@ func openJournal(path string) ([]Job, *journal, error) {
 	return jobs, &journal{f: f, path: path}, nil
 }
 
-func replayJournal(path string) ([]Job, error) {
+// replayJournal returns the last record per job plus the number of
+// non-empty lines seen (malformed ones included — they count as lines a
+// compaction would reclaim, which is how openJournal decides whether
+// rewriting the file buys anything).
+func replayJournal(path string) ([]Job, int, error) {
 	f, err := os.Open(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
+		return nil, 0, nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
 	byID := map[string]int{}
 	var jobs []Job
+	lines := 0
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
 	for sc.Scan() {
@@ -77,6 +85,7 @@ func replayJournal(path string) ([]Job, error) {
 		if len(line) == 0 {
 			continue
 		}
+		lines++
 		var jb Job
 		if err := json.Unmarshal(line, &jb); err != nil {
 			// A torn trailing record from a crash mid-append is expected;
@@ -92,9 +101,9 @@ func replayJournal(path string) ([]Job, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return jobs, nil
+	return jobs, lines, nil
 }
 
 // record appends one job snapshot and fsyncs it to stable storage.

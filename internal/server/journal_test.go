@@ -1,0 +1,112 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func journalLine(t *testing.T, jb Job) []byte {
+	t.Helper()
+	b, err := json.Marshal(jb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(b, '\n')
+}
+
+// TestJournalCompactionSkippedWhenAlreadyCompact: reopening a journal that
+// is already one record per job must not rewrite the file — the old
+// behavior rewrote it on every restart, pure write amplification on the
+// common clean-restart path. An atomic rewrite replaces the inode, so
+// os.SameFile distinguishes the two.
+func TestJournalCompactionSkippedWhenAlreadyCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	now := time.Now().UTC()
+	var raw []byte
+	for _, id := range []string{"job-1", "job-2"} {
+		raw = append(raw, journalLine(t, Job{ID: id, State: JobDone, Submitted: now})...)
+		raw = append(raw, journalLine(t, Job{ID: id, State: JobDone, Submitted: now})...)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First open: 4 lines, 2 jobs — must compact (new inode).
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, j, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs, want 2", len(jobs))
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.SameFile(before, after) {
+		t.Fatal("redundant journal was not compacted")
+	}
+
+	// Second open: already one record per job — must NOT rewrite.
+	jobs, j, err = openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	if len(jobs) != 2 {
+		t.Fatalf("replayed %d jobs after compaction, want 2", len(jobs))
+	}
+	final, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !os.SameFile(after, final) {
+		t.Fatal("already-compact journal was rewritten on reopen")
+	}
+}
+
+// A torn trailing line still triggers a rewrite: it is a line a compaction
+// reclaims, and leaving it would make every future replay re-skip it.
+func TestJournalCompactionRewritesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.journal")
+	raw := journalLine(t, Job{ID: "job-1", State: JobDone, Submitted: time.Now().UTC()})
+	raw = append(raw, []byte(`{"id":"job-2","sta`)...) // torn mid-append
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, j, err := openJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.close()
+	if len(jobs) != 1 || jobs[0].ID != "job-1" {
+		t.Fatalf("replayed %+v, want just job-1", jobs)
+	}
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.SameFile(before, after) {
+		t.Fatal("journal with torn tail was not rewritten")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jb Job
+	if err := json.Unmarshal(data, &jb); err != nil || jb.ID != "job-1" {
+		t.Fatalf("compacted journal content %q not a clean job-1 record (err=%v)", data, err)
+	}
+}

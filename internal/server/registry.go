@@ -26,7 +26,22 @@ import (
 var (
 	ErrNoArtifact = errors.New("no such artifact")
 	ErrWrongKind  = errors.New("artifact kind mismatch")
+	// ErrBadID marks a syntactically invalid artifact ID (empty, path
+	// separators, or ".."): rejected before any filesystem path join, and
+	// a client fault for breaker purposes.
+	ErrBadID = errors.New("invalid artifact id")
 )
+
+// validArtifactID rejects IDs that would escape the registry directory
+// when joined into a filesystem path. Checked on every lookup BEFORE the
+// ID touches a path — registry reads can fall through to disk — and on
+// upload names for symmetry.
+func validArtifactID(id string) error {
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return fmt.Errorf("server: %w: %q", ErrBadID, id)
+	}
+	return nil
+}
 
 // ArtifactKind distinguishes the two serialized artifact types the
 // pipeline produces.
@@ -63,6 +78,7 @@ type Registry struct {
 	byID   map[string]*regEntry
 	order  []string
 	dir    string
+	prefix string // fleet replica ID baked into new artifact IDs
 	nextID int
 }
 
@@ -154,8 +170,15 @@ func (r *Registry) Put(kind ArtifactKind, name string, data []byte, meta map[str
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.nextID++
+	id := fmt.Sprintf("%s-%d", kind, r.nextID)
+	if r.prefix != "" {
+		// Fleet mode: N replicas write one shared directory, so the
+		// replica identity is baked into the ID to keep them collision-free
+		// without cross-replica coordination.
+		id = fmt.Sprintf("%s-%s-%d", kind, r.prefix, r.nextID)
+	}
 	info := Artifact{
-		ID:      fmt.Sprintf("%s-%d", kind, r.nextID),
+		ID:      id,
 		Kind:    kind,
 		Name:    name,
 		Created: time.Now().UTC(),
@@ -193,11 +216,58 @@ func (r *Registry) persist(info Artifact, data []byte) error {
 	return nil
 }
 
-// Get returns the metadata of artifact id.
-func (r *Registry) Get(id string) (Artifact, bool) {
+// SetIDPrefix bakes prefix (a fleet replica identity) into newly minted
+// artifact IDs. Call before any Put.
+func (r *Registry) SetIDPrefix(prefix string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	ent, ok := r.byID[id]
+	r.prefix = prefix
+}
+
+// lookup finds an artifact, falling back to the backing directory on a
+// memory miss: in fleet mode the directory is shared, so an artifact
+// committed by another replica after this one started is loaded lazily on
+// first read. Called with r.mu held; the ID must already be validated.
+func (r *Registry) lookup(id string) (*regEntry, bool) {
+	if ent, ok := r.byID[id]; ok {
+		return ent, true
+	}
+	if r.dir == "" {
+		return nil, false
+	}
+	raw, err := os.ReadFile(filepath.Join(r.dir, id+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var info Artifact
+	if err := json.Unmarshal(raw, &info); err != nil || info.ID != id {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(r.dir, id+".bin"))
+	if err != nil {
+		return nil, false
+	}
+	ent := &regEntry{info: info, data: data}
+	if info.Kind == KindDOS {
+		d, err := dos.Load(bytes.NewReader(data))
+		if err != nil {
+			return nil, false
+		}
+		ent.dos = d
+	}
+	r.byID[id] = ent
+	r.order = append(r.order, id)
+	return ent, true
+}
+
+// Get returns the metadata of artifact id.
+func (r *Registry) Get(id string) (Artifact, bool) {
+	if validArtifactID(id) != nil {
+		return Artifact{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ent, ok := r.lookup(id)
 	if !ok {
 		return Artifact{}, false
 	}
@@ -206,9 +276,12 @@ func (r *Registry) Get(id string) (Artifact, bool) {
 
 // Data returns the serialized bytes of artifact id.
 func (r *Registry) Data(id string) ([]byte, error) {
+	if err := validArtifactID(id); err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	ent, ok := r.byID[id]
+	ent, ok := r.lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("server: %w: %q", ErrNoArtifact, id)
 	}
@@ -219,9 +292,12 @@ func (r *Registry) Data(id string) ([]byte, error) {
 // artifact. The returned LogDOS is shared and must be treated as
 // read-only.
 func (r *Registry) DOS(id string) (*dos.LogDOS, error) {
+	if err := validArtifactID(id); err != nil {
+		return nil, err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	ent, ok := r.byID[id]
+	ent, ok := r.lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("server: %w: %q", ErrNoArtifact, id)
 	}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Malicious or malformed artifact IDs must be rejected before they are
+// joined into a filesystem path: with the registry's lazy disk fallback, a
+// traversal ID would otherwise read files outside the artifact directory.
+var badArtifactIDs = []string{
+	"",
+	"../jobs.journal",
+	"..",
+	"a/../../etc/passwd",
+	`a\..\secret`,
+	"dir/sub",
+	`dir\sub`,
+}
+
+func TestRegistryRejectsBadIDs(t *testing.T) {
+	dir := t.TempDir()
+	// A file outside the registry dir that a traversal ID could reach.
+	if err := os.WriteFile(filepath.Join(dir, "secret.json"), []byte(`{"id":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := NewRegistry(filepath.Join(dir, "artifacts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range badArtifactIDs {
+		if _, ok := reg.Get(id); ok {
+			t.Errorf("Get(%q) succeeded", id)
+		}
+		if _, err := reg.Data(id); !errors.Is(err, ErrBadID) {
+			t.Errorf("Data(%q) error = %v, want ErrBadID", id, err)
+		}
+		if _, err := reg.DOS(id); !errors.Is(err, ErrBadID) {
+			t.Errorf("DOS(%q) error = %v, want ErrBadID", id, err)
+		}
+	}
+	if err := validArtifactID("dos-r1-3"); err != nil {
+		t.Errorf("validArtifactID rejected a legitimate fleet ID: %v", err)
+	}
+}
+
+// The HTTP layer must answer a syntactically invalid ID with 400 (client
+// fault), not 404, and without any registry write or disk access.
+func TestArtifactHandlersRejectBadIDs(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Slash-based traversal is neutralized by mux path cleaning before the
+	// handler runs; the backslash and embedded-dotdot forms survive routing
+	// and must be rejected by the handlers themselves.
+	for _, id := range []string{`..%5C..%5Csecret`, "a..b"} {
+		for _, u := range []string{
+			ts.URL + "/v1/artifacts/" + id,
+			ts.URL + "/v1/artifacts/" + id + "/data",
+		} {
+			resp, err := http.Get(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("GET %s: status %d, want 400", u, resp.StatusCode)
+			}
+		}
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/artifacts/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("DELETE id %q: status %d, want 400", id, resp.StatusCode)
+		}
+	}
+	// The thermo artifact comes in as a query parameter — no mux cleaning —
+	// so every malformed form must be caught there.
+	for _, id := range badArtifactIDs[1:] { // "" is a distinct 400 (missing param)
+		u := ts.URL + "/v1/thermo?artifact=" + url.QueryEscape(id) + "&T=700"
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("thermo artifact=%q: status %d, want 400", id, resp.StatusCode)
+		}
+	}
+}

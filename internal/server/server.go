@@ -17,7 +17,9 @@ import (
 	"time"
 
 	"deepthermo"
+	"deepthermo/internal/chaos"
 	"deepthermo/internal/dos"
+	"deepthermo/internal/fleet"
 	"deepthermo/internal/thermo"
 )
 
@@ -46,6 +48,27 @@ type Config struct {
 	RetryMax int
 	// RetryBackoff is the initial exponential retry delay (default 1s).
 	RetryBackoff time.Duration
+
+	// FleetDir enables fleet mode when non-empty: N dtserve replicas share
+	// this directory as a lease-coordinated job queue, artifact store, and
+	// checkpoint store. Any replica may claim any submitted job; a replica
+	// that dies mid-job has its lease expire and the job is taken over
+	// (resuming from the last REWL checkpoint) by a survivor. Fleet mode
+	// supersedes the single-process journal: the shared state records are
+	// the durable job log.
+	FleetDir string
+	// ReplicaID is this replica's unique identity within the fleet
+	// (required with FleetDir). Baked into job and artifact IDs.
+	ReplicaID string
+	// LeaseTTL is how long a job lease stays valid without renewal
+	// (default 10s). See fleet.Config.TTL.
+	LeaseTTL time.Duration
+	// LeaseHeartbeat is the lease renewal cadence (default LeaseTTL/3).
+	LeaseHeartbeat time.Duration
+	// FleetPlan/FleetRank optionally inject deterministic lease faults for
+	// chaos tests (see internal/chaos).
+	FleetPlan *chaos.Plan
+	FleetRank int
 
 	// MaxInFlight bounds concurrently served data-plane requests
 	// (default 256; negative disables the limiter). Excess requests wait
@@ -92,6 +115,10 @@ type Server struct {
 	mux     *http.ServeMux
 	started time.Time
 
+	// fleetStore is non-nil in fleet mode (Config.FleetDir set): the shared
+	// lease/state/artifact store this replica coordinates through.
+	fleetStore *fleet.Store
+
 	limiter *concLimiter
 	rate    *tokenBucket
 	breaker *breaker
@@ -103,8 +130,13 @@ type Server struct {
 	draining   atomic.Bool // set by BeginDrain; /readyz flips to 503
 	replayDone atomic.Bool // journal replay finished (readiness gate)
 
-	deadlineHits Counter // requests whose deadline expired mid-handler
-	drainRejects Counter // job submissions rejected while draining
+	// flights coalesces concurrent identical uncached /v1/thermo queries
+	// into one DOS load + reweight (see coalesce.go).
+	flights *flightGroup
+
+	deadlineHits    Counter // requests whose deadline expired mid-handler
+	drainRejects    Counter // job submissions rejected while draining
+	thermoCoalesced Counter // thermo queries that waited on another's flight
 }
 
 // New wires a Server. Call Close to stop the worker pool.
@@ -130,27 +162,53 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = 1 << 20
 	}
-	reg, err := NewRegistry(cfg.DataDir)
+	var fl *fleet.Store
+	if cfg.FleetDir != "" {
+		var err error
+		fl, err = fleet.Open(fleet.Config{
+			Dir:     cfg.FleetDir,
+			Replica: cfg.ReplicaID,
+			TTL:     cfg.LeaseTTL,
+			Plan:    cfg.FleetPlan,
+			Rank:    cfg.FleetRank,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: opening fleet store: %w", err)
+		}
+	}
+	artDir := cfg.DataDir
+	if fl != nil {
+		// Fleet mode: artifacts live in the shared directory so any replica
+		// can serve any replica's results.
+		artDir = fl.ArtifactsDir()
+	}
+	reg, err := NewRegistry(artDir)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		reg:     reg,
-		cache:   newCurveCache(cfg.CacheSize),
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
-		started: time.Now(),
-		limiter: newConcLimiter(cfg.MaxInFlight, cfg.MaxWait),
-		rate:    newTokenBucket(cfg.RatePerSec, cfg.RateBurst),
-		breaker: newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
+		cfg:        cfg,
+		reg:        reg,
+		fleetStore: fl,
+		cache:      newCurveCache(cfg.CacheSize),
+		metrics:    NewMetrics(),
+		mux:        http.NewServeMux(),
+		started:    time.Now(),
+		limiter:    newConcLimiter(cfg.MaxInFlight, cfg.MaxWait),
+		rate:       newTokenBucket(cfg.RatePerSec, cfg.RateBurst),
+		breaker:    newBreaker(cfg.BreakerFailures, cfg.BreakerCooldown),
+		flights:    newFlightGroup(),
 	}
 	s.setDOSLoader(s.reg.DOS)
 	s.jobs = NewJobManager(cfg.Workers, cfg.QueueDepth, s.runJob)
 	if cfg.RetryMax > 0 {
 		s.jobs.SetRetryPolicy(cfg.RetryMax, cfg.RetryBackoff)
 	}
-	if cfg.DataDir != "" {
+	switch {
+	case fl != nil:
+		reg.SetIDPrefix(cfg.ReplicaID)
+		s.jobs.EnableFleet(fl, cfg.LeaseHeartbeat)
+	case cfg.DataDir != "":
 		recovered, err := s.jobs.EnableJournal(filepath.Join(cfg.DataDir, "jobs.journal"))
 		if err != nil {
 			s.jobs.Close()
@@ -212,6 +270,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Registry exposes the artifact registry (used by cmd/dtserve preloading).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Fleet exposes the shared fleet store; nil outside fleet mode.
+func (s *Server) Fleet() *fleet.Store { return s.fleetStore }
+
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
@@ -238,6 +299,9 @@ func (s *Server) registerMetrics() {
 		"Thermo queries answered from the curve cache.", func() float64 { h, _ := s.cache.Stats(); return float64(h) })
 	s.metrics.Register("dtserve_curve_cache_misses_total", "", "counter",
 		"Thermo queries that reweighted the DOS.", func() float64 { _, m := s.cache.Stats(); return float64(m) })
+	s.metrics.Register("dtserve_thermo_coalesced_total", "", "counter",
+		"Thermo queries served by waiting on an identical in-flight query.",
+		func() float64 { return float64(s.thermoCoalesced.Value()) })
 	s.metrics.Register("dtserve_uptime_seconds", "", "gauge",
 		"Seconds since server start.", func() float64 { return time.Since(s.started).Seconds() })
 	s.metrics.Register("dtserve_inflight_requests", "", "gauge",
@@ -260,6 +324,20 @@ func (s *Server) registerMetrics() {
 	s.metrics.Register("dtserve_breaker_trips_total", "", "counter",
 		"Transitions of the registry circuit breaker into the open state.",
 		func() float64 { return float64(s.breaker.Trips()) })
+	if fl := s.fleetStore; fl != nil {
+		s.metrics.Register("dtserve_fleet_leases_held", "", "gauge",
+			"Job leases this replica currently holds.", func() float64 { return float64(fl.Held()) })
+		s.metrics.Register("dtserve_fleet_claims_total", "", "counter",
+			"Fresh job claims by this replica.", func() float64 { return float64(fl.Claims()) })
+		s.metrics.Register("dtserve_fleet_takeovers_total", "", "counter",
+			"Jobs taken over from an expired lease of another holder.", func() float64 { return float64(fl.Takeovers()) })
+		s.metrics.Register("dtserve_fleet_heartbeats_total", "", "counter",
+			"Successful lease renewals.", func() float64 { return float64(fl.Heartbeats()) })
+		s.metrics.Register("dtserve_fleet_heartbeat_failures_total", "", "counter",
+			"Lease renewals that failed (fenced or IO error).", func() float64 { return float64(fl.HeartbeatFails()) })
+		s.metrics.Register("dtserve_fleet_fence_rejections_total", "", "counter",
+			"Stale-owner writes rejected by fencing-token validation.", func() float64 { return float64(fl.FenceRejections()) })
+	}
 	s.metrics.Register("dtserve_ready", "", "gauge",
 		"1 when /readyz reports ready, else 0.",
 		func() float64 {
@@ -393,6 +471,13 @@ func (s *Server) notReadyReasons() []string {
 	if st := s.breaker.State(); st == breakerOpen {
 		reasons = append(reasons, "registry circuit breaker open")
 	}
+	if s.fleetStore != nil {
+		if err := s.fleetStore.Health(); err != nil {
+			// The shared lease store is unreachable or failing scans: this
+			// replica can't claim, heartbeat, or commit, so stop routing to it.
+			reasons = append(reasons, fmt.Sprintf("fleet lease store unhealthy: %v", err))
+		}
+	}
 	return reasons
 }
 
@@ -503,9 +588,14 @@ func (s *Server) handleUploadArtifact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetArtifact(w http.ResponseWriter, r *http.Request) {
-	info, ok := s.reg.Get(r.PathValue("id"))
+	id := r.PathValue("id")
+	if err := validArtifactID(id); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	info, ok := s.reg.Get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such artifact %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, "no such artifact %q", id)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -514,6 +604,10 @@ func (s *Server) handleGetArtifact(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleArtifactData(w http.ResponseWriter, r *http.Request) {
 	data, err := s.reg.Data(r.PathValue("id"))
 	if err != nil {
+		if errors.Is(err, ErrBadID) {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
 	}
@@ -523,6 +617,10 @@ func (s *Server) handleArtifactData(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleDeleteArtifact(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if err := validArtifactID(id); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	if err := s.reg.Delete(id); err != nil {
 		writeError(w, http.StatusNotFound, "%v", err)
 		return
@@ -534,10 +632,12 @@ func (s *Server) handleDeleteArtifact(w http.ResponseWriter, r *http.Request) {
 // handleThermo is the hot query path: reweight a registered DOS artifact
 // into canonical observables at the requested temperatures. Accepts
 // repeated T params and/or sweep=lo:hi:n; repeat queries on the same grid
-// are served from the curve LRU. The registry read sits behind a circuit
-// breaker: while it is open the endpoint degrades to cache-only —
-// cached grids are still served (marked degraded) and uncached ones are
-// shed with 503 + Retry-After instead of hammering the failing backend.
+// are served from the curve LRU. Concurrent identical uncached queries
+// are coalesced into one computation (see coalesce.go); the registry read
+// inside it sits behind a circuit breaker: while it is open the endpoint
+// degrades to cache-only — cached grids are still served (marked
+// degraded) and uncached ones are shed with 503 + Retry-After instead of
+// hammering the failing backend.
 func (s *Server) handleThermo(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	artID := q.Get("artifact")
@@ -555,40 +655,34 @@ func (s *Server) handleThermo(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, thermoResponse(artID, pts, true, s.breaker.Open()))
 		return
 	}
-	if !s.breaker.allow() {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.retryAfter()))
-		writeError(w, http.StatusServiceUnavailable,
-			"dos registry degraded (circuit breaker %s): uncached query shed", s.breaker.State())
+	f, leader := s.flights.join(key)
+	if leader {
+		// Detached: the computation finishes even if this request's
+		// context dies first, so waiters (and the cache) still get the
+		// result the work already paid for.
+		go func() {
+			s.flights.finish(key, f, s.computeCurve(key, artID, temps))
+		}()
+	} else {
+		s.thermoCoalesced.Inc()
+	}
+	select {
+	case <-f.done:
+	case <-r.Context().Done():
+		// Waiters keep their own deadline: don't hold a dead connection
+		// open waiting for a slow leader.
+		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded while coalesced on an in-flight identical query")
 		return
 	}
-	d, err := s.loadDOS(artID)
-	if err != nil {
-		if errors.Is(err, ErrNoArtifact) || errors.Is(err, ErrWrongKind) {
-			// The client's fault, not the backend's: doesn't count
-			// against the breaker.
-			s.breaker.success()
-			writeError(w, http.StatusNotFound, "%v", err)
-			return
+	res := f.res
+	if res.status != 0 {
+		if res.retryAfter != "" {
+			w.Header().Set("Retry-After", res.retryAfter)
 		}
-		s.breaker.failure()
-		w.Header().Set("Retry-After", retryAfterSeconds(s.breaker.retryAfter()))
-		writeError(w, http.StatusServiceUnavailable, "dos registry read failed: %v", err)
+		writeError(w, res.status, "%s", res.msg)
 		return
 	}
-	s.breaker.success()
-	if err := r.Context().Err(); err != nil {
-		// Deadline or disconnect while we were queued/reading: don't burn
-		// CPU reweighting a curve nobody is waiting for.
-		writeError(w, http.StatusServiceUnavailable, "request deadline exceeded before reweighting")
-		return
-	}
-	pts, err := thermo.Curve(d, temps)
-	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
-		return
-	}
-	s.cache.Put(key, pts)
-	writeJSON(w, http.StatusOK, thermoResponse(artID, pts, false, false))
+	writeJSON(w, http.StatusOK, thermoResponse(artID, res.pts, false, false))
 }
 
 func thermoResponse(artID string, pts []thermo.Point, cached, degraded bool) map[string]any {
@@ -664,6 +758,27 @@ func curveKey(artID string, temps []float64) string {
 	return b.String()
 }
 
+// putArtifact commits a job-produced artifact. In fleet mode the registry
+// write runs under the job's lease: the fencing token is re-validated
+// inside the commit critical section, so a replica whose lease expired
+// mid-run (the job was taken over elsewhere) cannot land a stale artifact
+// in the shared store. The token and committing replica are recorded in
+// the artifact metadata.
+func (s *Server) putArtifact(jb Job, kind ArtifactKind, name string, data []byte, meta map[string]string) (Artifact, error) {
+	if s.fleetStore == nil || jb.Fence == 0 {
+		return s.reg.Put(kind, name, data, meta)
+	}
+	meta["fence"] = strconv.FormatUint(jb.Fence, 10)
+	meta["replica"] = s.fleetStore.Replica()
+	var info Artifact
+	err := s.fleetStore.WithLease(jb.ID, jb.Fence, func() error {
+		var perr error
+		info, perr = s.reg.Put(kind, name, data, meta)
+		return perr
+	})
+	return info, err
+}
+
 // runJob executes one job against the deepthermo facade. Artifacts
 // produced before a failure or cancellation are still attached to the job
 // — a cancelled REWL run persists its partial density of states (marked
@@ -734,7 +849,7 @@ func (s *Server) runJob(ctx context.Context, jb Job) (map[string]any, []string, 
 		if err := sys.SaveProposalModel(&buf); err != nil {
 			return result, artifacts, err
 		}
-		info, err := s.reg.Put(KindModel, jobArtifactName(jb, "model"), buf.Bytes(), baseMeta())
+		info, err := s.putArtifact(jb, KindModel, jobArtifactName(jb, "model"), buf.Bytes(), baseMeta())
 		if err != nil {
 			return result, artifacts, err
 		}
@@ -756,11 +871,19 @@ func (s *Server) runJob(ctx context.Context, jb Job) (map[string]any, []string, 
 			BatchInference: spec.DOS.BatchInference,
 		}
 		ckptDir := ""
-		if s.cfg.DataDir != "" {
+		switch {
+		case s.fleetStore != nil:
+			// Fleet mode: checkpoints live in the shared directory so a
+			// surviving replica taking over the job resumes the REWL run
+			// from the dead owner's last committed checkpoint.
+			ckptDir = s.fleetStore.CheckpointDir(jb.ID)
+		case s.cfg.DataDir != "":
 			// Per-job checkpoint dir: an interrupted job (crash, retry)
 			// resumes the REWL run from its last committed checkpoint
 			// instead of restarting the sampling from scratch.
 			ckptDir = filepath.Join(s.cfg.DataDir, "checkpoints", jb.ID)
+		}
+		if ckptDir != "" {
 			dcfg.CheckpointDir = ckptDir
 			dcfg.CheckpointEvery = spec.DOS.CheckpointEvery
 			dcfg.Resume = jb.Resume
@@ -780,7 +903,7 @@ func (s *Server) runJob(ctx context.Context, jb Job) (map[string]any, []string, 
 		if runErr != nil {
 			meta["partial"] = "true"
 		}
-		info, err := s.reg.Put(KindDOS, jobArtifactName(jb, "dos"), buf.Bytes(), meta)
+		info, err := s.putArtifact(jb, KindDOS, jobArtifactName(jb, "dos"), buf.Bytes(), meta)
 		if err != nil {
 			return result, artifacts, err
 		}
