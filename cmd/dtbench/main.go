@@ -20,6 +20,16 @@
 // channels and TCP over loopback — at world sizes 2 and 4, with an 8 KiB
 // float payload per rank. The comm report goes to BENCH_6.json.
 //
+// With -adaptive, dtbench compares REWL time-to-solution at equal DOS
+// accuracy for three parallelisation modes on the exactly-enumerable E2/E10
+// composition (8-site binary ordering): static windows, adaptive walker
+// rebalancing + window re-splitting, and adaptive with the 1/t schedule.
+// "Solution" is the first exchange round whose merged DOS passes a fixed
+// RMSE gate against the enumerated reference; because runs are bit-exactly
+// deterministic and MaxRounds only truncates the trajectory, that round is
+// found by probing prefixes of the same run. The comparison goes to
+// BENCH_10.json.
+//
 // With -dlbatch, dtbench sweeps the batched cross-walker inference engine:
 // at each walker width (1, 2, 4, 8, 16) it measures per-walker-step cost of
 // W interleaved sequential walkers (each on a private weight copy — the
@@ -33,6 +43,7 @@
 //	dtbench -preset small -out BENCH_5.json
 //	dtbench -comm -out BENCH_6.json      # transport collectives suite
 //	dtbench -dlbatch -out BENCH_7.json   # batched-inference sweep
+//	dtbench -adaptive -out BENCH_10.json # adaptive-REWL time-to-solution
 //	dtbench -max-dl-allocs 0             # CI gate: fail if the DL hot path allocates
 //	dtbench -dlbatch -max-batch-allocs 40  # CI gate on engine-path allocs/walker-step
 //	dtbench -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -47,6 +58,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -86,6 +98,40 @@ type Report struct {
 	Results     []Result          `json:"results"`
 	DLAllocsMax int64             `json:"dl_allocs_budget,omitempty"`
 	Batch       []BatchRow        `json:"batch_sweep,omitempty"`
+	// AdaptiveGate is the -adaptive accuracy bar: every variant must bring
+	// the merged DOS within this RMS log error of the enumerated reference
+	// before its clock stops, so the rounds compared are at equal accuracy.
+	AdaptiveGate float64       `json:"adaptive_rmse_gate,omitempty"`
+	Adaptive     []AdaptiveRow `json:"adaptive_runs,omitempty"`
+	AdaptiveSum  []AdaptiveSum `json:"adaptive_summary,omitempty"`
+}
+
+// AdaptiveRow is one (variant, seed) time-to-solution measurement of the
+// -adaptive comparison. Rounds is deterministic for a given seed; WallMs is
+// the wall-clock of re-running exactly that many rounds once.
+type AdaptiveRow struct {
+	Variant     string  `json:"variant"`
+	Seed        uint64  `json:"seed"`
+	Rounds      int     `json:"rounds_to_gate"`
+	WallMs      float64 `json:"wall_ms"`
+	TotalSweeps int64   `json:"total_sweeps"`
+	RMSE        float64 `json:"rmse_at_gate"`
+	Migrations  int     `json:"migrations,omitempty"`
+	Resplits    int     `json:"resplits,omitempty"`
+}
+
+// AdaptiveSum aggregates one variant over all seeds. Speedups compare
+// against the static variant on mean rounds: rounds are deterministic per
+// seed, and the sweep phase runs walkers in parallel, so wall-clock scales
+// with rounds, not walker count; wall speedup is the measured confirmation.
+type AdaptiveSum struct {
+	Variant             string  `json:"variant"`
+	MeanRounds          float64 `json:"mean_rounds_to_gate"`
+	MedianRounds        int     `json:"median_rounds_to_gate"`
+	MeanWallMs          float64 `json:"mean_wall_ms"`
+	MeanSweeps          float64 `json:"mean_total_sweeps"`
+	SpeedupVsStatic     float64 `json:"rounds_speedup_vs_static,omitempty"`
+	WallSpeedupVsStatic float64 `json:"wall_speedup_vs_static,omitempty"`
 }
 
 // BatchRow summarizes one width of the -dlbatch sweep: per-walker-step
@@ -110,7 +156,8 @@ func main() {
 	preset := flag.String("preset", "small", "small | large (lattice size for the local-proposal sweeps)")
 	comm := flag.Bool("comm", false, "benchmark the transport collectives (chan and TCP backends) instead of the sampling hot paths")
 	dlbatch := flag.Bool("dlbatch", false, "sweep the batched cross-walker inference engine across walker widths instead of the sampling hot paths")
-	out := flag.String("out", "", "output JSON path (- for stdout only; default BENCH_5.json, BENCH_6.json with -comm, BENCH_7.json with -dlbatch)")
+	adaptive := flag.Bool("adaptive", false, "compare REWL time-to-solution at equal DOS accuracy: static vs adaptive rebalancing vs adaptive+1/t")
+	out := flag.String("out", "", "output JSON path (- for stdout only; default BENCH_5.json, BENCH_6.json with -comm, BENCH_7.json with -dlbatch, BENCH_10.json with -adaptive)")
 	maxDLAllocs := flag.Int64("max-dl-allocs", -1, "fail (exit 1) if the DL walk proposal exceeds this allocs/op budget; -1 disables")
 	maxBatchAllocs := flag.Float64("max-batch-allocs", -1, "fail (exit 1) if the engine path exceeds this allocs per walker-step at full width; -1 disables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run")
@@ -122,6 +169,8 @@ func main() {
 			*out = "BENCH_6.json"
 		case *dlbatch:
 			*out = "BENCH_7.json"
+		case *adaptive:
+			*out = "BENCH_10.json"
 		default:
 			*out = "BENCH_5.json"
 		}
@@ -219,6 +268,12 @@ func main() {
 				rep.Batch = append(rep.Batch, row)
 			}
 		}
+	case *adaptive:
+		rep.Schema = "deepthermo-adaptivebench/1"
+		rep.Preset = "adaptive"
+		rep.Seeds = map[string]uint64{"rewl_base": adaptiveBaseSeed}
+		rep.Baseline = nil
+		benchAdaptive(&rep)
 	default:
 		cells := 8
 		if *preset == "small" {
@@ -552,6 +607,195 @@ func benchREWLRound() Result {
 	res.BytesPerOp /= rounds
 	res.AllocsPerOp /= rounds
 	return res
+}
+
+// The -adaptive comparison: every variant samples the same exactly-
+// enumerable composition with the same total walker budget, and its clock
+// stops at the first exchange round whose merged DOS is within
+// adaptiveGateRMSE of the enumerated reference — time-to-solution at equal
+// accuracy. LnFFinal is set far below what the gate needs so no variant's
+// own stopping rule fires first.
+const (
+	adaptiveBaseSeed  = 404
+	adaptiveGateRMSE  = 0.2
+	adaptiveMaxRounds = 8192
+	adaptiveSeedCount = 5
+)
+
+// adaptiveScenario builds the E2/E10-style exactly-enumerable binary
+// ordering composition (the system family behind the measured E2 speedup
+// that E10 composes), at 16 sites so the spectrum is dense enough for a
+// meaningful window ladder: model, enumerated reference DOS, the windows,
+// and the seed configuration. The low-energy window is a genuine straggler
+// here — the ordered ground-state region is entropically starved — which is
+// exactly the imbalance adaptive rebalancing exists to fix.
+func adaptiveScenario() (*alloy.Model, *dos.LogDOS, []wanglandau.Window, lattice.Config) {
+	lat := lattice.MustNew(lattice.SC, 2, 2, 4)
+	m := alloy.BinaryOrdering(lat, 0.05)
+	ex, err := dos.EnumerateFixedComposition(m, []int{8, 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := ex.ToLogDOS(0.025)
+	if err != nil {
+		log.Fatal(err)
+	}
+	windows, err := rewl.SplitWindows(exact.EMin, exact.EMax(), 3, 0.75, exact.BinWidth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seedCfg := lattice.EquiatomicConfig(lat, 2, rng.New(adaptiveBaseSeed))
+	return m, exact, windows, seedCfg
+}
+
+// adaptiveVariantOpts returns the REWL options for one comparison arm. All
+// arms start from identical resources (same windows, same walker count);
+// the adaptive arms may reallocate them mid-run. The 1/t arm additionally
+// relaxes the flatness criterion to 0.6 — the Belardinelli-Pereyra
+// schedule's point is that correctness no longer rides on strict flatness
+// (ln f follows the bins/steps clock once the 1/t phase begins), so stages
+// turn over faster; the halving arms keep the default 0.8, where loose
+// flatness would bake premature ln f cuts into the estimate.
+func adaptiveVariantOpts(variant string, seed uint64, maxRounds int) rewl.Options {
+	o := rewl.Options{
+		Seed:             seed,
+		WalkersPerWindow: 2,
+		ExchangeInterval: 20,
+		MaxRounds:        maxRounds,
+		WL:               wanglandau.Options{LnFFinal: 1e-8},
+	}
+	switch variant {
+	case "adaptive", "adaptive-1t":
+		o.Adaptive = rewl.AdaptiveOptions{Enabled: true, RebalanceEvery: 5, Resplit: true}
+		if variant == "adaptive-1t" {
+			o.OneOverT = true
+			o.WL.Flatness = 0.6
+		}
+	}
+	return o
+}
+
+// adaptiveTTS finds one (variant, seed) time-to-solution. Because a run
+// with MaxRounds=R is a bit-identical prefix of any longer run, the first
+// gate-passing round is found by probing prefixes: doubling to bracket,
+// then bisection to 4-round resolution (RMSE vs. rounds is noisy at round
+// granularity, so finer resolution would chase noise). The returned WallMs
+// times one clean run of exactly the winning round count.
+func adaptiveTTS(variant string, seed uint64, m *alloy.Model, exact *dos.LogDOS,
+	windows []wanglandau.Window, seedCfg lattice.Config) (AdaptiveRow, bool) {
+	factory := func(win, widx int, s *rng.Source) mc.Proposal { return mc.NewSwapProposal(m) }
+	runTo := func(rounds int) (*rewl.Result, float64) {
+		res, err := rewl.Run(m, seedCfg, windows, factory, adaptiveVariantOpts(variant, seed, rounds))
+		if err != nil {
+			log.Fatalf("%s seed %d: %v", variant, seed, err)
+		}
+		rms, _, err := dos.RMSLogError(res.DOS, exact)
+		if err != nil {
+			log.Fatalf("%s seed %d: %v", variant, seed, err)
+		}
+		return res, rms
+	}
+
+	lo, hi := 0, 16
+	for {
+		res, rms := runTo(hi)
+		if rms <= adaptiveGateRMSE {
+			hi = res.Rounds
+			break
+		}
+		if res.Rounds < hi || hi >= adaptiveMaxRounds {
+			// The variant's own stopping rule fired (or the cap was hit)
+			// while still above the gate: no solution on this trajectory.
+			return AdaptiveRow{Variant: variant, Seed: seed, RMSE: rms}, false
+		}
+		lo = hi
+		hi *= 2
+	}
+	for hi-lo > 4 {
+		mid := (lo + hi) / 2
+		if _, rms := runTo(mid); rms <= adaptiveGateRMSE {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+
+	start := time.Now()
+	res, rms := runTo(hi)
+	wall := time.Since(start)
+	return AdaptiveRow{
+		Variant:     variant,
+		Seed:        seed,
+		Rounds:      res.Rounds,
+		WallMs:      float64(wall.Nanoseconds()) / 1e6,
+		TotalSweeps: res.TotalSweeps,
+		RMSE:        rms,
+		Migrations:  res.Migrations,
+		Resplits:    res.Resplits,
+	}, true
+}
+
+// benchAdaptive fills the -adaptive report: per-seed rows, per-variant
+// summaries, and one display Result per variant (ns/op = mean wall-clock of
+// a time-to-solution run).
+func benchAdaptive(rep *Report) {
+	m, exact, windows, seedCfg := adaptiveScenario()
+	rep.AdaptiveGate = adaptiveGateRMSE
+
+	variants := []string{"static", "adaptive", "adaptive-1t"}
+	meanRounds := make(map[string]float64)
+	medRounds := make(map[string]int)
+	meanWall := make(map[string]float64)
+	meanSweeps := make(map[string]float64)
+	for _, v := range variants {
+		var rounds []int
+		var roundSum, wallSum, sweepSum float64
+		for s := uint64(0); s < adaptiveSeedCount; s++ {
+			row, ok := adaptiveTTS(v, adaptiveBaseSeed+s, m, exact, windows, seedCfg)
+			if !ok {
+				log.Fatalf("variant %s seed %d never reached RMSE ≤ %.2f (best %.3f)",
+					v, row.Seed, adaptiveGateRMSE, row.RMSE)
+			}
+			rep.Adaptive = append(rep.Adaptive, row)
+			rounds = append(rounds, row.Rounds)
+			roundSum += float64(row.Rounds)
+			wallSum += row.WallMs
+			sweepSum += float64(row.TotalSweeps)
+		}
+		sort.Ints(rounds)
+		meanRounds[v] = roundSum / adaptiveSeedCount
+		medRounds[v] = rounds[len(rounds)/2]
+		meanWall[v] = wallSum / adaptiveSeedCount
+		meanSweeps[v] = sweepSum / adaptiveSeedCount
+	}
+
+	for _, v := range variants {
+		sum := AdaptiveSum{
+			Variant:      v,
+			MeanRounds:   meanRounds[v],
+			MedianRounds: medRounds[v],
+			MeanWallMs:   meanWall[v],
+			MeanSweeps:   meanSweeps[v],
+		}
+		note := fmt.Sprintf("mean %.0f rounds to RMSE ≤ %.2f over %d seeds",
+			meanRounds[v], adaptiveGateRMSE, adaptiveSeedCount)
+		if v != "static" {
+			sum.SpeedupVsStatic = meanRounds["static"] / meanRounds[v]
+			sum.WallSpeedupVsStatic = meanWall["static"] / meanWall[v]
+			note += fmt.Sprintf("; %.2fx fewer rounds than static", sum.SpeedupVsStatic)
+			if sum.SpeedupVsStatic <= 1 {
+				log.Printf("WARNING: variant %s shows no round speedup over static (%.2fx)",
+					v, sum.SpeedupVsStatic)
+			}
+		}
+		rep.AdaptiveSum = append(rep.AdaptiveSum, sum)
+		rep.Results = append(rep.Results, Result{
+			Name:       "rewl-tts-" + v,
+			Iterations: adaptiveSeedCount,
+			NsPerOp:    meanWall[v] * 1e6,
+			Note:       note,
+		})
+	}
 }
 
 // benchThermoCurve measures reweighting a converged DOS into a full set of

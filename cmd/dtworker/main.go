@@ -75,6 +75,7 @@ func main() {
 	nWindows := flag.Int("windows", 2, "rewl: energy windows (≥ world size)")
 	nWalkers := flag.Int("walkers", 1, "rewl: walkers per window")
 	lnfFinal := flag.Float64("lnf", 1e-4, "rewl: ln f convergence target")
+	oneOverT := flag.Bool("one-over-t", false, "rewl: use the Belardinelli-Pereyra 1/t modification-factor schedule (must match across the world and across restarts)")
 	maxRounds := flag.Int("max-rounds", 0, "rewl: round cap (0 = default)")
 	exchangeEvery := flag.Int("exchange-interval", 20, "rewl: sweeps per exchange round")
 	ckptDir := flag.String("checkpoint", "", "rewl: per-rank checkpoint directory (empty disables)")
@@ -102,14 +103,14 @@ func main() {
 		runCoordinator(ctx, *listen, *world, *hbInterval, *hbTimeout, logf)
 	case *local:
 		runLocal(*job, *world, jobParams{
-			seed: *seed, windows: *nWindows, walkers: *nWalkers, lnf: *lnfFinal,
+			seed: *seed, windows: *nWindows, walkers: *nWalkers, lnf: *lnfFinal, oneOverT: *oneOverT,
 			maxRounds: *maxRounds, exchange: *exchangeEvery, ckptDir: *ckptDir, resume: *resume,
 			every: *ckptEvery, retain: *ckptRetain, rejoinWait: *rejoinWait,
 			epochs: *epochs, batch: *batch, lr: *lr, logf: logf,
 		})
 	case *join != "":
 		runWorker(ctx, *join, *bind, *job, *timeout, jobParams{
-			seed: *seed, windows: *nWindows, walkers: *nWalkers, lnf: *lnfFinal,
+			seed: *seed, windows: *nWindows, walkers: *nWalkers, lnf: *lnfFinal, oneOverT: *oneOverT,
 			maxRounds: *maxRounds, exchange: *exchangeEvery, ckptDir: *ckptDir, resume: *resume,
 			every: *ckptEvery, retain: *ckptRetain, rejoinWait: *rejoinWait,
 			epochs: *epochs, batch: *batch, lr: *lr, logf: logf,
@@ -125,6 +126,7 @@ type jobParams struct {
 	seed             uint64
 	windows, walkers int
 	lnf              float64
+	oneOverT         bool
 	maxRounds        int
 	exchange         int
 	ckptDir          string
@@ -254,6 +256,7 @@ func rewlOptions(p jobParams) rewl.Options {
 		ExchangeInterval: p.exchange,
 		MaxRounds:        p.maxRounds,
 		WL:               wanglandau.Options{LnFFinal: p.lnf},
+		OneOverT:         p.oneOverT,
 		CheckpointDir:    p.ckptDir,
 		Resume:           p.resume,
 		CheckpointEvery:  p.every,

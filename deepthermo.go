@@ -227,6 +227,15 @@ type DOSConfig struct {
 	DLWeight float64 // DL share of the proposal mixture (default 0.15; 0 disables DL even with a trained model)
 	NoDL     bool    // force the pure local-swap baseline
 
+	// OneOverT switches the walkers to the Belardinelli-Pereyra 1/t
+	// modification-factor schedule, which removes the late-stage
+	// saturation stall of pure flatness-driven ln f halving.
+	OneOverT bool
+	// Adaptive enables the adaptive parallelisation layer: per-round
+	// window telemetry and deterministic walker rebalancing from
+	// converged windows into stragglers (rewl.AdaptiveOptions defaults).
+	Adaptive bool
+
 	// BatchInference routes every walker's DL-proposal forwards through one
 	// shared batched inference engine (package infer) instead of per-walker
 	// weight clones: requests from all walkers in a sweep round coalesce
@@ -271,6 +280,9 @@ type DOSResult struct {
 	// contributed only their last consensus (Converged is then false).
 	FailedWalkers   int
 	DegradedWindows int
+	// Migrations counts walkers the adaptive controller moved into
+	// straggler windows (0 unless DOSConfig.Adaptive).
+	Migrations int
 	// Batch reports the batched inference engine's activity when
 	// DOSConfig.BatchInference was set (nil otherwise).
 	Batch *BatchStats
@@ -353,6 +365,8 @@ func (s *System) SampleDOSContext(ctx context.Context, cfg DOSConfig) (*DOSResul
 		Seed:             s.cfg.Seed + 29,
 		WalkersPerWindow: cfg.Walkers,
 		WL:               wanglandau.Options{LnFFinal: cfg.LnFFinal},
+		OneOverT:         cfg.OneOverT,
+		Adaptive:         rewl.AdaptiveOptions{Enabled: cfg.Adaptive},
 		PrepareSweeps:    20000,
 		CheckpointDir:    cfg.CheckpointDir,
 		CheckpointEvery:  cfg.CheckpointEvery,
@@ -376,6 +390,7 @@ func (s *System) SampleDOSContext(ctx context.Context, cfg DOSConfig) (*DOSResul
 		Resumed:         run.Resumed,
 		FailedWalkers:   run.FailedWalkers,
 		DegradedWindows: run.DegradedWindows,
+		Migrations:      run.Migrations,
 	}
 	if engine != nil {
 		st := engine.Stats()

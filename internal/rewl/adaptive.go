@@ -1,0 +1,463 @@
+package rewl
+
+// Adaptive parallelisation: the static REWL decomposition fixes window
+// count, overlap, and walkers-per-window up front, so the slowest window
+// dictates time-to-solution while converged windows idle. The controller
+// here closes that gap at the existing exchange-round barrier:
+//
+//   - telemetry: per-window convergence snapshots (stage index, worst
+//     flatness ratio, ln f, coverage, sweep rate) collected every round;
+//   - rebalancing: walkers migrate from converged or clearly-ahead windows
+//     into stragglers, seeded from the straggler's consensus ln g and a
+//     steered configuration, so the migrant contributes statistics instead
+//     of relearning from scratch;
+//   - re-splitting (optional): the slowest window is replaced by two
+//     overlapping sub-windows on the same bin grid, each covering fewer
+//     bins and therefore flattening faster.
+//
+// Determinism: every decision is a pure function of state the run
+// checkpoints capture (stages, alive masks, walker histograms, consensus
+// ln g), and every migrant draws from a fresh RNG stream keyed by
+// (window, slot, generation) — never from the coordinator or a sibling
+// walker's stream. A fixed seed therefore yields a fixed rebalancing
+// trace, bit-identical across checkpoint/resume, and the static walker
+// population keeps consuming exactly the streams the non-adaptive driver
+// would.
+
+import (
+	"fmt"
+	"math"
+
+	"deepthermo/internal/alloy"
+	"deepthermo/internal/lattice"
+	"deepthermo/internal/rng"
+	"deepthermo/internal/wanglandau"
+)
+
+// AdaptiveOptions configures the adaptive parallelisation layer. The zero
+// value disables it; Enabled with everything else zero selects the
+// defaults noted on each field.
+type AdaptiveOptions struct {
+	// Enabled turns the controller on. Off, the driver is bit-identical
+	// to the static one.
+	Enabled bool
+	// RebalanceEvery is the controller cadence in exchange rounds
+	// (default 10). Telemetry is still collected every round.
+	RebalanceEvery int
+	// StageLag is how many ln f stages a window must trail the most
+	// advanced unconverged window before it counts as a straggler
+	// eligible to receive a walker (default 2). Converged windows are
+	// always considered ahead.
+	StageLag int
+	// MaxWalkersPerWindow caps a window's live walker count after
+	// migration (default 2·WalkersPerWindow).
+	MaxWalkersPerWindow int
+	// Resplit lets the controller replace the slowest window with two
+	// overlapping sub-windows on the same bin grid, at most MaxResplits
+	// times (default 1 when Resplit is set). Window indices shift after a
+	// re-split, so fault plans (Options.Faults), which address walkers by
+	// window index, should not be combined with it.
+	Resplit     bool
+	MaxResplits int
+	// MinCoverage, when positive, is forwarded to every walker's flatness
+	// gate (wanglandau.Options.MinCoverage) so the telemetry the
+	// controller acts on cannot report a sliver-covered histogram as
+	// flat. It stays off by default: the denominator is the window's full
+	// bin grid, and on sparse spectra (few physically reachable energies
+	// per window — the exactly-enumerable validation systems) even a
+	// fully explored walker may never reach a fixed fraction of the grid,
+	// which would stall stages forever. Opt in only when the window grid
+	// is known to be densely reachable.
+	MinCoverage float64
+}
+
+func (o *AdaptiveOptions) setDefaults() {
+	if !o.Enabled {
+		return
+	}
+	if o.RebalanceEvery == 0 {
+		o.RebalanceEvery = 10
+	}
+	if o.StageLag == 0 {
+		o.StageLag = 2
+	}
+	if o.Resplit && o.MaxResplits == 0 {
+		o.MaxResplits = 1
+	}
+}
+
+// WindowTelemetry is one window's convergence snapshot, collected at the
+// exchange-round barrier.
+type WindowTelemetry struct {
+	Window    int     // window index in the current layout
+	Round     int     // round the snapshot was taken after
+	Stage     int     // completed ln f stages
+	LnF       float64 // current modification factor
+	Flatness  float64 // worst min/mean visit ratio over live walkers
+	Coverage  float64 // worst visited-bin fraction over live walkers
+	Walkers   int     // live walkers
+	Sweeps    int64   // cumulative sweeps (including retired walkers')
+	SweepRate float64 // sweeps gained since the previous snapshot
+	Converged bool
+	Degraded  bool
+}
+
+// MigrationEvent is one adaptive controller decision, recorded for audit
+// and for the determinism tests: a fixed seed reproduces the exact trace.
+type MigrationEvent struct {
+	Round int
+	Kind  string // "migrate" or "resplit"
+	From  int    // donor window (migrate) or split window (resplit)
+	To    int    // receiving window (migrate) or first child index (resplit)
+	Slot  int    // migrant's slot in To (migrate)
+	Gen   int    // migrant generation, the RNG stream key component
+}
+
+// migrantSeed derives the RNG stream seed for a migrant walker from the
+// run seed and the (window, slot, generation) key, so migrant streams are
+// reproducible and disjoint from the jump-separated static streams.
+func migrantSeed(seed uint64, win, slot, gen int) uint64 {
+	h := seed ^ 0xada9717e5eed5afe
+	for _, v := range [3]uint64{uint64(win), uint64(slot), uint64(gen)} {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	return h
+}
+
+// collectTelemetry refreshes the per-window snapshots at the round
+// barrier. Sweep rates compare against the previous snapshot; everything
+// the adaptive controller *decides* on is checkpoint-covered state, so
+// the rate being informational-only keeps resumed runs bit-identical.
+func (st *runState) collectTelemetry(round int) {
+	nWin := len(st.windows)
+	if len(st.prevSweeps) != nWin {
+		st.prevSweeps = make([]int64, nWin)
+	}
+	telem := make([]WindowTelemetry, nWin)
+	for wi := range st.windows {
+		aw := aliveIn(st.walkers[wi], st.alive[wi])
+		t := WindowTelemetry{
+			Window:   wi,
+			Round:    round,
+			Stage:    st.stages[wi],
+			LnF:      st.lastLnF[wi],
+			Walkers:  len(aw),
+			Sweeps:   st.retiredSweeps[wi],
+			Degraded: len(aw) == 0,
+		}
+		flat, cov := math.Inf(1), math.Inf(1)
+		for _, w := range aw {
+			t.Sweeps += w.Sweeps()
+			if f := w.FlatnessRatio(); f < flat {
+				flat = f
+			}
+			if c := w.Coverage(); c < cov {
+				cov = c
+			}
+		}
+		if len(aw) > 0 {
+			t.Flatness, t.Coverage = flat, cov
+			t.LnF = aw[0].LnF()
+			t.Converged = windowConverged(aw)
+		}
+		t.SweepRate = float64(t.Sweeps - st.prevSweeps[wi])
+		st.prevSweeps[wi] = t.Sweeps
+		telem[wi] = t
+	}
+	st.telem = telem
+}
+
+// adapt is the rebalancing controller, invoked at the round barrier every
+// RebalanceEvery rounds. It migrates at most one walker into each eligible
+// straggler window per invocation, then considers one re-split.
+func (st *runState) adapt(m *alloy.Model, newProposal ProposalFactory, opts Options, round int, res *Result) error {
+	ad := opts.Adaptive
+	maxWalk := ad.MaxWalkersPerWindow
+	if maxWalk == 0 {
+		maxWalk = 2 * opts.WalkersPerWindow
+	}
+
+	classify := func() (live []int, conv []bool, lead int) {
+		nWin := len(st.windows)
+		live = make([]int, nWin)
+		conv = make([]bool, nWin)
+		lead = -1
+		for wi := range st.windows {
+			aw := aliveIn(st.walkers[wi], st.alive[wi])
+			live[wi] = len(aw)
+			conv[wi] = len(aw) > 0 && windowConverged(aw)
+			if live[wi] > 0 && !conv[wi] && st.stages[wi] > lead {
+				lead = st.stages[wi]
+			}
+		}
+		return live, conv, lead
+	}
+	live, conv, lead := classify()
+
+	// Stragglers: live, unconverged windows trailing the most advanced
+	// unconverged window by ≥ StageLag stages — or any live unconverged
+	// window when a converged donor exists (converged windows are
+	// infinitely far ahead). Worst first: lowest stage, then worst
+	// flatness, then window index, all checkpoint-covered or derived
+	// deterministically from walker state.
+	anyConverged := false
+	for wi := range conv {
+		if conv[wi] && live[wi] > 0 {
+			anyConverged = true
+			break
+		}
+	}
+	var stragglers []int
+	for wi := range st.windows {
+		if live[wi] == 0 || conv[wi] || live[wi] >= maxWalk {
+			continue
+		}
+		if lead-st.stages[wi] >= ad.StageLag || anyConverged {
+			stragglers = append(stragglers, wi)
+		}
+	}
+	for i := 1; i < len(stragglers); i++ { // insertion sort, deterministic
+		for j := i; j > 0; j-- {
+			a, b := stragglers[j-1], stragglers[j]
+			if st.stages[a] < st.stages[b] ||
+				(st.stages[a] == st.stages[b] && st.telem[a].Flatness <= st.telem[b].Flatness) {
+				break
+			}
+			stragglers[j-1], stragglers[j] = b, a
+		}
+	}
+
+	for _, s := range stragglers {
+		// Donor preference: nearest converged window (steering a
+		// configuration across few window boundaries is cheap), else the
+		// furthest-ahead unconverged window that can spare a walker.
+		from := -1
+		bestDist := math.MaxInt32
+		for wi := range st.windows {
+			if conv[wi] && live[wi] > 0 {
+				if d := abs(wi - s); d < bestDist {
+					from, bestDist = wi, d
+				}
+			}
+		}
+		retire := -1
+		if from < 0 {
+			bestStage := -1
+			for wi := range st.windows {
+				if wi == s || conv[wi] || live[wi] < 2 {
+					continue
+				}
+				if st.stages[wi]-st.stages[s] >= ad.StageLag && st.stages[wi] > bestStage {
+					from, bestStage = wi, st.stages[wi]
+				}
+			}
+			if from >= 0 {
+				// Retire the donor's highest live slot (migrants before
+				// original walkers), leaving at least one walker so the
+				// donor can never degrade.
+				for k := len(st.alive[from]) - 1; k >= 0; k-- {
+					if st.alive[from][k] {
+						retire = k
+						break
+					}
+				}
+			}
+		}
+		if from < 0 {
+			continue
+		}
+		donorIdx := firstAlive(st.alive[from])
+		if retire >= 0 {
+			donorIdx = retire
+		}
+		donor := st.walkers[from][donorIdx]
+		ref := st.walkers[s][firstAlive(st.alive[s])]
+		slot, err := st.spawnMigrant(m, newProposal, opts, s, donor.Config().Clone(),
+			st.frozen[s], ref.LnF(), ref.Steps(), ref.InOneOverTPhase())
+		if err != nil {
+			return err
+		}
+		if retire >= 0 {
+			st.alive[from][retire] = false
+			st.retired[from][retire] = true
+			st.retiredSweeps[from] += st.walkers[from][retire].Sweeps()
+		}
+		st.migrations++
+		res.Migrations++
+		ev := MigrationEvent{Round: round, Kind: "migrate", From: from, To: s, Slot: slot, Gen: st.gen}
+		st.events = append(st.events, ev)
+		res.Events = append(res.Events, ev)
+		live, conv, lead = classify()
+	}
+
+	if ad.Resplit && st.resplits < ad.MaxResplits {
+		if err := st.resplitSlowest(m, newProposal, opts, round, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// resplitSlowest replaces the slowest unconverged window with two
+// overlapping sub-windows on the same bin grid, each covering ~60% of the
+// parent's bins, seeded from the parent's consensus ln g. Fewer bins per
+// window flatten faster, which is the whole point.
+func (st *runState) resplitSlowest(m *alloy.Model, newProposal ProposalFactory, opts Options, round int, res *Result) error {
+	ad := opts.Adaptive
+	// Slowest: minimum stage among live unconverged windows, ties broken
+	// by worst flatness then index — and it must genuinely trail the rest.
+	target, lead := -1, -1
+	for wi := range st.windows {
+		aw := aliveIn(st.walkers[wi], st.alive[wi])
+		if len(aw) == 0 {
+			continue
+		}
+		if windowConverged(aw) {
+			continue
+		}
+		if st.stages[wi] > lead {
+			lead = st.stages[wi]
+		}
+		if target < 0 || st.stages[wi] < st.stages[target] ||
+			(st.stages[wi] == st.stages[target] && st.telem[wi].Flatness < st.telem[target].Flatness) {
+			target = wi
+		}
+	}
+	if target < 0 || lead-st.stages[target] < ad.StageLag {
+		return nil
+	}
+	win := st.windows[target]
+	b := win.Bins
+	if b < 8 || len(st.frozen[target]) != b {
+		return nil
+	}
+	cBins := b * 3 / 5
+	if 2*cBins-b < 1 {
+		cBins = b/2 + 1
+	}
+	if cBins < 2 || cBins >= b {
+		return nil
+	}
+	// Reachability guard, from the parent's frozen consensus (-Inf bins
+	// have never been visited): each child needs ≥2 reachable bins for its
+	// walker to ever satisfy flatness, and the children's shared region
+	// needs ≥1 so dos.Merge can stitch them back together. On sparse
+	// spectra the geometric midpoint of a window can be physically empty —
+	// splitting there would orphan the children permanently.
+	reachable := func(lo, hi int) int {
+		n := 0
+		for i := lo; i < hi; i++ {
+			if !math.IsInf(st.frozen[target][i], -1) {
+				n++
+			}
+		}
+		return n
+	}
+	if reachable(0, cBins) < 2 || reachable(b-cBins, b) < 2 || reachable(b-cBins, cBins) < 1 {
+		return nil
+	}
+	binW := (win.EMax - win.EMin) / float64(b)
+	c0 := wanglandau.Window{EMin: win.EMin, EMax: win.EMin + float64(cBins)*binW, Bins: cBins}
+	c1 := wanglandau.Window{EMin: win.EMin + float64(b-cBins)*binW, EMax: win.EMax, Bins: cBins}
+
+	// Capture parent state before splicing it out.
+	parentAlive := aliveIn(st.walkers[target], st.alive[target])
+	ref := parentAlive[0]
+	var parentSweeps int64 = st.retiredSweeps[target]
+	for _, w := range parentAlive {
+		parentSweeps += w.Sweeps()
+	}
+	cfg0 := ref.Config().Clone()
+	cfg1 := ref.Config().Clone()
+	frozen0 := append([]float64(nil), st.frozen[target][:cBins]...)
+	frozen1 := append([]float64(nil), st.frozen[target][b-cBins:]...)
+	lnF := st.lastLnF[target]
+	steps, in1t := ref.Steps(), ref.InOneOverTPhase()
+	stage := st.stages[target]
+
+	// Splice the per-window arrays: parent out, two children in. The
+	// children inherit the parent's stage and ln f; the parent's sweep
+	// budget is accounted to the first child so totals stay exact.
+	st.windows = spliceAny(st.windows, target, c0, c1)
+	st.walkers = spliceAny(st.walkers, target, nil, nil)
+	st.alive = spliceAny(st.alive, target, nil, nil)
+	st.replicaID = spliceAny(st.replicaID, target, nil, nil)
+	st.retired = spliceAny(st.retired, target, nil, nil)
+	st.frozen = spliceAny(st.frozen, target, frozen0, frozen1)
+	st.lastLnF = spliceAny(st.lastLnF, target, lnF, lnF)
+	st.stages = spliceAny(st.stages, target, stage, stage)
+	st.retiredSweeps = spliceAny(st.retiredSweeps, target, parentSweeps, 0)
+	st.prevSweeps = spliceAny(st.prevSweeps, target, 0, 0)
+	telem := st.telem[target]
+	telem.Window = target
+	st.telem = spliceAny(st.telem, target, telem, telem)
+	for i := range st.telem {
+		st.telem[i].Window = i
+	}
+
+	if _, err := st.spawnMigrant(m, newProposal, opts, target, cfg0, frozen0, lnF, steps, in1t); err != nil {
+		return err
+	}
+	if _, err := st.spawnMigrant(m, newProposal, opts, target+1, cfg1, frozen1, lnF, steps, in1t); err != nil {
+		return err
+	}
+	st.resplits++
+	res.Resplits++
+	ev := MigrationEvent{Round: round, Kind: "resplit", From: target, To: target, Gen: st.gen}
+	st.events = append(st.events, ev)
+	res.Events = append(res.Events, ev)
+	return nil
+}
+
+// spawnMigrant creates a walker in window `to` at the next slot, with an
+// RNG stream keyed by (window, slot, generation), a configuration steered
+// into the window (falling back to a live peer's configuration when
+// steering fails), and the window's consensus ln g adopted so the migrant
+// contributes statistics instead of relearning. Returns the slot used.
+func (st *runState) spawnMigrant(m *alloy.Model, newProposal ProposalFactory, opts Options, to int,
+	cfg lattice.Config, logG []float64, lnF float64, steps int64, oneOverT bool) (int, error) {
+	win := st.windows[to]
+	slot := len(st.walkers[to])
+	st.gen++
+	src := rng.New(migrantSeed(opts.Seed, to, slot, st.gen))
+	if _, err := wanglandau.PrepareInWindow(m, cfg, win, src, opts.PrepareSweeps); err != nil {
+		k := firstAlive(st.alive[to])
+		if k < 0 {
+			return -1, fmt.Errorf("rewl: adaptive migrant for window %d: %w", to, err)
+		}
+		cfg = st.walkers[to][k].Config().Clone()
+	}
+	w, err := wanglandau.NewWalker(m, cfg, newProposal(to, slot, src), src, win, opts.WL)
+	if err != nil {
+		return -1, fmt.Errorf("rewl: adaptive migrant for window %d: %w", to, err)
+	}
+	if len(logG) == win.Bins {
+		if err := w.AdoptConsensus(logG, lnF, steps, oneOverT); err != nil {
+			return -1, err
+		}
+	}
+	st.walkers[to] = append(st.walkers[to], w)
+	st.alive[to] = append(st.alive[to], true)
+	st.retired[to] = append(st.retired[to], false)
+	// New replica id for the migrant's configuration; it participates in
+	// round-trip accounting from here on.
+	id := len(st.lastExtreme)
+	st.lastExtreme = append(st.lastExtreme, 0)
+	st.replicaID[to] = append(st.replicaID[to], id)
+	return slot, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// spliceAny replaces element i of s with the two values a and b.
+func spliceAny[T any](s []T, i int, a, b T) []T {
+	out := make([]T, 0, len(s)+1)
+	out = append(out, s[:i]...)
+	out = append(out, a, b)
+	return append(out, s[i+1:]...)
+}

@@ -43,7 +43,10 @@ const checkpointVersion = 1
 
 // checkpoint is the serialized run state. Dead walker slots hold the zero
 // WalkerState (gob cannot encode nil pointers) and are skipped on restore
-// via the Alive mask.
+// via the Alive mask. The adaptive fields (OneOverT, Adaptive, Gen,
+// Retired, RetiredSweeps, Migrations, Resplits, Events) decode as zero
+// values from checkpoints written before they existed, which is exactly
+// the state of a run that never used those features.
 type checkpoint struct {
 	Version int
 	Seed    uint64
@@ -64,31 +67,63 @@ type checkpoint struct {
 	ExchangeAccept int64
 	RoundTrips     int64
 	FailedWalkers  int
+
+	// OneOverT records the modification-factor schedule the run was
+	// started with; a resume under the other schedule would silently
+	// diverge, so it is rejected instead.
+	OneOverT bool
+	// Adaptive marks a run with the rebalancing controller enabled: its
+	// window layout (after re-splits) and walker slices (after
+	// migrations) are authoritative over the caller's.
+	Adaptive      bool
+	Gen           int // migrant generation counter
+	Retired       [][]bool
+	RetiredSweeps []int64
+	Migrations    int
+	Resplits      int
+	Events        []MigrationEvent
 }
 
-func (ck *checkpoint) validate(windows []wanglandau.Window, nWalk int) error {
+func (ck *checkpoint) validate(windows []wanglandau.Window, nWalk int, oneOverT bool) error {
 	if ck.Version != checkpointVersion {
 		return fmt.Errorf("rewl: checkpoint version %d, want %d", ck.Version, checkpointVersion)
 	}
-	if len(ck.Windows) != len(windows) || ck.NWalk != nWalk {
-		return fmt.Errorf("rewl: checkpoint is for %d windows × %d walkers, run has %d × %d",
-			len(ck.Windows), ck.NWalk, len(windows), nWalk)
+	if ck.OneOverT != oneOverT {
+		return fmt.Errorf("rewl: checkpoint was written with OneOverT=%v, run has %v", ck.OneOverT, oneOverT)
 	}
-	for i := range windows {
-		if ck.Windows[i] != windows[i] {
-			return fmt.Errorf("rewl: checkpoint window %d is [%g,%g)×%d, run has [%g,%g)×%d",
-				i, ck.Windows[i].EMin, ck.Windows[i].EMax, ck.Windows[i].Bins,
-				windows[i].EMin, windows[i].EMax, windows[i].Bins)
+	if ck.NWalk != nWalk {
+		return fmt.Errorf("rewl: checkpoint is for %d walkers per window, run has %d", ck.NWalk, nWalk)
+	}
+	if !ck.Adaptive {
+		// A static run's layout must match the caller's exactly. An
+		// adaptive run's layout is authoritative (re-splits change it);
+		// only the covered energy range must agree, checked by the caller.
+		if len(ck.Windows) != len(windows) {
+			return fmt.Errorf("rewl: checkpoint is for %d windows, run has %d", len(ck.Windows), len(windows))
+		}
+		for i := range windows {
+			if ck.Windows[i] != windows[i] {
+				return fmt.Errorf("rewl: checkpoint window %d is [%g,%g)×%d, run has [%g,%g)×%d",
+					i, ck.Windows[i].EMin, ck.Windows[i].EMax, ck.Windows[i].Bins,
+					windows[i].EMin, windows[i].EMax, windows[i].Bins)
+			}
 		}
 	}
-	nWin := len(windows)
+	nWin := len(ck.Windows)
 	if len(ck.Alive) != nWin || len(ck.Walkers) != nWin || len(ck.FrozenLogG) != nWin ||
 		len(ck.LastLnF) != nWin || len(ck.Stages) != nWin || len(ck.ReplicaID) != nWin {
 		return fmt.Errorf("rewl: checkpoint arrays inconsistent with %d windows", nWin)
 	}
 	for wi := 0; wi < nWin; wi++ {
-		if len(ck.Alive[wi]) != nWalk || len(ck.Walkers[wi]) != nWalk || len(ck.ReplicaID[wi]) != nWalk {
+		n := len(ck.Walkers[wi])
+		if n < 1 || len(ck.Alive[wi]) != n || len(ck.ReplicaID[wi]) != n {
+			return fmt.Errorf("rewl: checkpoint window %d arrays inconsistent (%d walkers)", wi, n)
+		}
+		if !ck.Adaptive && n != nWalk {
 			return fmt.Errorf("rewl: checkpoint window %d arrays inconsistent with %d walkers", wi, nWalk)
+		}
+		if len(ck.Retired) == nWin && len(ck.Retired[wi]) != 0 && len(ck.Retired[wi]) != n {
+			return fmt.Errorf("rewl: checkpoint window %d retired mask inconsistent", wi)
 		}
 	}
 	return nil
@@ -116,39 +151,44 @@ func loadCheckpoint(path string) (*checkpoint, error) {
 	return ck, nil
 }
 
-func snapshotCheckpoint(opts Options, windows []wanglandau.Window, nextRound int,
-	coord *rng.Source, walkers [][]*wanglandau.Walker, alive [][]bool,
-	frozen [][]float64, lastLnF []float64, stages []int,
-	replicaID [][]int, lastExtreme []uint8, res *Result) *checkpoint {
-	nWin := len(windows)
-	nWalk := opts.WalkersPerWindow
+func snapshotCheckpoint(opts Options, st *runState, nextRound int, res *Result) *checkpoint {
+	nWin := len(st.windows)
 	ck := &checkpoint{
 		Version:        checkpointVersion,
 		Seed:           opts.Seed,
-		Windows:        append([]wanglandau.Window(nil), windows...),
-		NWalk:          nWalk,
+		Windows:        append([]wanglandau.Window(nil), st.windows...),
+		NWalk:          opts.WalkersPerWindow,
 		Round:          nextRound,
-		Coord:          coord.State(),
+		Coord:          st.coord.State(),
 		Alive:          make([][]bool, nWin),
 		Walkers:        make([][]wanglandau.WalkerState, nWin),
 		FrozenLogG:     make([][]float64, nWin),
-		LastLnF:        append([]float64(nil), lastLnF...),
-		Stages:         append([]int(nil), stages...),
+		LastLnF:        append([]float64(nil), st.lastLnF...),
+		Stages:         append([]int(nil), st.stages...),
 		ReplicaID:      make([][]int, nWin),
-		LastExtreme:    append([]uint8(nil), lastExtreme...),
+		LastExtreme:    append([]uint8(nil), st.lastExtreme...),
 		ExchangeTried:  res.ExchangeTried,
 		ExchangeAccept: res.ExchangeAccept,
 		RoundTrips:     res.RoundTrips,
 		FailedWalkers:  res.FailedWalkers,
+		OneOverT:       opts.WL.OneOverT,
+		Adaptive:       opts.Adaptive.Enabled,
+		Gen:            st.gen,
+		Retired:        make([][]bool, nWin),
+		RetiredSweeps:  append([]int64(nil), st.retiredSweeps...),
+		Migrations:     res.Migrations,
+		Resplits:       res.Resplits,
+		Events:         append([]MigrationEvent(nil), res.Events...),
 	}
 	for wi := 0; wi < nWin; wi++ {
-		ck.Alive[wi] = append([]bool(nil), alive[wi]...)
-		ck.ReplicaID[wi] = append([]int(nil), replicaID[wi]...)
-		ck.FrozenLogG[wi] = append([]float64(nil), frozen[wi]...)
-		ck.Walkers[wi] = make([]wanglandau.WalkerState, nWalk)
-		for k := 0; k < nWalk; k++ {
-			if alive[wi][k] && walkers[wi][k] != nil {
-				ck.Walkers[wi][k] = walkers[wi][k].State()
+		ck.Alive[wi] = append([]bool(nil), st.alive[wi]...)
+		ck.ReplicaID[wi] = append([]int(nil), st.replicaID[wi]...)
+		ck.FrozenLogG[wi] = append([]float64(nil), st.frozen[wi]...)
+		ck.Retired[wi] = append([]bool(nil), st.retired[wi]...)
+		ck.Walkers[wi] = make([]wanglandau.WalkerState, len(st.walkers[wi]))
+		for k := range st.walkers[wi] {
+			if st.alive[wi][k] && st.walkers[wi][k] != nil {
+				ck.Walkers[wi][k] = st.walkers[wi][k].State()
 			}
 		}
 	}
@@ -156,8 +196,12 @@ func snapshotCheckpoint(opts Options, windows []wanglandau.Window, nextRound int
 }
 
 // runState is the in-memory state RunContext's round loop operates on,
-// built either fresh or from a checkpoint.
+// built either fresh or from a checkpoint. The adaptive controller
+// mutates it in place — appending migrant walkers, retiring donors,
+// splicing re-split windows — so the round loop reads everything through
+// st rather than caching slices.
 type runState struct {
+	windows     []wanglandau.Window
 	walkers     [][]*wanglandau.Walker
 	alive       [][]bool
 	coord       *rng.Source
@@ -173,6 +217,20 @@ type runState struct {
 	exchangeAccept int64
 	roundTrips     int64
 	failedWalkers  int
+
+	// Adaptive-parallelisation state. retired marks walkers the
+	// controller removed on purpose (not failures); retiredSweeps banks
+	// their sweep counts so per-window totals stay exact; gen is the
+	// migrant generation counter that keys migrant RNG streams; telem and
+	// prevSweeps feed the per-round telemetry.
+	retired       [][]bool
+	retiredSweeps []int64
+	gen           int
+	migrations    int
+	resplits      int
+	events        []MigrationEvent
+	telem         []WindowTelemetry
+	prevSweeps    []int64
 }
 
 func buildRunState(m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.Window, newProposal ProposalFactory, opts Options) (*runState, error) {
@@ -192,12 +250,15 @@ func buildRunState(m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.
 	}
 
 	st := &runState{
-		coord:   nil,
-		alive:   make([][]bool, nWin),
-		walkers: make([][]*wanglandau.Walker, nWin),
-		stages:  make([]int, nWin),
-		frozen:  make([][]float64, nWin),
-		lastLnF: make([]float64, nWin),
+		windows:       append([]wanglandau.Window(nil), windows...),
+		coord:         nil,
+		alive:         make([][]bool, nWin),
+		walkers:       make([][]*wanglandau.Walker, nWin),
+		stages:        make([]int, nWin),
+		frozen:        make([][]float64, nWin),
+		lastLnF:       make([]float64, nWin),
+		retired:       make([][]bool, nWin),
+		retiredSweeps: make([]int64, nWin),
 	}
 	streams := rng.NewStreams(opts.Seed, nWin*nWalk+1)
 	st.coord = streams[nWin*nWalk] // coordinator stream for exchange decisions
@@ -207,6 +268,7 @@ func buildRunState(m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.
 	for wi, win := range windows {
 		st.walkers[wi] = make([]*wanglandau.Walker, nWalk)
 		st.alive[wi] = make([]bool, nWalk)
+		st.retired[wi] = make([]bool, nWalk)
 		for k := 0; k < nWalk; k++ {
 			src := streams[wi*nWalk+k]
 			cfg := seedCfg.Clone()
@@ -240,12 +302,18 @@ func buildRunState(m *alloy.Model, seedCfg lattice.Config, windows []wanglandau.
 }
 
 func resumeRunState(m *alloy.Model, windows []wanglandau.Window, newProposal ProposalFactory, opts Options, ck *checkpoint) (*runState, error) {
-	nWin := len(windows)
-	nWalk := opts.WalkersPerWindow
-	if err := ck.validate(windows, nWalk); err != nil {
+	if err := ck.validate(windows, opts.WalkersPerWindow, opts.WL.OneOverT); err != nil {
 		return nil, err
 	}
+	if ck.Adaptive != opts.Adaptive.Enabled {
+		return nil, fmt.Errorf("rewl: checkpoint was written with Adaptive=%v, run has %v", ck.Adaptive, opts.Adaptive.Enabled)
+	}
+	// An adaptive run's checkpoint carries the authoritative window layout
+	// (re-splits change it) and walker-slice lengths (migrations grow
+	// them); a static run's layout was verified to match the caller's.
+	nWin := len(ck.Windows)
 	st := &runState{
+		windows:        append([]wanglandau.Window(nil), ck.Windows...),
 		coord:          rng.FromState(ck.Coord),
 		alive:          ck.Alive,
 		walkers:        make([][]*wanglandau.Walker, nWin),
@@ -260,6 +328,18 @@ func resumeRunState(m *alloy.Model, windows []wanglandau.Window, newProposal Pro
 		exchangeAccept: ck.ExchangeAccept,
 		roundTrips:     ck.RoundTrips,
 		failedWalkers:  ck.FailedWalkers,
+		retired:        ck.Retired,
+		retiredSweeps:  ck.RetiredSweeps,
+		gen:            ck.Gen,
+		migrations:     ck.Migrations,
+		resplits:       ck.Resplits,
+		events:         ck.Events,
+	}
+	if len(st.retired) != nWin {
+		st.retired = make([][]bool, nWin)
+	}
+	if len(st.retiredSweeps) != nWin {
+		st.retiredSweeps = make([]int64, nWin)
 	}
 	// Proposal factories may consume RNG draws at construction (the VAE
 	// global proposal clones network weights, re-running initialization);
@@ -268,8 +348,12 @@ func resumeRunState(m *alloy.Model, windows []wanglandau.Window, newProposal Pro
 	// chains are bit-identical regardless of what the factory drew.
 	throwaway := rng.New(ck.Seed ^ 0x5ca1ab1edeadbeef)
 	for wi := range st.walkers {
-		st.walkers[wi] = make([]*wanglandau.Walker, nWalk)
-		for k := 0; k < nWalk; k++ {
+		n := len(ck.Walkers[wi])
+		st.walkers[wi] = make([]*wanglandau.Walker, n)
+		if len(st.retired[wi]) != n {
+			st.retired[wi] = make([]bool, n)
+		}
+		for k := 0; k < n; k++ {
 			if !st.alive[wi][k] {
 				continue
 			}

@@ -62,6 +62,12 @@ type distCheckpoint struct {
 	Alive   [][]bool                   // owned windows, indexed wi-lo
 	Walkers [][]wanglandau.WalkerState // likewise
 
+	// OneOverT records the modification-factor schedule the run used;
+	// decodes as false from pre-schedule checkpoints. Restoring under the
+	// other schedule is rejected (restoreOwnerState) rather than letting
+	// the world silently diverge.
+	OneOverT bool
+
 	HasCoord bool
 	Coord    distCoordState
 }
@@ -130,9 +136,10 @@ func (o *ownerState) saveDistCheckpoint(nextRound, rank, size int, coord *distCo
 		NWalk:   o.opts.WalkersPerWindow,
 		Rank:    rank,
 		Size:    size,
-		Round:   nextRound,
-		Alive:   make([][]bool, hiLen(o)),
-		Walkers: make([][]wanglandau.WalkerState, hiLen(o)),
+		Round:    nextRound,
+		Alive:    make([][]bool, hiLen(o)),
+		Walkers:  make([][]wanglandau.WalkerState, hiLen(o)),
+		OneOverT: o.opts.WL.OneOverT,
 	}
 	for i := range o.walkers {
 		ck.Alive[i] = append([]bool(nil), o.alive[i]...)
@@ -160,6 +167,9 @@ func hiLen(o *ownerState) int { return o.hi - o.lo }
 // the same throwaway-stream trick resumeRunState uses for proposal
 // factories.
 func restoreOwnerState(m *alloy.Model, windows []wanglandau.Window, newProposal ProposalFactory, opts Options, lo, hi int, ck *distCheckpoint) (*ownerState, error) {
+	if ck.OneOverT != opts.WL.OneOverT {
+		return nil, fmt.Errorf("rewl: rank %d checkpoint was written with OneOverT=%v, run has %v", ck.Rank, ck.OneOverT, opts.WL.OneOverT)
+	}
 	o := &ownerState{m: m, opts: opts, windows: windows, lo: lo, hi: hi}
 	throwaway := rng.New(ck.Seed ^ 0x5ca1ab1edeadbeef)
 	for wi := lo; wi < hi; wi++ {

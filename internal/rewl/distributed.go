@@ -147,6 +147,12 @@ func RunDistributed(ctx context.Context, ep transport.Endpoint, m *alloy.Model, 
 	if size == 1 {
 		return RunContext(ctx, m, seedCfg, windows, newProposal, opts)
 	}
+	if opts.Adaptive.Enabled {
+		// Walker migration and window re-splitting reshape the global
+		// layout mid-run; the rank↔window ownership protocol has no moves
+		// for that. 1/t (Options.OneOverT) is fully supported distributed.
+		return nil, fmt.Errorf("rewl: adaptive rebalancing requires the single-process driver (world size 1)")
+	}
 	if size > len(windows) {
 		return nil, fmt.Errorf("rewl: world of %d ranks cannot shard %d windows", size, len(windows))
 	}

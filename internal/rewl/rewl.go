@@ -63,6 +63,24 @@ type Options struct {
 	WL               wanglandau.Options
 	PrepareSweeps    int // sweeps allowed to steer a config into its window (default 2000)
 
+	// OneOverT switches every walker to the Belardinelli-Pereyra 1/t
+	// modification-factor schedule (wanglandau.Options.OneOverT): the
+	// flatness-driven halving hands over to ln f = bins/steps once halving
+	// would undershoot it, removing the late-stage saturation stall. The
+	// flag is plumbed into every walker — serial, distributed, and
+	// checkpoint-restored alike — and recorded in checkpoints so a resume
+	// with a mismatched schedule fails loudly instead of silently
+	// diverging. (Setting WL.OneOverT directly is equivalent.)
+	OneOverT bool
+
+	// Adaptive configures the adaptive parallelisation layer: per-round
+	// convergence telemetry, deterministic walker rebalancing from
+	// converged/fast windows into stragglers, and optional dynamic
+	// re-splitting of the slowest window. Zero value disables the layer
+	// entirely, preserving the static driver bit-for-bit. Only the
+	// single-process driver supports it; RunDistributed rejects it.
+	Adaptive AdaptiveOptions
+
 	// CheckpointDir enables checkpoint/restart: the run state is written
 	// atomically to CheckpointDir/rewl.ckpt every CheckpointEvery rounds
 	// (default 10 when a dir is set). Empty disables checkpointing.
@@ -121,13 +139,56 @@ func (o *Options) setDefaults() {
 	if o.CheckpointDir != "" && o.CheckpointRetain == 0 {
 		o.CheckpointRetain = defaultCheckpointRetain
 	}
+	if o.OneOverT {
+		o.WL.OneOverT = true
+	}
+	o.Adaptive.setDefaults()
+	if o.Adaptive.Enabled && o.WL.MinCoverage == 0 && o.Adaptive.MinCoverage > 0 {
+		// When the caller opts into the coverage gate at the adaptive
+		// layer, forward it to every walker so the flatness telemetry the
+		// controller acts on cannot report a sliver-covered histogram as
+		// flat. An explicit wanglandau-level setting wins.
+		o.WL.MinCoverage = o.Adaptive.MinCoverage
+	}
+}
+
+// WindowLayout reports what a window split actually achieved on the bin
+// grid. DOS stitching (dos.Merge) needs at least one shared bin between
+// every adjacent pair, and integer flooring can push the achieved overlap
+// well below the requested fraction, so callers that care should read the
+// achieved numbers rather than trust the request.
+type WindowLayout struct {
+	Windows   []wanglandau.Window
+	TotalBins int // bins covering [eMin, eMax) at binWidth
+	WindowBins int // bins per window
+	StrideBins int // bin offset between adjacent window starts
+	// SharedBins is the number of bins each adjacent pair shares
+	// (WindowBins - StrideBins); the constructor guarantees ≥ 1 whenever
+	// there is more than one window.
+	SharedBins int
+	// AchievedOverlap = SharedBins / WindowBins, the overlap fraction the
+	// integer layout actually delivers (0 for a single window).
+	AchievedOverlap float64
 }
 
 // SplitWindows partitions [eMin, eMax) into num overlapping windows on a
 // common bin grid of the given width. overlap is the fraction of each
 // window shared with its successor (the REWL literature standard is 0.75).
-// Window edges land on the bin grid so the merged DOS is well defined.
+// Window edges land on the bin grid so the merged DOS is well defined, and
+// every adjacent pair is guaranteed at least one shared bin — the invariant
+// DOS stitching rests on. Use SplitWindowsLayout to inspect the overlap the
+// integer bin layout actually achieved.
 func SplitWindows(eMin, eMax float64, num int, overlap, binWidth float64) ([]wanglandau.Window, error) {
+	layout, err := SplitWindowsLayout(eMin, eMax, num, overlap, binWidth)
+	if err != nil {
+		return nil, err
+	}
+	return layout.Windows, nil
+}
+
+// SplitWindowsLayout is SplitWindows with the achieved bin-grid layout
+// reported alongside the windows.
+func SplitWindowsLayout(eMin, eMax float64, num int, overlap, binWidth float64) (*WindowLayout, error) {
 	if num < 1 {
 		return nil, fmt.Errorf("rewl: need at least one window")
 	}
@@ -139,13 +200,28 @@ func SplitWindows(eMin, eMax float64, num int, overlap, binWidth float64) ([]wan
 		return nil, fmt.Errorf("rewl: %d bins cannot host %d windows", totalBins, num)
 	}
 	if num == 1 {
-		return []wanglandau.Window{{EMin: eMin, EMax: eMin + float64(totalBins)*binWidth, Bins: totalBins}}, nil
+		win := wanglandau.Window{EMin: eMin, EMax: eMin + float64(totalBins)*binWidth, Bins: totalBins}
+		return &WindowLayout{
+			Windows:    []wanglandau.Window{win},
+			TotalBins:  totalBins,
+			WindowBins: totalBins,
+		}, nil
 	}
 	// width + (num-1)·stride = total, stride = width·(1-overlap).
 	width := float64(totalBins) / (1 + float64(num-1)*(1-overlap))
 	stride := int(math.Floor(width * (1 - overlap)))
 	if stride < 1 {
 		stride = 1
+	}
+	// Shared bins between adjacent windows = wBins - stride
+	// = totalBins - stride·num. Flooring the stride does not guarantee this
+	// is positive (overlap→0 with totalBins divisible by num yields exactly
+	// zero shared bins), so clamp the stride to leave ≥ 1 shared bin.
+	if maxStride := (totalBins - 1) / num; stride > maxStride {
+		stride = maxStride
+	}
+	if stride < 1 {
+		return nil, fmt.Errorf("rewl: %d bins cannot give %d windows a shared bin each; more bins or fewer windows needed", totalBins, num)
 	}
 	wBins := totalBins - stride*(num-1)
 	if wBins < 2 {
@@ -160,7 +236,14 @@ func SplitWindows(eMin, eMax float64, num int, overlap, binWidth float64) ([]wan
 			Bins: wBins,
 		}
 	}
-	return windows, nil
+	return &WindowLayout{
+		Windows:         windows,
+		TotalBins:       totalBins,
+		WindowBins:      wBins,
+		StrideBins:      stride,
+		SharedBins:      wBins - stride,
+		AchievedOverlap: float64(wBins-stride) / float64(wBins),
+	}, nil
 }
 
 // WindowStat summarizes one window after the run.
@@ -204,6 +287,16 @@ type Result struct {
 	// the world back to a common checkpoint round and un-degraded the
 	// rank's windows.
 	Rejoins int
+	// Telemetry is the final per-window convergence snapshot, collected at
+	// the exchange-round barrier every round (windows follow the final
+	// layout, i.e. post-resplit indices, when adaptive re-splitting ran).
+	Telemetry []WindowTelemetry
+	// Migrations and Resplits count the adaptive controller's actions;
+	// Events is its full decision trace, deterministic under a fixed seed
+	// and reproduced bit-identically across checkpoint/resume.
+	Migrations int
+	Resplits   int
+	Events     []MigrationEvent
 }
 
 // ProposalFactory builds a fresh proposal for walker widx of window win.
@@ -227,21 +320,25 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 	if len(windows) == 0 {
 		return nil, fmt.Errorf("rewl: no windows")
 	}
-	nWin := len(windows)
 
 	st, err := buildRunState(m, seedCfg, windows, newProposal, opts)
 	if err != nil {
 		return nil, err
 	}
-	walkers, alive, coord := st.walkers, st.alive, st.coord
-	stages, replicaID, lastExtreme := st.stages, st.replicaID, st.lastExtreme
-	frozen, lastLnF := st.frozen, st.lastLnF
+	// Window layout and all per-window arrays live on st: adaptive
+	// rebalancing appends migrant walkers and re-splitting replaces a
+	// window with two sub-windows mid-run, so everything below indexes
+	// st.windows and friends directly, never the caller's slice.
+	coord := st.coord
 
-	res := &Result{Windows: make([]WindowStat, nWin), Rounds: st.startRound, Resumed: st.resumed}
+	res := &Result{Rounds: st.startRound, Resumed: st.resumed}
 	res.ExchangeTried = st.exchangeTried
 	res.ExchangeAccept = st.exchangeAccept
 	res.RoundTrips = st.roundTrips
 	res.FailedWalkers = st.failedWalkers
+	res.Migrations = st.migrations
+	res.Resplits = st.resplits
+	res.Events = st.events
 
 	// The sweep phase already saturates the machine with one goroutine per
 	// walker, so declare a nested-parallel context for the duration of the
@@ -257,7 +354,7 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 		}
 		res.Rounds = round + 1
 
-		res.FailedWalkers += sweepPhase(ctx, opts, 0, walkers, alive)
+		res.FailedWalkers += sweepPhase(ctx, opts, 0, st.walkers, st.alive)
 		if ctx.Err() != nil {
 			// Cancelled mid-sweep: this round's sweeps are partial. Skip the
 			// coordination phase and, critically, the checkpoint — a
@@ -272,46 +369,50 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 		// 1. Within-window ln g averaging across walkers, then freeze the
 		// consensus so a window losing its last walker later still
 		// contributes its progress to the final merge.
-		for wi := range walkers {
-			mergeWindowDOS(aliveIn(walkers[wi], alive[wi]))
+		for wi := range st.walkers {
+			mergeWindowDOS(aliveIn(st.walkers[wi], st.alive[wi]))
 		}
-		for wi := range walkers {
-			if k := firstAlive(alive[wi]); k >= 0 {
-				frozen[wi] = append(frozen[wi][:0], walkers[wi][k].DOS().LogG...)
-				lastLnF[wi] = walkers[wi][k].LnF()
+		for wi := range st.walkers {
+			if k := firstAlive(st.alive[wi]); k >= 0 {
+				st.frozen[wi] = append(st.frozen[wi][:0], st.walkers[wi][k].DOS().LogG...)
+				st.lastLnF[wi] = st.walkers[wi][k].LnF()
 			}
 		}
+		// Convergence telemetry at the round barrier, input to the adaptive
+		// controller and the final report.
+		st.collectTelemetry(round + 1)
 		// 2. Replica exchange between adjacent windows; alternate pairing
 		// parity so every boundary is exercised. Replica ids travel with
 		// the configurations. Partners are drawn among each window's live
 		// walkers — with no faults this consumes the exact draw sequence
 		// of the fault-free driver.
+		nWin := len(st.windows)
 		for wi := round % 2; wi+1 < nWin; wi += 2 {
-			ia, ib := aliveIdx(alive[wi]), aliveIdx(alive[wi+1])
+			ia, ib := aliveIdx(st.alive[wi]), aliveIdx(st.alive[wi+1])
 			if len(ia) == 0 || len(ib) == 0 {
 				continue
 			}
 			ka, kb := ia[coord.Intn(len(ia))], ib[coord.Intn(len(ib))]
-			a := walkers[wi][ka]
-			b := walkers[wi+1][kb]
+			a := st.walkers[wi][ka]
+			b := st.walkers[wi+1][kb]
 			res.ExchangeTried++
 			if tryExchange(a, b, coord) {
 				res.ExchangeAccept++
-				replicaID[wi][ka], replicaID[wi+1][kb] = replicaID[wi+1][kb], replicaID[wi][ka]
+				st.replicaID[wi][ka], st.replicaID[wi+1][kb] = st.replicaID[wi+1][kb], st.replicaID[wi][ka]
 			}
 		}
 		// Round-trip accounting at the ladder's ends.
 		if nWin > 1 {
-			for _, k := range aliveIdx(alive[0]) {
-				r := replicaID[0][k]
-				if lastExtreme[r] == 2 {
+			for _, k := range aliveIdx(st.alive[0]) {
+				r := st.replicaID[0][k]
+				if st.lastExtreme[r] == 2 {
 					res.RoundTrips++
 				}
-				lastExtreme[r] = 1
+				st.lastExtreme[r] = 1
 			}
-			for _, k := range aliveIdx(alive[nWin-1]) {
-				if r := replicaID[nWin-1][k]; lastExtreme[r] == 1 {
-					lastExtreme[r] = 2
+			for _, k := range aliveIdx(st.alive[nWin-1]) {
+				if r := st.replicaID[nWin-1][k]; st.lastExtreme[r] == 1 {
+					st.lastExtreme[r] = 2
 				}
 			}
 		}
@@ -319,8 +420,8 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 		// walkers are flat. A degraded window (no survivors) is frozen and
 		// no longer gates completion.
 		allDone := true
-		for wi := range walkers {
-			aw := aliveIn(walkers[wi], alive[wi])
+		for wi := range st.walkers {
+			aw := aliveIn(st.walkers[wi], st.alive[wi])
 			if len(aw) == 0 {
 				continue
 			}
@@ -339,13 +440,22 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 				for _, w := range aw {
 					w.EndStage()
 				}
-				stages[wi]++
+				st.stages[wi]++
+			}
+		}
+
+		// 4. Adaptive rebalancing at the round barrier: purely a function
+		// of state that checkpoints capture, so a resumed run replays the
+		// same decisions. It runs before the checkpoint below, which
+		// therefore records the post-rebalance layout.
+		if opts.Adaptive.Enabled && !allDone && (round+1)%opts.Adaptive.RebalanceEvery == 0 {
+			if err := st.adapt(m, newProposal, opts, round+1, res); err != nil {
+				return nil, err
 			}
 		}
 
 		if opts.CheckpointDir != "" && (round+1)%opts.CheckpointEvery == 0 {
-			ck := snapshotCheckpoint(opts, windows, round+1, coord, walkers, alive,
-				frozen, lastLnF, stages, replicaID, lastExtreme, res)
+			ck := snapshotCheckpoint(opts, st, round+1, res)
 			if err := saveCheckpoint(CheckpointPath(opts.CheckpointDir), ck); err != nil {
 				return nil, fmt.Errorf("rewl: writing checkpoint: %w", err)
 			}
@@ -360,20 +470,22 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 	// Collect per-window results and merge. A degraded window contributes
 	// its frozen consensus; a window lost before any consensus existed
 	// contributes nothing (and the merge fails if that leaves a gap).
+	res.Windows = make([]WindowStat, len(st.windows))
+	res.Telemetry = append([]WindowTelemetry(nil), st.telem...)
 	var perWindow []*dos.LogDOS
-	for wi := range walkers {
-		aw := aliveIn(walkers[wi], alive[wi])
-		idx := firstAlive(alive[wi])
+	for wi := range st.walkers {
+		aw := aliveIn(st.walkers[wi], st.alive[wi])
+		idx := firstAlive(st.alive[wi])
 		var d *dos.LogDOS
 		switch {
 		case idx >= 0:
-			d = walkers[wi][idx].DOS().Clone()
-		case len(frozen[wi]) > 0:
-			win := windows[wi]
+			d = st.walkers[wi][idx].DOS().Clone()
+		case len(st.frozen[wi]) > 0:
+			win := st.windows[wi]
 			d = &dos.LogDOS{
 				EMin:     win.EMin,
 				BinWidth: (win.EMax - win.EMin) / float64(win.Bins),
-				LogG:     append([]float64(nil), frozen[wi]...),
+				LogG:     append([]float64(nil), st.frozen[wi]...),
 			}
 		}
 		degraded := idx < 0
@@ -381,7 +493,8 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 			res.DegradedWindows++
 			res.AllConverged = false
 		}
-		var sweeps, acc, prop int64
+		sweeps := st.retiredSweeps[wi]
+		var acc, prop int64
 		for _, w := range aw {
 			sweeps += w.Sweeps()
 			acc += w.Sampler().Accepted
@@ -391,18 +504,20 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 		if prop > 0 {
 			ratio = float64(acc) / float64(prop)
 		}
+		// Walkers the adaptive controller retired after migrating their
+		// budget elsewhere are not failures.
 		failed := 0
-		for _, a := range alive[wi] {
-			if !a {
+		for k, a := range st.alive[wi] {
+			if !a && !st.retired[wi][k] {
 				failed++
 			}
 		}
 		res.Windows[wi] = WindowStat{
-			Window:        windows[wi],
+			Window:        st.windows[wi],
 			Converged:     idx >= 0 && windowConverged(aw),
-			Stages:        stages[wi],
+			Stages:        st.stages[wi],
 			Sweeps:        sweeps,
-			FinalLnF:      lastLnFOr(lastLnF[wi], aw),
+			FinalLnF:      lastLnFOr(st.lastLnF[wi], aw),
 			AcceptRatio:   ratio,
 			Degraded:      degraded,
 			FailedWalkers: failed,
@@ -436,14 +551,23 @@ func RunContext(ctx context.Context, m *alloy.Model, seedCfg lattice.Config, win
 // walker's own sweep count, so it is independent of goroutine scheduling,
 // survives checkpoint/restart, and addresses the same walker whether the
 // windows run in one process (winOffset 0, all windows) or sharded across
-// transport ranks (winOffset = the rank's first window). Newly dead
-// walkers (crashes, panics, straggler timeouts) are cleared from alive;
-// the count of deaths is returned.
+// transport ranks (winOffset = the rank's first window). Walker slices may
+// be longer than WalkersPerWindow when the adaptive controller has
+// migrated walkers in; migrant slots (k ≥ WalkersPerWindow) carry slot -1,
+// which no chaos plan addresses, so fault plans keep targeting the static
+// population they were written against. Newly dead walkers (crashes,
+// panics, straggler timeouts) are cleared from alive; the count of deaths
+// is returned.
 func sweepPhase(ctx context.Context, opts Options, winOffset int, walkers [][]*wanglandau.Walker, alive [][]bool) int {
 	nWalk := opts.WalkersPerWindow
 	done := ctx.Done()
-	doneFlags := make([]atomic.Bool, len(walkers)*nWalk)
-	deadFlags := make([]atomic.Bool, len(walkers)*nWalk)
+	// Flat index over the (possibly ragged) walker slices.
+	offsets := make([]int, len(walkers)+1)
+	for wi := range walkers {
+		offsets[wi+1] = offsets[wi] + len(walkers[wi])
+	}
+	doneFlags := make([]atomic.Bool, offsets[len(walkers)])
+	deadFlags := make([]atomic.Bool, offsets[len(walkers)])
 
 	abandon := make(chan struct{})
 	var participants []int
@@ -453,8 +577,11 @@ func sweepPhase(ctx context.Context, opts Options, winOffset int, walkers [][]*w
 			if w == nil || !alive[wi][k] || w.Converged() {
 				continue
 			}
-			local := wi*nWalk + k
-			slot := (winOffset+wi)*nWalk + k
+			local := offsets[wi] + k
+			slot := -1
+			if k < nWalk {
+				slot = (winOffset+wi)*nWalk + k
+			}
 			doneFlags[local].Store(false)
 			deadFlags[local].Store(false)
 			participants = append(participants, local)
@@ -535,10 +662,9 @@ func sweepPhase(ctx context.Context, opts Options, winOffset int, walkers [][]*w
 		<-roundDone
 	}
 	failed := 0
-	for _, local := range participants {
-		if deadFlags[local].Load() {
-			wi, k := local/nWalk, local%nWalk
-			if alive[wi][k] {
+	for wi := range walkers {
+		for k := range walkers[wi] {
+			if deadFlags[offsets[wi]+k].Load() && alive[wi][k] {
 				alive[wi][k] = false
 				failed++
 			}

@@ -70,6 +70,131 @@ func TestSplitWindowsValidation(t *testing.T) {
 	}
 }
 
+// TestSplitWindowsZeroOverlap: overlap=0 historically floored the stride
+// so adjacent windows could share zero bins while DOS stitching assumes at
+// least one; the constructor must now deliver ≥1 shared bin and report the
+// overlap it actually achieved.
+func TestSplitWindowsZeroOverlap(t *testing.T) {
+	layout, err := SplitWindowsLayout(0, 1, 2, 0, 0.1) // 10 bins, 2 windows
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layout.SharedBins < 1 {
+		t.Fatalf("zero-overlap split shares %d bins", layout.SharedBins)
+	}
+	if layout.AchievedOverlap <= 0 {
+		t.Fatalf("achieved overlap %g not reported", layout.AchievedOverlap)
+	}
+	wins := layout.Windows
+	if wins[1].EMin >= wins[0].EMax-1e-12 {
+		t.Fatalf("windows [%g,%g) and [%g,%g) do not overlap",
+			wins[0].EMin, wins[0].EMax, wins[1].EMin, wins[1].EMax)
+	}
+	// The shared region must be stitchable by dos.Merge: build two LogDOS
+	// on the layout and check they align on at least one bin.
+	if layout.WindowBins-layout.StrideBins != layout.SharedBins {
+		t.Errorf("layout inconsistent: %d - %d != %d",
+			layout.WindowBins, layout.StrideBins, layout.SharedBins)
+	}
+}
+
+// TestSplitWindowsAdversarialCorners drives the bin-grid algebra through
+// the corners where integer flooring bites: minimal bins, many windows,
+// zero overlap, and the unsatisfiable cases that must error instead of
+// silently producing an unstitchable ladder.
+func TestSplitWindowsAdversarialCorners(t *testing.T) {
+	cases := []struct {
+		name    string
+		eMax    float64
+		num     int
+		overlap float64
+		wantErr bool
+	}{
+		{"two-zero-overlap", 1, 2, 0, false},
+		{"five-zero-overlap", 1, 5, 0, false},
+		{"nine-of-ten-bins", 1, 9, 0, false},
+		{"ten-of-ten-bins", 1, 10, 0, true},   // stride would need to be 0
+		{"three-of-three-bins", 0.3, 3, 0, true},
+		{"high-overlap-few-bins", 0.5, 4, 0.75, false},
+		{"exact-divisible", 1, 4, 0.5, false},
+	}
+	const binW = 0.1
+	for _, tc := range cases {
+		layout, err := SplitWindowsLayout(0, tc.eMax, tc.num, tc.overlap, binW)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("%s: expected error, got layout %+v", tc.name, layout)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		wins := layout.Windows
+		if len(wins) != tc.num {
+			t.Errorf("%s: %d windows, want %d", tc.name, len(wins), tc.num)
+		}
+		// Full-range coverage on the grid.
+		if wins[0].EMin != 0 {
+			t.Errorf("%s: first window starts at %g", tc.name, wins[0].EMin)
+		}
+		if last := wins[len(wins)-1].EMax; last < tc.eMax-1e-9 {
+			t.Errorf("%s: last window ends at %g, range ends at %g", tc.name, last, tc.eMax)
+		}
+		for i, w := range wins {
+			if w.Bins != layout.WindowBins || w.Bins < 2 {
+				t.Errorf("%s: window %d has %d bins (layout says %d)", tc.name, i, w.Bins, layout.WindowBins)
+			}
+			// Grid alignment of both edges.
+			for _, e := range []float64{w.EMin, w.EMax} {
+				off := e / binW
+				if math.Abs(off-math.Round(off)) > 1e-9 {
+					t.Errorf("%s: window %d edge %g off the bin grid", tc.name, i, e)
+				}
+			}
+			if i == 0 {
+				continue
+			}
+			// ≥1 shared grid bin between every adjacent pair — the DOS
+			// stitching invariant — and the reported achieved overlap.
+			sharedWidth := wins[i-1].EMax - w.EMin
+			shared := int(math.Round(sharedWidth / binW))
+			if shared < 1 {
+				t.Errorf("%s: windows %d,%d share %d bins", tc.name, i-1, i, shared)
+			}
+			if shared != layout.SharedBins {
+				t.Errorf("%s: windows %d,%d share %d bins, layout reports %d",
+					tc.name, i-1, i, shared, layout.SharedBins)
+			}
+		}
+		if want := float64(layout.SharedBins) / float64(layout.WindowBins); math.Abs(layout.AchievedOverlap-want) > 1e-12 {
+			t.Errorf("%s: achieved overlap %g, want %g", tc.name, layout.AchievedOverlap, want)
+		}
+	}
+}
+
+// TestSplitWindowsLayoutMatchesSplitWindows: the convenience wrapper and
+// the layout constructor must agree bin for bin.
+func TestSplitWindowsLayoutMatchesSplitWindows(t *testing.T) {
+	wins, err := SplitWindows(-10, 10, 4, 0.75, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := SplitWindowsLayout(-10, 10, 4, 0.75, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != len(layout.Windows) {
+		t.Fatalf("window counts differ: %d vs %d", len(wins), len(layout.Windows))
+	}
+	for i := range wins {
+		if wins[i] != layout.Windows[i] {
+			t.Errorf("window %d differs: %+v vs %+v", i, wins[i], layout.Windows[i])
+		}
+	}
+}
+
 // exact8 returns the 8-site binary validation system.
 func exact8(t testing.TB) (*alloy.Model, *dos.LogDOS) {
 	t.Helper()

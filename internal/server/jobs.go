@@ -96,6 +96,13 @@ type DOSSpec struct {
 	// model copies. Results are bit-identical either way; the engine's
 	// coalescing stats are reported in the job result.
 	BatchInference bool `json:"batch_inference,omitempty"`
+	// OneOverT switches the walkers to the Belardinelli-Pereyra 1/t
+	// modification-factor schedule.
+	OneOverT bool `json:"one_over_t,omitempty"`
+	// Adaptive enables adaptive REWL parallelisation: walker rebalancing
+	// from converged windows into stragglers at exchange-round
+	// boundaries. The migration count is reported in the job result.
+	Adaptive bool `json:"adaptive,omitempty"`
 	// CheckpointEvery overrides how often (in REWL rounds) the run
 	// checkpoints when the server has a DataDir; 0 takes the default.
 	CheckpointEvery int `json:"checkpoint_every,omitempty"`

@@ -869,6 +869,8 @@ func (s *Server) runJob(ctx context.Context, jb Job) (map[string]any, []string, 
 			NoDL:     spec.DOS.NoDL,
 
 			BatchInference: spec.DOS.BatchInference,
+			OneOverT:       spec.DOS.OneOverT,
+			Adaptive:       spec.DOS.Adaptive,
 		}
 		ckptDir := ""
 		switch {
@@ -923,6 +925,9 @@ func (s *Server) runJob(ctx context.Context, jb Job) (map[string]any, []string, 
 			result["batch_requests"] = res.Batch.Requests
 			result["batch_flushes"] = res.Batch.Batches
 			result["batch_max"] = res.Batch.MaxBatch
+		}
+		if res.Migrations > 0 {
+			result["migrations"] = res.Migrations
 		}
 		s.logf("job %s produced %s (converged=%v sweeps=%d resumed=%v)", jb.ID, info.ID, res.Converged, res.Sweeps, res.Resumed)
 		if runErr != nil {

@@ -43,6 +43,14 @@ type Options struct {
 	// switches to ln f = bins/steps updated continuously, which removes
 	// the saturation error of pure flatness-driven halving.
 	OneOverT bool
+	// MinCoverage, when positive, additionally gates flatness on window
+	// coverage: the histogram does not count as flat until the walker has
+	// visited at least MinCoverage·Bins bins. The historical criterion
+	// evaluates flatness over visited bins only, so a walker that has
+	// touched a sliver of its window can halve ln f prematurely; the gate
+	// closes that hole. Zero (the default) preserves the historical
+	// behavior bit-for-bit.
+	MinCoverage float64
 }
 
 func (o *Options) setDefaults() {
@@ -212,9 +220,50 @@ func (w *Walker) flat() bool {
 	if n < 2 {
 		return false
 	}
+	if w.opts.MinCoverage > 0 && float64(n) < w.opts.MinCoverage*float64(len(w.visited)) {
+		return false
+	}
 	mean := float64(sum) / float64(n)
 	return float64(min) >= w.opts.Flatness*mean
 }
+
+// FlatnessRatio returns min(h)/mean(h) over the bins visited so far, the
+// quantity the flatness criterion thresholds. It is 0 while fewer than two
+// bins are visited. Exposed as convergence telemetry for the adaptive
+// replica-exchange controller.
+func (w *Walker) FlatnessRatio() float64 {
+	var sum int64
+	min := int64(math.MaxInt64)
+	n := 0
+	for i, v := range w.visited {
+		if !v {
+			continue
+		}
+		h := w.hist[i]
+		sum += h
+		if h < min {
+			min = h
+		}
+		n++
+	}
+	if n < 2 || sum == 0 {
+		return 0
+	}
+	return float64(min) * float64(n) / float64(sum)
+}
+
+// Coverage returns the fraction of the window's bins the walker has ever
+// visited.
+func (w *Walker) Coverage() float64 {
+	return float64(w.VisitedBins()) / float64(len(w.visited))
+}
+
+// Steps returns the total WL steps taken, the clock of the 1/t schedule.
+func (w *Walker) Steps() int64 { return w.steps }
+
+// InOneOverTPhase reports whether the walker has switched to the terminal
+// 1/t phase of the Belardinelli-Pereyra schedule.
+func (w *Walker) InOneOverTPhase() bool { return w.oneOverT }
 
 // Flat reports whether the current-stage visit histogram satisfies the
 // flatness criterion. Exposed for the replica-exchange driver.
@@ -257,6 +306,30 @@ func (w *Walker) EndStage() {
 	for i := range w.hist {
 		w.hist[i] = 0
 	}
+}
+
+// AdoptConsensus seeds the walker from a window consensus: ln g is
+// overwritten with logG, the modification factor set to lnF, and the 1/t
+// schedule clock aligned with the window's (steps, oneOverT). The visit
+// histogram is reset, and bins with known ln g are marked visited so the
+// flatness criterion demands the migrant re-cover the consensus support
+// before the window's next stage transition. Used when the adaptive
+// replica-exchange controller migrates a walker into a straggler window:
+// the migrant inherits the window's progress instead of relearning from a
+// flat estimate.
+func (w *Walker) AdoptConsensus(logG []float64, lnF float64, steps int64, oneOverT bool) error {
+	if len(logG) != w.dosEst.Bins() {
+		return fmt.Errorf("wanglandau: consensus has %d bins, window has %d", len(logG), w.dosEst.Bins())
+	}
+	copy(w.dosEst.LogG, logG)
+	for i := range w.hist {
+		w.hist[i] = 0
+		w.visited[i] = !math.IsInf(logG[i], -1)
+	}
+	w.lnF = lnF
+	w.steps = steps
+	w.oneOverT = oneOverT
+	return nil
 }
 
 // RunStage sweeps until the histogram is flat or the per-stage cutoff

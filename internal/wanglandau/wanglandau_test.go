@@ -209,6 +209,55 @@ func TestOneOverTConvergesToExactDOS(t *testing.T) {
 	}
 }
 
+// TestMinCoverageGatesFlatness is the regression test for the coverage
+// gate: the historical criterion evaluates flatness over visited bins
+// only, so a walker that has evenly visited just two bins of a wide
+// window counts as flat and ends its stage. With MinCoverage set, the
+// stage cannot end until the walker has covered the requested fraction of
+// the window; with the zero default, the historical behavior is preserved
+// bit for bit.
+func TestMinCoverageGatesFlatness(t *testing.T) {
+	m, exact := smallSystem(t)
+	mk := func(opts Options) *Walker {
+		src := rng.New(6)
+		cfg := lattice.EquiatomicConfig(m.Lattice(), 2, src)
+		w, err := NewWalker(m, cfg, mc.NewSwapProposal(m), src,
+			Window{EMin: exact.EMin, EMax: exact.EMax(), Bins: 20}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sculpt a walker that has seen exactly two bins, evenly.
+		for i := range w.hist {
+			w.hist[i] = 0
+			w.visited[i] = false
+		}
+		w.hist[0], w.hist[1] = 100, 100
+		w.visited[0], w.visited[1] = true, true
+		return w
+	}
+	if w := mk(Options{}); !w.Flat() {
+		t.Error("historical criterion: two evenly visited bins must count as flat")
+	}
+	if w := mk(Options{MinCoverage: 0.25}); w.Flat() {
+		t.Error("gated criterion: 2/20 bins covered must not count as flat")
+	}
+	// The gate opens exactly at the coverage threshold (5 of 20 bins).
+	w := mk(Options{MinCoverage: 0.25})
+	for i := 2; i < 5; i++ {
+		w.hist[i] = 100
+		w.visited[i] = true
+	}
+	if !w.Flat() {
+		t.Error("gated criterion: 5/20 bins at the threshold must count as flat")
+	}
+	if c := w.Coverage(); math.Abs(c-0.25) > 1e-12 {
+		t.Errorf("Coverage() = %g, want 0.25", c)
+	}
+	if fr := w.FlatnessRatio(); math.Abs(fr-1) > 1e-12 {
+		t.Errorf("FlatnessRatio() = %g for a perfectly even histogram", fr)
+	}
+}
+
 func TestStageStatAcceptRateBounded(t *testing.T) {
 	m, exact := smallSystem(t)
 	src := rng.New(8)
